@@ -1,0 +1,95 @@
+//! Global k-core community baseline: the connected component of the
+//! maximum-k core containing all query vertices.
+//!
+//! The simplest of the degree-based models (\[27\]'s structural core without
+//! the greedy): compute core numbers once, then binary-search the largest
+//! `k` whose k-core keeps the query connected.
+
+use crate::peeling::core_decomposition;
+use ctc_core::{community_from_induced, Community, PhaseTimings};
+use ctc_graph::error::{GraphError, Result};
+use ctc_graph::{query_connected, BfsScratch, CsrGraph, FilteredGraph, VertexId};
+use std::time::Instant;
+
+/// Finds the max-k core community containing `q`.
+pub fn kcore_community(g: &CsrGraph, q: &[VertexId]) -> Result<Community> {
+    let t0 = Instant::now();
+    if q.is_empty() {
+        return Err(GraphError::EmptyQuery);
+    }
+    let core = core_decomposition(g);
+    let k_hi = q.iter().map(|&v| core[v.index()]).min().expect("q nonempty");
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    // Query connectivity in the k-core is monotone in k: search downward.
+    let connected_at = |k: u32, scratch: &mut BfsScratch| -> bool {
+        let view = FilteredGraph::new(g, |e| {
+            let (u, v) = g.edge_endpoints(e);
+            core[u.index()] >= k && core[v.index()] >= k
+        });
+        query_connected(&view, q, scratch)
+    };
+    let (mut lo, mut hi) = (0u32, k_hi);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if connected_at(mid, &mut scratch) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let k = lo;
+    if k == 0 && !connected_at(0, &mut scratch) {
+        return Err(GraphError::Disconnected);
+    }
+    // Collect the component containing q[0] within the k-core.
+    let view = FilteredGraph::new(g, |e| {
+        let (u, v) = g.edge_endpoints(e);
+        core[u.index()] >= k && core[v.index()] >= k
+    });
+    scratch.run(&view, q[0]);
+    let vertices: Vec<VertexId> =
+        scratch.reached().filter(|&v| core[v.index()] >= k).collect();
+    Ok(community_from_induced(
+        g,
+        2,
+        vertices,
+        q,
+        (g.num_vertices(), g.num_edges()),
+        0,
+        PhaseTimings { locate: t0.elapsed(), peel: Default::default(), total: t0.elapsed() },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_graph::graph_from_edges;
+
+    #[test]
+    fn finds_dense_core_ignores_tail() {
+        let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]);
+        let c = kcore_community(&g, &[VertexId(0)]).unwrap();
+        assert_eq!(c.num_vertices(), 4, "the 3-core is the K4");
+        assert!(!c.vertices.contains(&VertexId(5)));
+    }
+
+    #[test]
+    fn query_in_tail_lowers_k() {
+        let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]);
+        let c = kcore_community(&g, &[VertexId(0), VertexId(5)]).unwrap();
+        assert!(c.contains_query(&[VertexId(0), VertexId(5)]));
+        assert_eq!(c.num_vertices(), 6, "1-core = whole graph");
+    }
+
+    #[test]
+    fn disconnected_errors() {
+        let g = graph_from_edges(&[(0, 1), (2, 3)]);
+        assert!(kcore_community(&g, &[VertexId(0), VertexId(2)]).is_err());
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let g = graph_from_edges(&[(0, 1)]);
+        assert_eq!(kcore_community(&g, &[]).unwrap_err(), GraphError::EmptyQuery);
+    }
+}

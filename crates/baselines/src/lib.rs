@@ -1,0 +1,24 @@
+//! # ctc-baselines — comparison community-search models
+//!
+//! The systems the CTC paper evaluates against (Exp-3 / Fig. 12):
+//!
+//! * [`mdc::mdc`] — minimum-degree community with distance/size constraints
+//!   (Sozio & Gionis, the paper's \[27\]);
+//! * [`qdc::qdc`] — query-biased densest connected subgraph (Wu et al., \[32\]),
+//!   reimplemented as RWR-weighted peeling (see DESIGN.md §5);
+//! * [`kcore_community`] — plain maximum-k-core community.
+//!
+//! All return the same [`ctc_core::Community`] type as the truss
+//! algorithms, so the evaluation harness treats every model uniformly.
+
+#![warn(missing_docs)]
+
+pub mod kcore;
+pub mod mdc;
+pub mod peeling;
+pub mod qdc;
+
+pub use kcore::kcore_community;
+pub use mdc::{mdc, MdcConfig};
+pub use peeling::{core_decomposition, DegreeBuckets};
+pub use qdc::{qdc, QdcConfig};

@@ -1,0 +1,259 @@
+//! MDC — minimum-degree community search (Sozio & Gionis, KDD'10, the
+//! paper's reference 27).
+//!
+//! The "Cocktail Party" model: the community of `Q` is the connected
+//! subgraph containing `Q` maximizing the minimum degree, optionally
+//! subject to a distance constraint (`dist(v, Q) ≤ d`). The greedy peels
+//! min-degree vertices; since peeling only shrinks the graph, query
+//! connectivity is monotone, so the best feasible snapshot is found by a
+//! binary search over the removal sequence.
+//!
+//! The paper's Exp-3 uses MDC with "fixed distance and size constraints" as
+//! the k-core baseline; its rigid constraints are exactly why its F1 lags
+//! (Fig. 12a).
+
+use ctc_core::{community_from_induced, Community, PhaseTimings};
+use ctc_graph::error::{GraphError, Result};
+use ctc_graph::{
+    induced_subgraph, query_connected, query_distances, BfsScratch, CsrGraph, Subgraph, VertexId,
+};
+use std::time::Instant;
+
+/// MDC parameters.
+#[derive(Clone, Debug)]
+pub struct MdcConfig {
+    /// Distance constraint: candidate vertices must lie within this many
+    /// hops of every query vertex (`None` disables). The paper's setup uses
+    /// a small fixed bound; default 2.
+    pub distance_bound: Option<u32>,
+    /// Soft size constraint: among feasible snapshots, prefer those with at
+    /// most this many vertices (`None` disables).
+    pub size_bound: Option<usize>,
+}
+
+impl Default for MdcConfig {
+    fn default() -> Self {
+        MdcConfig { distance_bound: Some(2), size_bound: None }
+    }
+}
+
+/// Runs MDC for query `q` on `g`.
+pub fn mdc(g: &CsrGraph, q: &[VertexId], cfg: &MdcConfig) -> Result<Community> {
+    let t0 = Instant::now();
+    if q.is_empty() {
+        return Err(GraphError::EmptyQuery);
+    }
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    // Distance restriction (with graceful fallback to the whole graph if the
+    // bound disconnects the query).
+    let restricted: Subgraph = match cfg.distance_bound {
+        Some(d) => {
+            let dist = query_distances(g, q, &mut scratch);
+            let keep: Vec<VertexId> = g
+                .vertices()
+                .filter(|v| dist[v.index()] <= d)
+                .collect();
+            let sub = induced_subgraph(g, &keep);
+            let mut s2 = BfsScratch::new(sub.num_vertices());
+            match sub.locals(q) {
+                Some(ql) if query_connected(&sub.graph, &ql, &mut s2) => sub,
+                _ => induced_subgraph(g, &g.vertices().collect::<Vec<_>>()),
+            }
+        }
+        None => induced_subgraph(g, &g.vertices().collect::<Vec<_>>()),
+    };
+    let ql = restricted.locals(q).ok_or(GraphError::Disconnected)?;
+    let mut s2 = BfsScratch::new(restricted.num_vertices());
+    if !query_connected(&restricted.graph, &ql, &mut s2) {
+        return Err(GraphError::Disconnected);
+    }
+    let (order, mindeg_before, stop) = greedy_peel_order(&restricted.graph, &ql);
+    // Binary search the last snapshot with Q connected (snapshots shrink, so
+    // connectivity is monotone non-increasing in t).
+    let mut lo = 0usize; // known connected (t = 0 is the restricted graph)
+    let mut hi = stop; // candidate range end (exclusive snapshots after)
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if snapshot_query_connected(&restricted.graph, &order, mid, &ql) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let t_star = lo;
+    // Among snapshots 0..=t_star choose max min-degree (tie → smaller graph
+    // = later snapshot), honoring the soft size bound if possible.
+    let n = restricted.num_vertices();
+    let pick = |limit: Option<usize>| -> Option<usize> {
+        let mut best: Option<(u32, usize)> = None;
+        for t in 0..=t_star {
+            if let Some(cap) = limit {
+                if n - t > cap {
+                    continue;
+                }
+            }
+            let md = mindeg_before[t];
+            if best.is_none_or(|(b, _)| md >= b) {
+                best = Some((md, t));
+            }
+        }
+        best.map(|(_, t)| t)
+    };
+    let best_t = pick(cfg.size_bound).or_else(|| pick(None)).expect("t=0 is always feasible");
+    // Reconstruct: vertices removed at position ≥ best_t survive.
+    let vertices: Vec<VertexId> = (best_t..n)
+        .map(|i| restricted.parent(VertexId(order[i])))
+        .collect();
+    Ok(community_from_induced(
+        g,
+        2,
+        vertices,
+        q,
+        (restricted.num_vertices(), restricted.num_edges()),
+        best_t,
+        PhaseTimings { locate: t0.elapsed(), peel: Default::default(), total: t0.elapsed() },
+    ))
+}
+
+/// Peels min-degree vertices until a query vertex would be removed.
+/// Returns (removal order: removed vertices in positions `0..stop`, all
+/// survivors after, so positions `t..n` hold the vertices of snapshot `t`;
+/// `mindeg_before[t]` = min degree of the snapshot before removal `t`;
+/// `stop` = number of removals executed). Uses a lazy binary heap: exact
+/// degrees matter here, which rules out the clamped bucket-queue trick.
+fn greedy_peel_order(g: &CsrGraph, q: &[VertexId]) -> (Vec<u32>, Vec<u32>, usize) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    let mut degree: Vec<u32> = (0..n).map(|v| g.degree(VertexId::from(v)) as u32).collect();
+    let mut removed = vec![false; n];
+    let mut is_query = vec![false; n];
+    for &v in q {
+        is_query[v.index()] = true;
+    }
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> =
+        (0..n as u32).map(|v| Reverse((degree[v as usize], v))).collect();
+    let mut mindeg_before = Vec::with_capacity(n);
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut stop = 0usize;
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if removed[v as usize] || d != degree[v as usize] {
+            continue; // stale entry
+        }
+        if is_query[v as usize] {
+            break; // greedy never removes a query vertex
+        }
+        mindeg_before.push(d);
+        removed[v as usize] = true;
+        order.push(v);
+        for &nb in g.neighbors(VertexId(v)) {
+            if !removed[nb as usize] {
+                degree[nb as usize] -= 1;
+                heap.push(Reverse((degree[nb as usize], nb)));
+            }
+        }
+        stop += 1;
+    }
+    // `mindeg_before[stop]` (the final feasible snapshot) for the picker.
+    let last_min = (0..n as u32)
+        .filter(|&v| !removed[v as usize])
+        .map(|v| degree[v as usize])
+        .min()
+        .unwrap_or(0);
+    mindeg_before.push(last_min);
+    // Append survivors in any stable order.
+    for v in 0..n as u32 {
+        if !removed[v as usize] {
+            order.push(v);
+        }
+    }
+    (order, mindeg_before, stop)
+}
+
+/// Is `q` connected within the snapshot keeping `order[t..]`?
+fn snapshot_query_connected(
+    g: &CsrGraph,
+    order: &[u32],
+    t: usize,
+    q: &[VertexId],
+) -> bool {
+    let alive: Vec<VertexId> = order[t..].iter().map(|&v| VertexId(v)).collect();
+    let sub = induced_subgraph(g, &alive);
+    let Some(ql) = sub.locals(q) else { return false };
+    let mut scratch = BfsScratch::new(sub.num_vertices());
+    query_connected(&sub.graph, &ql, &mut scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_graph::graph_from_edges;
+
+    /// K4 (0..4) + pendant path 3-4-5: MDC around 0 should find the K4.
+    fn k4_with_tail() -> CsrGraph {
+        graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+    }
+
+    #[test]
+    fn finds_the_dense_core() {
+        let g = k4_with_tail();
+        let c = mdc(&g, &[VertexId(0)], &MdcConfig::default()).unwrap();
+        assert_eq!(c.num_vertices(), 4);
+        assert!(c.contains_query(&[VertexId(0)]));
+        // Min degree of the K4 is 3.
+        let sub = c.subgraph();
+        let min_deg = sub.graph.vertices().map(|v| sub.graph.degree(v)).min().unwrap();
+        assert_eq!(min_deg, 3);
+    }
+
+    #[test]
+    fn distance_bound_restricts() {
+        // Query at the tail end: distance bound 1 keeps only {4,5,3}.
+        let g = k4_with_tail();
+        let c = mdc(&g, &[VertexId(5)], &MdcConfig { distance_bound: Some(1), size_bound: None })
+            .unwrap();
+        assert!(c.num_vertices() <= 2, "got {:?}", c.vertices);
+        assert!(c.contains_query(&[VertexId(5)]));
+    }
+
+    #[test]
+    fn multi_query_spanning_requires_connector() {
+        // Q = {0, 5}: the community must include the path through 3 and 4.
+        let g = k4_with_tail();
+        let c = mdc(&g, &[VertexId(0), VertexId(5)], &MdcConfig { distance_bound: Some(3), size_bound: None })
+            .unwrap();
+        assert!(c.contains_query(&[VertexId(0), VertexId(5)]));
+        assert!(c.vertices.contains(&VertexId(4)));
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let g = k4_with_tail();
+        assert_eq!(mdc(&g, &[], &MdcConfig::default()).unwrap_err(), GraphError::EmptyQuery);
+    }
+
+    #[test]
+    fn size_bound_prefers_smaller() {
+        let g = k4_with_tail();
+        let unbounded = mdc(&g, &[VertexId(0)], &MdcConfig { distance_bound: None, size_bound: None })
+            .unwrap();
+        let bounded = mdc(
+            &g,
+            &[VertexId(0)],
+            &MdcConfig { distance_bound: None, size_bound: Some(4) },
+        )
+        .unwrap();
+        assert!(bounded.num_vertices() <= 4);
+        assert!(bounded.num_vertices() <= unbounded.num_vertices());
+    }
+
+    #[test]
+    fn disconnected_query_errors() {
+        let g = graph_from_edges(&[(0, 1), (2, 3)]);
+        assert_eq!(
+            mdc(&g, &[VertexId(0), VertexId(2)], &MdcConfig { distance_bound: None, size_bound: None })
+                .unwrap_err(),
+            GraphError::Disconnected
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Degree-ordered vertex peeling — the shared substrate of the MDC and
+//! k-core baselines.
+//!
+//! A bucket queue keyed by live degree supports O(1) extract-min and
+//! decrease-key, the same trick as the truss engine's support buckets
+//! (Batagelj–Zaversnik k-core decomposition).
+
+use ctc_graph::{CsrGraph, VertexId};
+
+/// Bucket queue over vertices keyed by current degree.
+pub struct DegreeBuckets {
+    sorted: Vec<u32>,
+    pos: Vec<u32>,
+    bin_start: Vec<u32>,
+    /// Current degree per vertex (public for the peeling drivers).
+    pub degree: Vec<u32>,
+}
+
+impl DegreeBuckets {
+    /// Builds buckets from the initial degrees of `g`.
+    pub fn new(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let degree: Vec<u32> = (0..n).map(|v| g.degree(VertexId::from(v)) as u32).collect();
+        Self::from_degrees(degree)
+    }
+
+    /// Builds buckets from an explicit degree vector.
+    pub fn from_degrees(degree: Vec<u32>) -> Self {
+        let n = degree.len();
+        let max_d = degree.iter().copied().max().unwrap_or(0) as usize;
+        let mut counts = vec![0u32; max_d + 2];
+        for &d in &degree {
+            counts[d as usize] += 1;
+        }
+        let mut bin_start = vec![0u32; max_d + 2];
+        let mut acc = 0;
+        for (d, &c) in counts.iter().enumerate() {
+            bin_start[d] = acc;
+            acc += c;
+        }
+        let mut cursor = bin_start.clone();
+        let mut sorted = vec![0u32; n];
+        let mut pos = vec![0u32; n];
+        for (v, &d) in degree.iter().enumerate() {
+            let p = cursor[d as usize];
+            sorted[p as usize] = v as u32;
+            pos[v] = p;
+            cursor[d as usize] += 1;
+        }
+        DegreeBuckets { sorted, pos, bin_start, degree }
+    }
+
+    /// The `i`-th vertex in the (dynamically maintained) degree order.
+    #[inline]
+    pub fn vertex_at(&self, i: usize) -> VertexId {
+        VertexId(self.sorted[i])
+    }
+
+    /// Position of `v` in the order (positions before the processing
+    /// frontier are "removed").
+    #[inline]
+    pub fn position(&self, v: VertexId) -> usize {
+        self.pos[v.index()] as usize
+    }
+
+    /// Decrement the degree of `v`, keeping the order valid. Only call for
+    /// vertices after the processing frontier with degree > 0.
+    pub fn decrement(&mut self, v: VertexId) {
+        let d = self.degree[v.index()];
+        debug_assert!(d > 0);
+        let p = self.pos[v.index()];
+        let first = self.bin_start[d as usize];
+        let other = self.sorted[first as usize];
+        self.sorted.swap(first as usize, p as usize);
+        self.pos[v.index()] = first;
+        self.pos[other as usize] = p;
+        self.bin_start[d as usize] = first + 1;
+        self.degree[v.index()] = d - 1;
+    }
+}
+
+/// Core decomposition: `core[v]` = the largest k such that `v` belongs to
+/// the k-core (Batagelj–Zaversnik, O(n + m)).
+pub fn core_decomposition(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut buckets = DegreeBuckets::new(g);
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut k = 0u32;
+    for i in 0..n {
+        let v = buckets.vertex_at(i);
+        k = k.max(buckets.degree[v.index()]);
+        core[v.index()] = k;
+        removed[v.index()] = true;
+        for &nb in g.neighbors(v) {
+            if !removed[nb as usize] && buckets.degree[nb as usize] > k {
+                buckets.decrement(VertexId(nb));
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_graph::graph_from_edges;
+
+    #[test]
+    fn k4_core_numbers() {
+        let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(core_decomposition(&g), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn k4_with_pendant() {
+        let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
+        let core = core_decomposition(&g);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[0], 3);
+        assert_eq!(core[3], 3);
+    }
+
+    #[test]
+    fn path_is_1_core() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(core_decomposition(&g), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn two_triangles_bridged() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+        let core = core_decomposition(&g);
+        assert_eq!(core[0], 2);
+        assert_eq!(core[1], 2);
+        assert_eq!(core[4], 2);
+        // The bridge endpoints are still in the 2-core (their triangles).
+        assert_eq!(core[2], 2);
+        assert_eq!(core[3], 2);
+    }
+
+    #[test]
+    fn buckets_track_decrements() {
+        let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3)]);
+        let mut b = DegreeBuckets::new(&g);
+        assert_eq!(b.degree[0], 3);
+        b.decrement(VertexId(0));
+        b.decrement(VertexId(0));
+        assert_eq!(b.degree[0], 1);
+        // Order stays a permutation.
+        let mut s = b.sorted.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Microbench: truss decomposition and truss-index construction — the
+//! offline cost behind Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctc_gen::mini_network;
+use ctc_truss::{truss_decomposition, TrussIndex};
+use std::time::Duration;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truss_decomposition");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for name in ["facebook", "dblp"] {
+        let net = mini_network(name, 7).expect("mini preset");
+        let g = net.graph;
+        group.bench_with_input(
+            BenchmarkId::new("decompose", format!("{name}-mini/m={}", g.num_edges())),
+            &g,
+            |b, g| b.iter(|| truss_decomposition(g)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("index_build", format!("{name}-mini/m={}", g.num_edges())),
+            &g,
+            |b, g| b.iter(|| TrussIndex::build(g)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Microbench: Algorithm 3 — k-truss maintenance cascades after vertex
+//! deletion, the inner step of every peeling iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctc_gen::mini_network;
+use ctc_graph::DynGraph;
+use ctc_truss::{truss_decomposition, TrussMaintainer};
+use std::time::Duration;
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ktruss_maintenance");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let net = mini_network("facebook", 7).expect("mini preset");
+    let g = net.graph;
+    let d = truss_decomposition(&g);
+    let mut levels: Vec<u32> =
+        [3u32, d.max_truss / 2, d.max_truss].into_iter().filter(|&k| k >= 3).collect();
+    levels.sort_unstable();
+    levels.dedup();
+    for k in levels {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, &k| {
+            b.iter(|| {
+                let mut live = DynGraph::new(&g);
+                let mut m = TrussMaintainer::new(&live, k);
+                // Delete a spread of ten vertices and cascade.
+                let victims: Vec<_> =
+                    (0..10).map(|i| ctc_graph::VertexId(i * 37 % g.num_vertices() as u32)).collect();
+                m.delete_vertices(&mut live, &victims)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

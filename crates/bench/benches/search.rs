@@ -1,0 +1,34 @@
+//! Microbench: the three CTC search algorithms end to end — the timing
+//! series behind Figures 5–10 (Basic ≫ BD ≫ LCTC is the expected order).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctc_core::{CtcConfig, CtcSearcher};
+use ctc_gen::{mini_network, DegreeRank, QueryGenerator};
+use std::time::Duration;
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctc_search");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let net = mini_network("facebook", 7).expect("mini preset");
+    let g = net.graph;
+    let searcher = CtcSearcher::new(&g);
+    let cfg = CtcConfig::default();
+    let mut qg = QueryGenerator::new(&g, 5);
+    let q = qg.sample(3, DegreeRank::top(0.8), 2).expect("query");
+    group.bench_with_input(BenchmarkId::new("basic", "fb-mini"), &q, |b, q| {
+        b.iter(|| searcher.basic(q, &cfg).expect("basic"))
+    });
+    group.bench_with_input(BenchmarkId::new("bulk_delete", "fb-mini"), &q, |b, q| {
+        b.iter(|| searcher.bulk_delete(q, &cfg).expect("bd"))
+    });
+    group.bench_with_input(BenchmarkId::new("lctc", "fb-mini"), &q, |b, q| {
+        b.iter(|| searcher.local(q, &cfg).expect("lctc"))
+    });
+    group.bench_with_input(BenchmarkId::new("truss_only", "fb-mini"), &q, |b, q| {
+        b.iter(|| searcher.truss_only(q, &cfg).expect("truss"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

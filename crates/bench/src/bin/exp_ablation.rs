@@ -1,0 +1,5 @@
+//! Regenerates the two design-choice ablations (DESIGN.md §4).
+fn main() {
+    ctc_bench::experiments::ablation::steiner_modes();
+    ctc_bench::experiments::ablation::delete_policies();
+}

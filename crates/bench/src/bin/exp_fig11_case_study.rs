@@ -1,0 +1,4 @@
+//! Regenerates Figure 11: the collaboration-network case study.
+fn main() {
+    ctc_bench::experiments::exp2::run();
+}

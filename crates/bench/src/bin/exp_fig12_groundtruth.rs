@@ -1,0 +1,4 @@
+//! Regenerates Figure 12: F1 / time / size-reduction vs ground truth.
+fn main() {
+    ctc_bench::experiments::exp3::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 13: diameter & trussness approximation.
+fn main() {
+    ctc_bench::experiments::exp456::fig13();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 14: diameter vs fixed trussness k.
+fn main() {
+    ctc_bench::experiments::exp456::fig14();
+}

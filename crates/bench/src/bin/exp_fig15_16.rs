@@ -1,0 +1,4 @@
+//! Regenerates Figures 15/16: LCTC η and γ sweeps.
+fn main() {
+    ctc_bench::experiments::exp456::fig15_16();
+}

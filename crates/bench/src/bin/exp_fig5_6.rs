@@ -1,0 +1,7 @@
+//! Regenerates Figures 5 (dblp) / 6 (facebook): varying query size |Q|.
+//! Usage: exp_fig5_6 [dblp|facebook]
+use ctc_bench::experiments::exp1::{run, Knob};
+fn main() {
+    let net = std::env::args().nth(1).unwrap_or_else(|| "facebook".into());
+    run(&net, Knob::QuerySize);
+}

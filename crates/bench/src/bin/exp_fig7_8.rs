@@ -1,0 +1,7 @@
+//! Regenerates Figures 7 (dblp) / 8 (facebook): varying degree rank.
+//! Usage: exp_fig7_8 [dblp|facebook]
+use ctc_bench::experiments::exp1::{run, Knob};
+fn main() {
+    let net = std::env::args().nth(1).unwrap_or_else(|| "facebook".into());
+    run(&net, Knob::DegreeRank);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figures 9 (dblp) / 10 (facebook): varying inter-distance l.
+//! Usage: exp_fig9_10 [dblp|facebook]
+use ctc_bench::experiments::exp1::{run, Knob};
+fn main() {
+    let net = std::env::args().nth(1).unwrap_or_else(|| "facebook".into());
+    run(&net, Knob::InterDistance);
+}

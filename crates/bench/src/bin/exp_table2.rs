@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (network statistics).
+fn main() {
+    ctc_bench::experiments::tables::table2();
+}

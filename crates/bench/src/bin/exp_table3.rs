@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (index size and construction time).
+fn main() {
+    ctc_bench::experiments::tables::table3();
+}

@@ -1,0 +1,94 @@
+//! Ablations for the design choices DESIGN.md §4 calls out:
+//!
+//! 1. **Truss-distance semantics** — exact path-min (Def. 7) vs the
+//!    additive surrogate in the LCTC Steiner stage;
+//! 2. **Deletion policy** — single-furthest (Alg. 1) vs bulk `d−1`
+//!    (Alg. 4) vs the LCTC `L'` greedy, run on identical `G0`s.
+
+use crate::common::{banner, mean, sample_queries, ExpEnv};
+use ctc_core::{peel, CtcConfig, CtcSearcher, DeletePolicy, SteinerMode};
+use ctc_eval::{fmt_f, fmt_secs, run_workload, Table};
+use ctc_gen::{network_by_name, DegreeRank};
+use ctc_truss::g0_subgraph;
+use std::time::Instant;
+
+/// Steiner truss-distance mode ablation (LCTC end to end on dblp).
+pub fn steiner_modes() {
+    let env = ExpEnv::with_default_queries(20);
+    let net = network_by_name("dblp").expect("dblp preset");
+    let g = &net.data.graph;
+    banner(
+        "Ablation A — truss-distance mode in LCTC (dblp)",
+        &format!("{} spread query sets (|Q| = 4, l = 3)", env.queries),
+    );
+    let searcher = CtcSearcher::new(g);
+    let queries = sample_queries(&net, env.queries, 4, DegreeRank::any(), 3, env.seed);
+    let mut t = Table::new(["mode", "k", "|V|", "diameter", "time"]);
+    for (label, mode) in [
+        ("PathMinExact (Def. 7)", SteinerMode::PathMinExact),
+        ("EdgeAdditive (surrogate)", SteinerMode::EdgeAdditive),
+    ] {
+        let cfg = CtcConfig::new().steiner_mode(mode);
+        let (outs, stats) = run_workload(&queries, env.budget, |q| {
+            searcher.local(q, &cfg).map_err(|e| e.to_string())
+        });
+        t.row([
+            label.to_string(),
+            fmt_f(mean(outs.iter().filter_map(|o| o.value()).map(|c| c.k as f64))),
+            fmt_f(mean(outs.iter().filter_map(|o| o.value()).map(|c| c.num_vertices() as f64))),
+            fmt_f(mean(outs.iter().filter_map(|o| o.value()).map(|c| c.diameter() as f64))),
+            fmt_secs(stats.mean_seconds),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Deletion-policy ablation on shared `G0`s (facebook).
+pub fn delete_policies() {
+    let env = ExpEnv::with_default_queries(15);
+    let net = network_by_name("facebook").expect("facebook preset");
+    let g = &net.data.graph;
+    banner(
+        "Ablation B — peeling policy on identical G0 (facebook)",
+        &format!("{} query sets (|Q| = 3, l = 2)", env.queries),
+    );
+    let searcher = CtcSearcher::new(g);
+    let queries = sample_queries(&net, env.queries, 3, DegreeRank::top(0.8), 2, env.seed);
+    let mut rows: Vec<(&str, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> = vec![
+        ("SingleFurthest (Alg. 1)", vec![], vec![], vec![], vec![]),
+        ("BulkAtLeast (Alg. 4)", vec![], vec![], vec![], vec![]),
+        ("LocalGreedy (LCTC §5.2)", vec![], vec![], vec![], vec![]),
+    ];
+    for q in &queries {
+        let Ok(g0) = ctc_truss::find_g0(g, searcher.index(), q) else { continue };
+        let sub = g0_subgraph(g, &g0);
+        let Some(ql) = sub.locals(q) else { continue };
+        for (i, policy) in [
+            DeletePolicy::SingleFurthest,
+            DeletePolicy::BulkAtLeast,
+            DeletePolicy::LocalGreedy,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let t0 = Instant::now();
+            let out = peel(&sub.graph, &ql, g0.k, *policy, Some(3000));
+            let secs = t0.elapsed().as_secs_f64();
+            rows[i].1.push(out.vertices.len() as f64);
+            rows[i].2.push(out.query_distance as f64);
+            rows[i].3.push(out.iterations as f64);
+            rows[i].4.push(secs);
+        }
+    }
+    let mut t = Table::new(["policy", "|V|", "dist(R,Q)", "iterations", "time"]);
+    for (label, vs, ds, is_, ts) in rows {
+        t.row([
+            label.to_string(),
+            fmt_f(mean(vs.into_iter())),
+            fmt_f(mean(ds.into_iter())),
+            fmt_f(mean(is_.into_iter())),
+            fmt_secs(mean(ts.into_iter())),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,8 @@
+//! One module per paper experiment; each `exp_*` binary is a thin wrapper.
+
+pub mod ablation;
+pub mod exp1;
+pub mod exp2;
+pub mod exp3;
+pub mod exp456;
+pub mod tables;

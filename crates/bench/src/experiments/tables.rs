@@ -1,0 +1,54 @@
+//! Table 2 (network statistics) and Table 3 (index size / build time).
+
+use crate::common::banner;
+use ctc_eval::{fmt_mb, fmt_secs, Table};
+use ctc_gen::all_networks;
+use ctc_truss::TrussIndex;
+use std::time::Instant;
+
+/// Table 2: `|V|, |E|, d_max, τ̄(∅)` for the six preset networks.
+pub fn table2() {
+    banner("Table 2 — network statistics (synthetic analogues)", "paper sizes in parentheses");
+    let mut t = Table::new(["network", "|V|", "|E|", "dmax", "τ̄(∅)", "paper |V|/|E|", "scale"]);
+    for net in all_networks() {
+        let g = &net.data.graph;
+        let t0 = Instant::now();
+        let idx = TrussIndex::build(g);
+        let _ = t0;
+        t.row([
+            net.name.to_string(),
+            g.num_vertices().to_string(),
+            g.num_edges().to_string(),
+            g.max_degree().to_string(),
+            idx.max_truss().to_string(),
+            format!("{}/{}", net.paper_size.0, net.paper_size.1),
+            net.scale_note.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Table 3: graph size, index size and index construction time.
+pub fn table3() {
+    banner(
+        "Table 3 — index size and construction time",
+        "sizes in MB; paper reports index ≈ 1.6× graph size",
+    );
+    let mut t = Table::new(["network", "graph (MB)", "index (MB)", "ratio", "build time"]);
+    for net in all_networks() {
+        let g = &net.data.graph;
+        let t0 = Instant::now();
+        let idx = TrussIndex::build(g);
+        let secs = t0.elapsed().as_secs_f64();
+        let gb = g.memory_bytes();
+        let ib = idx.memory_bytes();
+        t.row([
+            net.name.to_string(),
+            fmt_mb(gb),
+            fmt_mb(ib),
+            format!("{:.2}", ib as f64 / gb as f64),
+            fmt_secs(secs),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,8 @@
+//! # ctc-bench — experiment binaries and criterion benches
+//!
+//! One binary per paper table/figure (see DESIGN.md §6 for the index), all
+//! driven by the `CTC_QUERIES` / `CTC_BUDGET_SECS` / `CTC_SEED` environment
+//! knobs. `run_all` regenerates every result for EXPERIMENTS.md.
+
+pub mod common;
+pub mod experiments;

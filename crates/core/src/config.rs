@@ -1,0 +1,113 @@
+//! Search configuration shared by all CTC algorithms.
+
+/// How Steiner-tree truss distances (Def. 7) are evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SteinerMode {
+    /// Exact Def. 7 semantics: `d̂(u,v) = min_P len(P) + γ(τ̄(∅) −
+    /// min_{e∈P} τ(e))`, evaluated by sweeping trussness thresholds and
+    /// BFS-ing the `τ ≥ t` subgraphs. Default.
+    PathMinExact,
+    /// Additive surrogate: Dijkstra with per-edge weight
+    /// `1 + γ(τ̄(∅) − τ(e))`. Upper-bounds the exact distance; cheaper on
+    /// graphs with many truss levels. Kept as an ablation (DESIGN.md §4).
+    EdgeAdditive,
+}
+
+/// Configuration for CTC searches.
+///
+/// Defaults follow the paper's experiment setup: `γ = 3`, `η = 1000`
+/// (§6: "we set the parameters η = 1,000 and γ = 3").
+#[derive(Clone, Debug)]
+pub struct CtcConfig {
+    /// Trussness penalty weight γ in the truss distance (Def. 7).
+    pub gamma: f64,
+    /// LCTC expansion size budget η (max vertices of `Gt`).
+    pub eta: usize,
+    /// Optional fixed trussness (§7.1 "trading trussness for diameter" /
+    /// Fig. 14): search for a k-truss at exactly this level instead of the
+    /// maximum.
+    pub fixed_k: Option<u32>,
+    /// Hard cap on peeling iterations (safety valve; `None` = unbounded,
+    /// the paper's semantics).
+    pub max_iterations: Option<usize>,
+    /// Truss-distance evaluation mode for the LCTC Steiner stage.
+    pub steiner_mode: SteinerMode,
+}
+
+impl Default for CtcConfig {
+    fn default() -> Self {
+        CtcConfig {
+            gamma: 3.0,
+            eta: 1000,
+            fixed_k: None,
+            max_iterations: None,
+            steiner_mode: SteinerMode::PathMinExact,
+        }
+    }
+}
+
+impl CtcConfig {
+    /// Starts from defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets γ.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets η.
+    pub fn eta(mut self, eta: usize) -> Self {
+        self.eta = eta.max(1);
+        self
+    }
+
+    /// Fixes the target trussness.
+    pub fn fixed_k(mut self, k: u32) -> Self {
+        self.fixed_k = Some(k.max(2));
+        self
+    }
+
+    /// Caps peeling iterations.
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Chooses the Steiner truss-distance mode.
+    pub fn steiner_mode(mut self, mode: SteinerMode) -> Self {
+        self.steiner_mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CtcConfig::default();
+        assert_eq!(c.gamma, 3.0);
+        assert_eq!(c.eta, 1000);
+        assert_eq!(c.fixed_k, None);
+        assert_eq!(c.steiner_mode, SteinerMode::PathMinExact);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = CtcConfig::new()
+            .gamma(5.0)
+            .eta(0)
+            .fixed_k(1)
+            .max_iterations(10)
+            .steiner_mode(SteinerMode::EdgeAdditive);
+        assert_eq!(c.gamma, 5.0);
+        assert_eq!(c.eta, 1, "eta clamps to ≥ 1");
+        assert_eq!(c.fixed_k, Some(2), "k clamps to ≥ 2");
+        assert_eq!(c.max_iterations, Some(10));
+        assert_eq!(c.steiner_mode, SteinerMode::EdgeAdditive);
+    }
+}

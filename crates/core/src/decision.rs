@@ -1,0 +1,161 @@
+//! The decision version of CTC search — Problem 2 (`CTCk-Problem`): does
+//! `G` contain a connected k-truss with diameter ≤ `d` containing `Q`?
+//!
+//! The problem is NP-hard (Theorem 1), so this module provides the best
+//! polynomial-time answer available from the paper's machinery: a
+//! **one-sided, three-valued decider** built on the 2-approximation.
+//!
+//! * If the greedy community already achieves diameter ≤ `d` → **Yes**
+//!   (constructive witness).
+//! * If the optimal query distance `dist_R(R,Q)` — which lower-bounds the
+//!   optimal diameter (Lemma 2 + Lemma 5) — exceeds `d` → **No**.
+//! * Otherwise → **Unknown** (the gap where only exponential search could
+//!   tell; `brute_force` in the integration tests resolves small cases).
+
+use crate::config::CtcConfig;
+use crate::result::Community;
+use crate::searcher::CtcSearcher;
+use ctc_graph::error::Result;
+use ctc_graph::VertexId;
+
+/// Outcome of the approximate CTCk decision.
+#[derive(Clone, Debug)]
+pub enum CtckAnswer {
+    /// A connected k-truss with diameter ≤ d exists; here is one.
+    Yes(Box<Community>),
+    /// No such subgraph exists (certified by the query-distance bound).
+    No {
+        /// The certified lower bound on any candidate's diameter.
+        diameter_lower_bound: u32,
+    },
+    /// The decider cannot tell (optimal lies in `(d, 2d]` territory).
+    Unknown {
+        /// Best diameter achieved by the 2-approximation.
+        achieved_diameter: u32,
+        /// The certified lower bound.
+        diameter_lower_bound: u32,
+    },
+}
+
+impl CtckAnswer {
+    /// `true` for [`CtckAnswer::Yes`].
+    pub fn is_yes(&self) -> bool {
+        matches!(self, CtckAnswer::Yes(_))
+    }
+
+    /// `true` for [`CtckAnswer::No`].
+    pub fn is_no(&self) -> bool {
+        matches!(self, CtckAnswer::No { .. })
+    }
+}
+
+/// Decides (approximately) whether a connected k-truss with diameter ≤ `d`
+/// containing `q` exists in the searcher's graph.
+///
+/// Soundness: `Yes` answers carry a witness; `No` answers are certified by
+/// `dist_R(R, Q) > d` — by Lemma 5 the returned `R` minimizes the query
+/// distance over *all* connected k-trusses containing `Q`, and any
+/// subgraph's diameter is at least its query distance (Lemma 2), so no
+/// candidate can beat `d`.
+pub fn decide_ctck(
+    searcher: &CtcSearcher<'_>,
+    q: &[VertexId],
+    k: u32,
+    d: u32,
+) -> Result<CtckAnswer> {
+    let cfg = CtcConfig::new().fixed_k(k);
+    let community = match searcher.basic(q, &cfg) {
+        Ok(c) if c.k == k => c,
+        // No k-truss at exactly this level containing Q: certified No.
+        _ => return Ok(CtckAnswer::No { diameter_lower_bound: 0 }),
+    };
+    let lb = community.query_distance;
+    if lb > d {
+        return Ok(CtckAnswer::No { diameter_lower_bound: lb });
+    }
+    let achieved = community.diameter();
+    if achieved <= d {
+        return Ok(CtckAnswer::Yes(Box::new(community)));
+    }
+    Ok(CtckAnswer::Unknown { achieved_diameter: achieved, diameter_lower_bound: lb })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+
+    fn setup() -> (ctc_graph::CsrGraph, Figure1Ids) {
+        (figure1_graph(), Figure1Ids::default())
+    }
+
+    #[test]
+    fn yes_with_witness_on_figure1() {
+        let (g, f) = setup();
+        let s = CtcSearcher::new(&g);
+        let q = [f.q1, f.q2, f.q3];
+        // A 4-truss with diameter ≤ 3 exists (Figure 1(b)).
+        match decide_ctck(&s, &q, 4, 3).unwrap() {
+            CtckAnswer::Yes(c) => {
+                assert_eq!(c.k, 4);
+                assert!(c.diameter() <= 3);
+                c.validate(&q).unwrap();
+            }
+            other => panic!("expected Yes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_when_distance_bound_certifies() {
+        let (g, f) = setup();
+        let s = CtcSearcher::new(&g);
+        let q = [f.q1, f.q2, f.q3];
+        // No 4-truss of diameter ≤ 1 contains all three query vertices:
+        // the optimal query distance alone is ≥ 2.
+        let ans = decide_ctck(&s, &q, 4, 1).unwrap();
+        assert!(ans.is_no(), "got {ans:?}");
+        if let CtckAnswer::No { diameter_lower_bound } = ans {
+            assert!(diameter_lower_bound >= 2);
+        }
+    }
+
+    #[test]
+    fn no_when_level_is_infeasible() {
+        let (g, f) = setup();
+        let s = CtcSearcher::new(&g);
+        // τ̄(∅) = 4: no 5-truss exists at all.
+        let ans = decide_ctck(&s, &[f.q1], 5, 10).unwrap();
+        assert!(ans.is_no());
+    }
+
+    #[test]
+    fn k2_low_diameter_is_yes_via_cycle() {
+        let (g, f) = setup();
+        let s = CtcSearcher::new(&g);
+        let q = [f.q1, f.q2, f.q3];
+        // Example 2: at k = 2 a diameter-2 subgraph exists (the 5-cycle).
+        // The greedy may or may not find it — Yes or Unknown are both
+        // sound; No would be a soundness bug.
+        let ans = decide_ctck(&s, &q, 2, 2).unwrap();
+        assert!(!ans.is_no(), "No would contradict the 5-cycle witness: {ans:?}");
+    }
+
+    #[test]
+    fn decision_is_monotone_in_d() {
+        // As d grows the answer moves No → Unknown → Yes and never back.
+        let (g, f) = setup();
+        let s = CtcSearcher::new(&g);
+        let q = [f.q1, f.q2, f.q3];
+        let mut phase = 0; // 0 = No, 1 = Unknown, 2 = Yes
+        for d in 0..=6 {
+            let next = match decide_ctck(&s, &q, 4, d).unwrap() {
+                CtckAnswer::No { .. } => 0,
+                CtckAnswer::Unknown { .. } => 1,
+                CtckAnswer::Yes(_) => 2,
+            };
+            assert!(next >= phase, "answer regressed at d={d}: {next} < {phase}");
+            phase = next;
+        }
+        assert_eq!(phase, 2, "diameter-3 witness must certify Yes for large d");
+    }
+}

@@ -1,0 +1,266 @@
+//! The shared greedy peeling engine behind Basic (Alg. 1), BulkDelete
+//! (Alg. 4) and the LCTC inner loop (§5.2).
+//!
+//! Each iteration measures vertex query distances (`|Q|` BFS passes), picks
+//! a victim set according to the deletion policy, removes it, and lets the
+//! truss maintainer (Alg. 3) cascade. Removal times are stamped per vertex
+//! and edge so the best intermediate snapshot `R = argmin_G dist_G(G, Q)`
+//! is reconstructed afterwards without storing any intermediate graph —
+//! the paper's `O(m')` space argument (§4.4).
+
+use ctc_graph::{
+    query_connected, BfsScratch, CsrGraph, DynGraph, VertexId, INF,
+};
+use ctc_truss::TrussMaintainer;
+
+/// Victim-selection policy for one peeling iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeletePolicy {
+    /// Algorithm 1: the single vertex maximizing `dist(u, Q)` (smallest id
+    /// among ties, for determinism).
+    SingleFurthest,
+    /// Algorithm 4: every vertex with `dist(u, Q) ≥ d − 1` where `d` is the
+    /// smallest graph query distance observed so far. Guarantees ≥ k
+    /// deletions per round (Lemma 6).
+    BulkAtLeast,
+    /// LCTC variant (§5.2): among `L' = {u : dist(u, Q) ≥ d}`, delete only
+    /// the vertices with the largest total distance to the query set —
+    /// slower convergence, smaller final diameter.
+    LocalGreedy,
+}
+
+/// Outcome of a peeling run.
+#[derive(Clone, Debug)]
+pub struct PeelOutcome {
+    /// Vertices of the best snapshot (local ids of the peeled graph).
+    pub vertices: Vec<VertexId>,
+    /// Edges of the best snapshot as local vertex pairs.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// `dist_R(R, Q)` of the best snapshot.
+    pub query_distance: u32,
+    /// Iterations executed (snapshots examined).
+    pub iterations: usize,
+}
+
+/// Per-vertex query-distance profile: max and sum over the query set.
+fn query_profile(
+    live: &DynGraph<'_>,
+    q: &[VertexId],
+    scratch: &mut BfsScratch,
+    max_out: &mut [u32],
+    sum_out: &mut [u64],
+) {
+    max_out.iter_mut().for_each(|x| *x = 0);
+    sum_out.iter_mut().for_each(|x| *x = 0);
+    for &qv in q {
+        scratch.run(live, qv);
+        for v in 0..max_out.len() {
+            let d = scratch.dist(VertexId::from(v));
+            max_out[v] = max_out[v].max(d);
+            sum_out[v] = sum_out[v].saturating_add(d as u64);
+        }
+    }
+    for v in 0..max_out.len() {
+        if !live.is_vertex_alive(VertexId::from(v)) {
+            max_out[v] = INF;
+            sum_out[v] = u64::MAX;
+        }
+    }
+}
+
+/// Runs the peeling loop on `sub` (a connected k-truss containing the local
+/// query `q`) at trussness level `k`.
+pub fn peel(
+    sub: &CsrGraph,
+    q: &[VertexId],
+    k: u32,
+    policy: DeletePolicy,
+    max_iterations: Option<usize>,
+) -> PeelOutcome {
+    let n = sub.num_vertices();
+    let m = sub.num_edges();
+    let mut live = DynGraph::new(sub);
+    let mut maint = TrussMaintainer::new(&live, k);
+    let mut scratch = BfsScratch::new(n);
+    let mut dist_max = vec![0u32; n];
+    let mut dist_sum = vec![0u64; n];
+    // Removal stamps: iteration at which each vertex/edge died.
+    let mut vertex_removed_at = vec![u32::MAX; n];
+    let mut edge_removed_at = vec![u32::MAX; m];
+
+    let mut best_dist = INF;
+    let mut best_iter = 0u32;
+    let mut iter = 0u32;
+    let mut victims: Vec<VertexId> = Vec::new();
+
+    while query_connected(&live, q, &mut scratch) {
+        if let Some(cap) = max_iterations {
+            if iter as usize >= cap {
+                break;
+            }
+        }
+        query_profile(&live, q, &mut scratch, &mut dist_max, &mut dist_sum);
+        // Graph query distance of the current snapshot.
+        let d_graph = live
+            .alive_vertices()
+            .map(|v| dist_max[v.index()])
+            .max()
+            .unwrap_or(0);
+        if d_graph < best_dist {
+            best_dist = d_graph;
+            best_iter = iter;
+        }
+        if d_graph == 0 {
+            break; // community collapsed onto Q itself; nothing to peel
+        }
+        victims.clear();
+        match policy {
+            DeletePolicy::SingleFurthest => {
+                let u = live
+                    .alive_vertices()
+                    .max_by(|&a, &b| {
+                        dist_max[a.index()]
+                            .cmp(&dist_max[b.index()])
+                            .then(b.0.cmp(&a.0)) // ties → smaller id wins
+                    })
+                    .expect("connected query implies alive vertices");
+                victims.push(u);
+            }
+            DeletePolicy::BulkAtLeast => {
+                let threshold = best_dist.saturating_sub(1).max(1);
+                victims.extend(
+                    live.alive_vertices().filter(|&v| dist_max[v.index()] >= threshold),
+                );
+            }
+            DeletePolicy::LocalGreedy => {
+                let threshold = best_dist.max(1);
+                let far: Vec<VertexId> = live
+                    .alive_vertices()
+                    .filter(|&v| dist_max[v.index()] >= threshold)
+                    .collect();
+                // Among the far set keep only those with the largest total
+                // distance (INF/dead never appear here: they're alive).
+                let top = far.iter().map(|&v| dist_sum[v.index()]).max().unwrap_or(0);
+                victims.extend(far.into_iter().filter(|&v| dist_sum[v.index()] == top));
+            }
+        }
+        if victims.is_empty() {
+            break;
+        }
+        let report = maint.delete_vertices(&mut live, &victims);
+        for &v in &report.vertices {
+            vertex_removed_at[v.index()] = iter;
+        }
+        for &e in &report.edges {
+            edge_removed_at[e.index()] = iter;
+        }
+        iter += 1;
+    }
+
+    // Reconstruct the best snapshot: everything removed at or after
+    // `best_iter` (or never) was present when it was measured.
+    let vertices: Vec<VertexId> = (0..n)
+        .map(VertexId::from)
+        .filter(|&v| vertex_removed_at[v.index()] >= best_iter)
+        .collect();
+    let edges: Vec<(VertexId, VertexId)> = sub
+        .edges()
+        .filter(|&(e, _, _)| edge_removed_at[e.index()] >= best_iter)
+        .map(|(_, u, v)| (u, v))
+        .collect();
+    PeelOutcome { vertices, edges, query_distance: best_dist, iterations: iter as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_graph::{edge_subgraph, graph_from_edges};
+    use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+    use ctc_truss::{find_g0, TrussIndex};
+
+    /// Extracts Figure 1's G0 for Q={q1,q2,q3} as a standalone graph plus
+    /// local query ids.
+    fn figure1_g0() -> (ctc_graph::Subgraph, Vec<VertexId>) {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        let f = Figure1Ids::default();
+        let g0 = find_g0(&g, &idx, &[f.q1, f.q2, f.q3]).unwrap();
+        let sub = edge_subgraph(&g, &g0.edges);
+        let q = sub.locals(&[f.q1, f.q2, f.q3]).unwrap();
+        (sub, q)
+    }
+
+    #[test]
+    fn basic_policy_recovers_figure1b() {
+        // Example 4: Basic deletes p1, cascade removes p2/p3, and the best
+        // snapshot is Figure 1(b) with query distance 3.
+        let (sub, q) = figure1_g0();
+        let out = peel(&sub.graph, &q, 4, DeletePolicy::SingleFurthest, None);
+        assert_eq!(out.query_distance, 3);
+        assert_eq!(out.vertices.len(), 8);
+        assert_eq!(out.edges.len(), 17);
+    }
+
+    #[test]
+    fn bulk_policy_keeps_g0_on_figure1() {
+        // Example 7: BD's first round deletes L ∋ {q1, q3}, disconnecting
+        // Q, so the answer stays the whole G0 (11 vertices, distance 3...
+        // measured as dist(G0, Q) = 3).
+        let (sub, q) = figure1_g0();
+        let out = peel(&sub.graph, &q, 4, DeletePolicy::BulkAtLeast, None);
+        assert_eq!(out.vertices.len(), 11, "BD returns all of G0");
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn local_policy_not_worse_than_bulk() {
+        let (sub, q) = figure1_g0();
+        let bulk = peel(&sub.graph, &q, 4, DeletePolicy::BulkAtLeast, None);
+        let local = peel(&sub.graph, &q, 4, DeletePolicy::LocalGreedy, None);
+        assert!(local.query_distance <= bulk.query_distance);
+        assert!(local.vertices.len() <= bulk.vertices.len());
+    }
+
+    #[test]
+    fn single_query_on_k4_returns_k4() {
+        let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let out = peel(&g, &[VertexId(0)], 4, DeletePolicy::SingleFurthest, None);
+        assert_eq!(out.vertices.len(), 4);
+        assert_eq!(out.query_distance, 1);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let (sub, q) = figure1_g0();
+        let out = peel(&sub.graph, &q, 4, DeletePolicy::SingleFurthest, Some(0));
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.vertices.len(), 11, "cap 0 returns G0 untouched");
+    }
+
+    #[test]
+    fn outcome_is_always_a_connected_ktruss_containing_q() {
+        let (sub, q) = figure1_g0();
+        for policy in [
+            DeletePolicy::SingleFurthest,
+            DeletePolicy::BulkAtLeast,
+            DeletePolicy::LocalGreedy,
+        ] {
+            let out = peel(&sub.graph, &q, 4, policy, None);
+            // Rebuild and check.
+            let mut b = ctc_graph::GraphBuilder::new();
+            b.ensure_vertices(sub.graph.num_vertices());
+            for &(u, v) in &out.edges {
+                b.add_edge(u.0, v.0);
+            }
+            let rg = b.build();
+            let mut scratch = BfsScratch::new(rg.num_vertices());
+            assert!(query_connected(&rg, &q, &mut scratch), "{policy:?}: Q disconnected");
+            let sup = ctc_graph::edge_supports(&rg);
+            for (e, u, v) in rg.edges() {
+                if out.vertices.contains(&u) && out.vertices.contains(&v) {
+                    assert!(sup[e.index()] + 2 >= 4, "{policy:?}: edge ({u},{v}) below 4-truss");
+                }
+            }
+        }
+    }
+}

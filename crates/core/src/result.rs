@@ -1,0 +1,229 @@
+//! Community result types returned by every search algorithm.
+
+use ctc_graph::{
+    diameter_exact, edge_density, induced_subgraph, BfsScratch, CsrGraph, Subgraph, VertexId,
+};
+use std::time::Duration;
+
+/// Per-phase wall-clock timings of a search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Time to locate `G0` (Algorithm 2) or build `Gt` (LCTC Steiner +
+    /// expansion + local decomposition).
+    pub locate: Duration,
+    /// Time spent in the peeling loop (distance computation + maintenance).
+    pub peel: Duration,
+    /// End-to-end time.
+    pub total: Duration,
+}
+
+/// A community returned by Basic / BulkDelete / LCTC / the Truss baseline.
+///
+/// Vertex ids refer to the *original* input graph.
+#[derive(Clone, Debug)]
+pub struct Community {
+    /// Trussness `k` of the community (matches `τ̄(Q)` for the exact
+    /// algorithms; LCTC may return less, see Fig. 13(b)).
+    pub k: u32,
+    /// Community vertices (original graph ids, ascending).
+    pub vertices: Vec<VertexId>,
+    /// Community edges as original-id vertex pairs (`u < v`).
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Query distance `dist_R(R, Q)` measured inside the community.
+    pub query_distance: u32,
+    /// Number of peeling iterations executed.
+    pub iterations: usize,
+    /// Size (vertices, edges) of the starting graph `G0` — the denominator
+    /// of the paper's "kept %" free-rider metric.
+    pub g0_size: (usize, usize),
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+impl Community {
+    /// Number of community vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of community edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edge density `2m / (n(n−1))` — the "(c) Density" series of the
+    /// experiment figures.
+    pub fn density(&self) -> f64 {
+        edge_density(self.vertices.len(), self.edges.len())
+    }
+
+    /// Fraction of `G0`'s vertices kept — the "(b) percentage" series; lower
+    /// means more free riders removed.
+    pub fn kept_fraction(&self) -> f64 {
+        if self.g0_size.0 == 0 {
+            return 1.0;
+        }
+        self.vertices.len() as f64 / self.g0_size.0 as f64
+    }
+
+    /// Materializes the community as a standalone graph.
+    ///
+    /// The community's own edge list is used (not the induced subgraph of
+    /// the parent: peeling may have removed edges whose endpoints survive).
+    pub fn subgraph(&self) -> Subgraph {
+        let mut from_parent: ctc_graph::FxHashMap<u32, u32> = Default::default();
+        let mut to_parent: Vec<u32> = Vec::with_capacity(self.vertices.len());
+        for &v in &self.vertices {
+            from_parent.insert(v.0, to_parent.len() as u32);
+            to_parent.push(v.0);
+        }
+        let mut b = ctc_graph::GraphBuilder::with_capacity(self.edges.len());
+        b.ensure_vertices(to_parent.len());
+        for &(u, v) in &self.edges {
+            b.add_edge(from_parent[&u.0], from_parent[&v.0]);
+        }
+        Subgraph { graph: b.build(), to_parent, from_parent }
+    }
+
+    /// Exact diameter of the community (all-pairs BFS over its subgraph).
+    pub fn diameter(&self) -> u32 {
+        diameter_exact(&self.subgraph().graph)
+    }
+
+    /// `true` if every query vertex is a member.
+    pub fn contains_query(&self, q: &[VertexId]) -> bool {
+        q.iter().all(|v| self.vertices.binary_search(v).is_ok())
+    }
+
+    /// Validates the structural contract: connected, contains `Q`, and every
+    /// edge has support ≥ `k − 2` inside the community. Returns a
+    /// description of the first violation.
+    pub fn validate(&self, q: &[VertexId]) -> Result<(), String> {
+        if !self.contains_query(q) {
+            return Err("community does not contain all query vertices".into());
+        }
+        let sub = self.subgraph();
+        if !ctc_graph::is_connected(&sub.graph) {
+            return Err("community is not connected".into());
+        }
+        let sup = ctc_graph::edge_supports(&sub.graph);
+        if let Some((e, _, _)) = sub.graph.edges().find(|&(e, _, _)| sup[e.index()] + 2 < self.k)
+        {
+            return Err(format!("edge {e} violates the {}-truss condition", self.k));
+        }
+        Ok(())
+    }
+
+    /// Recomputes the query distance of the community from scratch
+    /// (diagnostic; `query_distance` is filled by the algorithms).
+    pub fn recompute_query_distance(&self, q: &[VertexId]) -> u32 {
+        let sub = self.subgraph();
+        let ql: Vec<VertexId> = q.iter().filter_map(|&v| sub.local(v)).collect();
+        let mut scratch = BfsScratch::new(sub.num_vertices());
+        ctc_graph::graph_query_distance(&sub.graph, &ql, &mut scratch)
+    }
+}
+
+/// Builds a [`Community`] from a parent graph and a set of parent-vertex
+/// ids, taking the full induced subgraph (used by baselines and the Truss
+/// baseline where the community is induced by construction).
+pub fn community_from_induced(
+    g: &CsrGraph,
+    k: u32,
+    vertices: Vec<VertexId>,
+    q: &[VertexId],
+    g0_size: (usize, usize),
+    iterations: usize,
+    timings: PhaseTimings,
+) -> Community {
+    let mut vertices = vertices;
+    vertices.sort_unstable();
+    vertices.dedup();
+    let sub = induced_subgraph(g, &vertices);
+    let edges = sub
+        .graph
+        .edges()
+        .map(|(_, u, v)| {
+            let (pu, pv) = (sub.parent(u), sub.parent(v));
+            if pu < pv {
+                (pu, pv)
+            } else {
+                (pv, pu)
+            }
+        })
+        .collect();
+    let ql: Vec<VertexId> = q.iter().filter_map(|&v| sub.local(v)).collect();
+    let mut scratch = BfsScratch::new(sub.num_vertices());
+    let qd = ctc_graph::graph_query_distance(&sub.graph, &ql, &mut scratch);
+    Community { k, vertices, edges, query_distance: qd, iterations, g0_size, timings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_graph::graph_from_edges;
+
+    fn k4_community() -> Community {
+        let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        community_from_induced(
+            &g,
+            4,
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)],
+            &[VertexId(0)],
+            (4, 6),
+            0,
+            PhaseTimings::default(),
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = k4_community();
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_edges(), 6);
+        assert!((c.density() - 1.0).abs() < 1e-12);
+        assert_eq!(c.kept_fraction(), 1.0);
+        assert_eq!(c.diameter(), 1);
+        assert!(c.contains_query(&[VertexId(0)]));
+        assert!(!c.contains_query(&[VertexId(9)]));
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let c = k4_community();
+        assert!(c.validate(&[VertexId(0)]).is_ok());
+        let mut broken = c.clone();
+        broken.k = 5;
+        assert!(broken.validate(&[VertexId(0)]).is_err());
+        let mut missing = c;
+        missing.vertices.retain(|&v| v != VertexId(0));
+        assert!(missing.validate(&[VertexId(0)]).is_err());
+    }
+
+    #[test]
+    fn query_distance_recomputation() {
+        let c = k4_community();
+        assert_eq!(c.recompute_query_distance(&[VertexId(0)]), 1);
+        assert_eq!(c.query_distance, 1);
+    }
+
+    #[test]
+    fn subgraph_uses_own_edges_not_induced() {
+        // Community that lost edge (0,1) during peeling: subgraph must not
+        // resurrect it.
+        let c = Community {
+            k: 2,
+            vertices: vec![VertexId(0), VertexId(1), VertexId(2)],
+            edges: vec![(VertexId(0), VertexId(2)), (VertexId(1), VertexId(2))],
+            query_distance: 2,
+            iterations: 1,
+            g0_size: (3, 3),
+            timings: PhaseTimings::default(),
+        };
+        let sub = c.subgraph();
+        assert_eq!(sub.num_edges(), 2);
+        let l0 = sub.local(VertexId(0)).unwrap();
+        let l1 = sub.local(VertexId(1)).unwrap();
+        assert!(!sub.graph.has_edge(l0, l1));
+    }
+}

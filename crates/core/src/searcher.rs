@@ -1,0 +1,381 @@
+//! The high-level search API: one struct, four algorithms.
+//!
+//! [`CtcSearcher`] owns the truss index of a graph and exposes the paper's
+//! algorithm suite: `basic` (Alg. 1, 2-approximation), `bulk_delete`
+//! (Alg. 4, (2+ε)-approximation), `local` (Alg. 5, the LCTC heuristic) and
+//! `truss_only` (the "Truss" baseline = bare `FindG0`).
+
+use crate::config::CtcConfig;
+use crate::local::expand_tree;
+use crate::peel::{peel, DeletePolicy, PeelOutcome};
+use crate::result::{Community, PhaseTimings};
+use crate::steiner::steiner_tree;
+use ctc_graph::error::{GraphError, Result};
+use ctc_graph::{BfsScratch, CsrGraph, Subgraph, VertexId};
+use ctc_truss::{find_g0, find_ktruss_containing, TrussIndex, G0};
+use std::time::Instant;
+
+/// Closest-truss-community searcher over a fixed graph.
+pub struct CtcSearcher<'g> {
+    g: &'g CsrGraph,
+    idx: TrussIndex,
+}
+
+impl<'g> CtcSearcher<'g> {
+    /// Builds the truss index for `g` and wraps it (index construction is
+    /// the offline cost reported in Table 3).
+    pub fn new(g: &'g CsrGraph) -> Self {
+        CtcSearcher { g, idx: TrussIndex::build(g) }
+    }
+
+    /// Adopts a prebuilt index (must belong to `g`).
+    pub fn with_index(g: &'g CsrGraph, idx: TrussIndex) -> Self {
+        assert_eq!(idx.num_edges(), g.num_edges(), "index does not match graph");
+        CtcSearcher { g, idx }
+    }
+
+    /// The underlying truss index.
+    pub fn index(&self) -> &TrussIndex {
+        &self.idx
+    }
+
+    /// The graph being searched.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.g
+    }
+
+    /// Normalizes a query: dedup, validity checks.
+    fn normalize_query(&self, q: &[VertexId]) -> Result<Vec<VertexId>> {
+        if q.is_empty() {
+            return Err(GraphError::EmptyQuery);
+        }
+        let n = self.g.num_vertices();
+        let mut q: Vec<VertexId> = q.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        for &v in &q {
+            if v.index() >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v.0, n });
+            }
+        }
+        Ok(q)
+    }
+
+    /// Locates the starting community `G0` (max-k or fixed-k).
+    fn locate_g0(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<G0> {
+        match cfg.fixed_k {
+            None => find_g0(self.g, &self.idx, q),
+            Some(kf) => {
+                // Largest feasible level not exceeding the requested k.
+                for k in (2..=kf).rev() {
+                    if let Some(g0) = find_ktruss_containing(self.g, &self.idx, q, k) {
+                        if !g0.edges.is_empty() {
+                            return Ok(g0);
+                        }
+                    }
+                }
+                Err(GraphError::Disconnected)
+            }
+        }
+    }
+
+    /// Shared Basic/BulkDelete driver.
+    fn global_search(
+        &self,
+        q: &[VertexId],
+        cfg: &CtcConfig,
+        policy: DeletePolicy,
+    ) -> Result<Community> {
+        let t0 = Instant::now();
+        let q = self.normalize_query(q)?;
+        let g0 = self.locate_g0(&q, cfg)?;
+        let sub = ctc_graph::edge_subgraph(self.g, &g0.edges);
+        let q_local = sub
+            .locals(&q)
+            .ok_or(GraphError::Disconnected)?;
+        let t_locate = t0.elapsed();
+        let t1 = Instant::now();
+        let out = peel(&sub.graph, &q_local, g0.k, policy, cfg.max_iterations);
+        let t_peel = t1.elapsed();
+        Ok(assemble(&sub, g0.k, out, (g0.vertices.len(), g0.edges.len()), PhaseTimings {
+            locate: t_locate,
+            peel: t_peel,
+            total: t0.elapsed(),
+        }))
+    }
+
+    /// Algorithm 1 (**Basic**): greedy single-vertex peeling.
+    /// 2-approximation on the optimal diameter (Theorem 3).
+    pub fn basic(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<Community> {
+        self.global_search(q, cfg, DeletePolicy::SingleFurthest)
+    }
+
+    /// Algorithm 4 (**BulkDelete / BD**): batch peeling, `O(n'/k)` rounds,
+    /// `(2+ε)`-approximation (Theorem 6).
+    pub fn bulk_delete(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<Community> {
+        self.global_search(q, cfg, DeletePolicy::BulkAtLeast)
+    }
+
+    /// The **Truss** baseline: `FindG0` with no diameter minimization.
+    pub fn truss_only(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<Community> {
+        let t0 = Instant::now();
+        let q = self.normalize_query(q)?;
+        let g0 = self.locate_g0(&q, cfg)?;
+        let sub = ctc_graph::edge_subgraph(self.g, &g0.edges);
+        let q_local = sub.locals(&q).ok_or(GraphError::Disconnected)?;
+        let mut scratch = BfsScratch::new(sub.num_vertices());
+        let qd = ctc_graph::graph_query_distance(&sub.graph, &q_local, &mut scratch);
+        let vertices = g0.vertices.clone();
+        let edges = g0
+            .edges
+            .iter()
+            .map(|&e| {
+                let (u, v) = self.g.edge_endpoints(e);
+                (u, v)
+            })
+            .collect();
+        Ok(Community {
+            k: g0.k,
+            vertices,
+            edges,
+            query_distance: qd,
+            iterations: 0,
+            g0_size: (g0.vertices.len(), g0.edges.len()),
+            timings: PhaseTimings { locate: t0.elapsed(), peel: Default::default(), total: t0.elapsed() },
+        })
+    }
+
+    /// Algorithm 5 (**LCTC**): Steiner-seeded local exploration + local
+    /// truss extraction + bulk peeling. Heuristic; the fast default.
+    pub fn local(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<Community> {
+        let t0 = Instant::now();
+        let q = self.normalize_query(q)?;
+        // Step 1: truss-distance Steiner tree.
+        let tree = steiner_tree(self.g, &self.idx, &q, cfg.gamma, cfg.steiner_mode)
+            .ok_or(GraphError::Disconnected)?;
+        // Step 2: expand to Gt (≤ η vertices).
+        let gt = expand_tree(self.g, &self.idx, &tree, cfg.eta);
+        let q_gt = gt.locals(&q).ok_or(GraphError::Disconnected)?;
+        // Step 3: local truss decomposition + maximal connected k-truss.
+        let idx_t = TrussIndex::build(&gt.graph);
+        let ht = match cfg.fixed_k {
+            None => find_g0(&gt.graph, &idx_t, &q_gt)?,
+            Some(kf) => {
+                let mut found = None;
+                for k in (2..=kf).rev() {
+                    if let Some(h) = find_ktruss_containing(&gt.graph, &idx_t, &q_gt, k) {
+                        if !h.edges.is_empty() {
+                            found = Some(h);
+                            break;
+                        }
+                    }
+                }
+                found.ok_or(GraphError::Disconnected)?
+            }
+        };
+        let ht_sub = ctc_graph::edge_subgraph(&gt.graph, &ht.edges);
+        let q_ht = ht_sub.locals(&q_gt).ok_or(GraphError::Disconnected)?;
+        let t_locate = t0.elapsed();
+        // Step 4: the L' bulk-deletion variant.
+        let t1 = Instant::now();
+        let out = peel(&ht_sub.graph, &q_ht, ht.k, DeletePolicy::LocalGreedy, cfg.max_iterations);
+        let t_peel = t1.elapsed();
+        // Map ht-local → gt-local → parent.
+        let mut community = assemble(
+            &ht_sub,
+            ht.k,
+            out,
+            (ht.vertices.len(), ht.edges.len()),
+            PhaseTimings { locate: t_locate, peel: t_peel, total: t0.elapsed() },
+        );
+        for v in &mut community.vertices {
+            *v = gt.parent(*v);
+        }
+        community.vertices.sort_unstable();
+        for (u, v) in &mut community.edges {
+            *u = gt.parent(*u);
+            *v = gt.parent(*v);
+            if v < u {
+                std::mem::swap(u, v);
+            }
+        }
+        Ok(community)
+    }
+}
+
+/// Maps a [`PeelOutcome`] in `sub`-local ids back to parent ids.
+fn assemble(
+    sub: &Subgraph,
+    k: u32,
+    out: PeelOutcome,
+    g0_size: (usize, usize),
+    timings: PhaseTimings,
+) -> Community {
+    let mut vertices: Vec<VertexId> = out.vertices.iter().map(|&v| sub.parent(v)).collect();
+    vertices.sort_unstable();
+    let edges = out
+        .edges
+        .iter()
+        .map(|&(u, v)| {
+            let (pu, pv) = (sub.parent(u), sub.parent(v));
+            if pu < pv {
+                (pu, pv)
+            } else {
+                (pv, pu)
+            }
+        })
+        .collect();
+    Community {
+        k,
+        vertices,
+        edges,
+        query_distance: out.query_distance,
+        iterations: out.iterations,
+        g0_size,
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_truss::fixtures::{figure1_graph, figure4_graph, Figure1Ids, Figure4Ids};
+
+    fn searcher(g: &CsrGraph) -> CtcSearcher<'_> {
+        CtcSearcher::new(g)
+    }
+
+    #[test]
+    fn basic_on_figure1_finds_the_ctc() {
+        let g = figure1_graph();
+        let s = searcher(&g);
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q2, f.q3];
+        let c = s.basic(&q, &CtcConfig::default()).unwrap();
+        assert_eq!(c.k, 4);
+        assert_eq!(c.num_vertices(), 8, "Figure 1(b)");
+        assert_eq!(c.diameter(), 3, "optimal diameter (paper Example 4)");
+        c.validate(&q).unwrap();
+    }
+
+    #[test]
+    fn bulk_on_figure1_returns_g0() {
+        // Example 7: BD terminates immediately and reports all of G0
+        // (diameter 4 vs Basic's 3).
+        let g = figure1_graph();
+        let s = searcher(&g);
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q2, f.q3];
+        let c = s.bulk_delete(&q, &CtcConfig::default()).unwrap();
+        assert_eq!(c.k, 4);
+        assert_eq!(c.num_vertices(), 11);
+        assert_eq!(c.diameter(), 4);
+        c.validate(&q).unwrap();
+    }
+
+    #[test]
+    fn local_on_figure1_matches_basic_quality() {
+        let g = figure1_graph();
+        let s = searcher(&g);
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q2, f.q3];
+        let c = s.local(&q, &CtcConfig::default()).unwrap();
+        assert_eq!(c.k, 4);
+        c.validate(&q).unwrap();
+        assert!(c.diameter() <= 4);
+        assert!(c.num_vertices() <= 11);
+        // LCTC's L' policy should also drop the free riders here.
+        assert!(!c.vertices.contains(&f.p1), "p1 is a free rider");
+    }
+
+    #[test]
+    fn truss_baseline_reports_g0_untouched() {
+        let g = figure1_graph();
+        let s = searcher(&g);
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q2, f.q3];
+        let c = s.truss_only(&q, &CtcConfig::default()).unwrap();
+        assert_eq!(c.num_vertices(), 11);
+        assert_eq!(c.iterations, 0);
+        assert_eq!(c.query_distance, 4, "p1 is 4 hops from q1 inside G0");
+        c.validate(&q).unwrap();
+    }
+
+    #[test]
+    fn figure4_bridge_query_gets_k2() {
+        let g = figure4_graph();
+        let s = searcher(&g);
+        let f = Figure4Ids::default();
+        let q = [f.q1, f.q2];
+        for c in [
+            s.basic(&q, &CtcConfig::default()).unwrap(),
+            s.bulk_delete(&q, &CtcConfig::default()).unwrap(),
+            s.local(&q, &CtcConfig::default()).unwrap(),
+        ] {
+            assert_eq!(c.k, 2, "two K4s joined by a weak bridge");
+            c.validate(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn fixed_k_trades_trussness_for_diameter() {
+        // §7.1: at k = 2, the 5-cycle through t (diameter 2) becomes
+        // admissible for Q = {q1, q2, q3}.
+        let g = figure1_graph();
+        let s = searcher(&g);
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q2, f.q3];
+        let at_max = s.basic(&q, &CtcConfig::default()).unwrap();
+        let at_2 = s.basic(&q, &CtcConfig::new().fixed_k(2)).unwrap();
+        assert_eq!(at_max.k, 4);
+        assert_eq!(at_2.k, 2);
+        assert!(at_2.diameter() <= at_max.diameter());
+    }
+
+    #[test]
+    fn error_paths() {
+        let g = figure1_graph();
+        let s = searcher(&g);
+        assert_eq!(s.basic(&[], &CtcConfig::default()).unwrap_err(), GraphError::EmptyQuery);
+        assert!(matches!(
+            s.basic(&[VertexId(99)], &CtcConfig::default()).unwrap_err(),
+            GraphError::VertexOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_query_vertices_are_deduped() {
+        let g = figure1_graph();
+        let s = searcher(&g);
+        let f = Figure1Ids::default();
+        let c = s.basic(&[f.q1, f.q1, f.q2], &CtcConfig::default()).unwrap();
+        c.validate(&[f.q1, f.q2]).unwrap();
+    }
+
+    #[test]
+    fn singleton_query_all_algorithms() {
+        let g = figure1_graph();
+        let s = searcher(&g);
+        let f = Figure1Ids::default();
+        let q = [f.q3];
+        for c in [
+            s.basic(&q, &CtcConfig::default()).unwrap(),
+            s.bulk_delete(&q, &CtcConfig::default()).unwrap(),
+            s.local(&q, &CtcConfig::default()).unwrap(),
+        ] {
+            assert_eq!(c.k, 4);
+            c.validate(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn eta_one_still_returns_a_community() {
+        let g = figure1_graph();
+        let s = searcher(&g);
+        let f = Figure1Ids::default();
+        // With a tiny η the expansion is just the tree; LCTC degrades but
+        // must stay correct.
+        let c = s.local(&[f.q1, f.q2], &CtcConfig::new().eta(1)).unwrap();
+        c.validate(&[f.q1, f.q2]).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Community quality metrics against ground truth (Exp-3, Fig. 12).
+//!
+//! `F1(C, Ĉ) = 2·prec·recall / (prec + recall)` with
+//! `prec = |C ∩ Ĉ| / |C|`, `recall = |C ∩ Ĉ| / |Ĉ|` — exactly the paper's
+//! §6 definition.
+
+use ctc_graph::VertexId;
+
+/// Precision, recall and F1 of a detected community against ground truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct F1Score {
+    /// `|C ∩ Ĉ| / |C|`.
+    pub precision: f64,
+    /// `|C ∩ Ĉ| / |Ĉ|`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes [`F1Score`] for detected community `c` vs ground truth `truth`.
+///
+/// Both inputs are treated as sets; duplicates are ignored. Degenerate
+/// cases (either side empty) score zero.
+pub fn f1_score(c: &[VertexId], truth: &[VertexId]) -> F1Score {
+    let detected: std::collections::BTreeSet<u32> = c.iter().map(|v| v.0).collect();
+    let gt: std::collections::BTreeSet<u32> = truth.iter().map(|v| v.0).collect();
+    if detected.is_empty() || gt.is_empty() {
+        return F1Score { precision: 0.0, recall: 0.0, f1: 0.0 };
+    }
+    let inter = detected.intersection(&gt).count() as f64;
+    let precision = inter / detected.len() as f64;
+    let recall = inter / gt.len() as f64;
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    F1Score { precision, recall, f1 }
+}
+
+/// Aggregates a sample of values into (mean, standard deviation).
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let s = f1_score(&vs(&[1, 2, 3]), &vs(&[3, 2, 1]));
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn no_overlap() {
+        let s = f1_score(&vs(&[1, 2]), &vs(&[3, 4]));
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // C = {1,2,3,4}, Ĉ = {3,4,5,6}: prec = recall = 0.5 → F1 = 0.5.
+        let s = f1_score(&vs(&[1, 2, 3, 4]), &vs(&[3, 4, 5, 6]));
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        assert!((s.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_detection_hurts_precision_only() {
+        let s = f1_score(&vs(&[1, 2, 3, 4, 5, 6, 7, 8]), &vs(&[1, 2, 3, 4]));
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_sides_are_zero() {
+        assert_eq!(f1_score(&[], &vs(&[1])).f1, 0.0);
+        assert_eq!(f1_score(&vs(&[1]), &[]).f1, 0.0);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let s = f1_score(&vs(&[1, 1, 2]), &vs(&[1, 2, 2]));
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

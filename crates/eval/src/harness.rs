@@ -1,0 +1,199 @@
+//! Experiment harness: timed, budgeted, optionally parallel runs over query
+//! workloads.
+//!
+//! The paper reports averages over 100 (Exp-1) or 1000 (Exp-3) random query
+//! sets with a one-hour per-query timeout ("we treat the runtime of a query
+//! as infinite if its runtime exceeds 1 hour"). [`run_workload`] mirrors
+//! that: a wall-clock budget per *workload*, failures and timeouts recorded
+//! rather than panicking, and an optional thread pool (crossbeam scoped
+//! threads) since the queries are independent.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Result of running one algorithm over one query set.
+#[derive(Clone, Debug)]
+pub enum RunOutcome<T> {
+    /// Completed with a value in the given time.
+    Done(T, Duration),
+    /// Errored (e.g. disconnected query).
+    Failed(String),
+    /// Skipped: the workload's time budget was already exhausted.
+    OverBudget,
+}
+
+impl<T> RunOutcome<T> {
+    /// The wall time, if completed.
+    pub fn duration(&self) -> Option<Duration> {
+        match self {
+            RunOutcome::Done(_, d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The value, if completed.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            RunOutcome::Done(v, _) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate statistics over a workload run.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadStats {
+    /// Number of completed queries.
+    pub completed: usize,
+    /// Number of failed queries.
+    pub failed: usize,
+    /// Number skipped over budget.
+    pub skipped: usize,
+    /// Mean wall time of completed queries (seconds).
+    pub mean_seconds: f64,
+}
+
+/// Runs `f` over every query in `queries` sequentially, respecting a total
+/// wall-clock `budget` (queries after exhaustion are [`RunOutcome::OverBudget`]).
+pub fn run_workload<Q, T>(
+    queries: &[Q],
+    budget: Duration,
+    mut f: impl FnMut(&Q) -> Result<T, String>,
+) -> (Vec<RunOutcome<T>>, WorkloadStats) {
+    let start = Instant::now();
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        if start.elapsed() > budget {
+            out.push(RunOutcome::OverBudget);
+            continue;
+        }
+        let t0 = Instant::now();
+        match f(q) {
+            Ok(v) => out.push(RunOutcome::Done(v, t0.elapsed())),
+            Err(e) => out.push(RunOutcome::Failed(e)),
+        }
+    }
+    let stats = summarize(&out);
+    (out, stats)
+}
+
+/// Parallel variant: shards `queries` over `threads` crossbeam-scoped
+/// workers. `f` must be `Sync` (it only borrows shared read-only state).
+pub fn run_workload_parallel<Q: Sync, T: Send>(
+    queries: &[Q],
+    budget: Duration,
+    threads: usize,
+    f: impl Fn(&Q) -> Result<T, String> + Sync,
+) -> (Vec<RunOutcome<T>>, WorkloadStats) {
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let results: Mutex<Vec<(usize, RunOutcome<T>)>> =
+        Mutex::new(Vec::with_capacity(queries.len()));
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let outcome = if start.elapsed() > budget {
+                    RunOutcome::OverBudget
+                } else {
+                    let t0 = Instant::now();
+                    match f(&queries[i]) {
+                        Ok(v) => RunOutcome::Done(v, t0.elapsed()),
+                        Err(e) => RunOutcome::Failed(e),
+                    }
+                };
+                results.lock().push((i, outcome));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut indexed = results.into_inner();
+    indexed.sort_by_key(|(i, _)| *i);
+    let out: Vec<RunOutcome<T>> = indexed.into_iter().map(|(_, o)| o).collect();
+    let stats = summarize(&out);
+    (out, stats)
+}
+
+fn summarize<T>(outcomes: &[RunOutcome<T>]) -> WorkloadStats {
+    let mut stats = WorkloadStats::default();
+    let mut total = Duration::ZERO;
+    for o in outcomes {
+        match o {
+            RunOutcome::Done(_, d) => {
+                stats.completed += 1;
+                total += *d;
+            }
+            RunOutcome::Failed(_) => stats.failed += 1,
+            RunOutcome::OverBudget => stats.skipped += 1,
+        }
+    }
+    if stats.completed > 0 {
+        stats.mean_seconds = total.as_secs_f64() / stats.completed as f64;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_runs_everything_in_budget() {
+        let qs: Vec<u32> = (0..10).collect();
+        let (out, stats) =
+            run_workload(&qs, Duration::from_secs(60), |&q| Ok::<u32, String>(q * 2));
+        assert_eq!(stats.completed, 10);
+        assert_eq!(out[3].value(), Some(&6));
+    }
+
+    #[test]
+    fn failures_are_recorded_not_fatal() {
+        let qs: Vec<u32> = (0..4).collect();
+        let (out, stats) = run_workload(&qs, Duration::from_secs(60), |&q| {
+            if q % 2 == 0 {
+                Ok(q)
+            } else {
+                Err("odd".into())
+            }
+        });
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 2);
+        assert!(matches!(out[1], RunOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn zero_budget_skips() {
+        let qs: Vec<u32> = (0..5).collect();
+        let (_, stats) = run_workload(&qs, Duration::ZERO, |_| {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok::<(), String>(())
+        });
+        // First query may run (budget checked before each), rest skipped.
+        assert!(stats.skipped >= 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        let qs: Vec<u32> = (0..32).collect();
+        let (par, pstats) =
+            run_workload_parallel(&qs, Duration::from_secs(60), 4, |&q| Ok::<u32, String>(q + 1));
+        assert_eq!(pstats.completed, 32);
+        for (i, o) in par.iter().enumerate() {
+            assert_eq!(o.value(), Some(&(i as u32 + 1)), "order must be preserved");
+        }
+    }
+
+    #[test]
+    fn mean_seconds_positive_when_work_done() {
+        let qs = vec![(); 3];
+        let (_, stats) = run_workload(&qs, Duration::from_secs(60), |_| {
+            std::thread::sleep(Duration::from_millis(1));
+            Ok::<(), String>(())
+        });
+        assert!(stats.mean_seconds > 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # ctc-eval — evaluation harness
+//!
+//! Metrics (F1 vs ground truth, density, free-rider percentages), a timed
+//! workload runner with per-workload budgets (sequential and crossbeam-
+//! parallel), and paper-style table rendering used by every `exp_*` binary.
+
+#![warn(missing_docs)]
+
+pub mod f1;
+pub mod harness;
+pub mod plot;
+pub mod report;
+pub mod tables;
+
+pub use f1::{f1_score, mean_std, F1Score};
+pub use harness::{run_workload, run_workload_parallel, RunOutcome, WorkloadStats};
+pub use plot::BarChart;
+pub use report::{Record, Report};
+pub use tables::{fmt_f, fmt_mb, fmt_secs, Table};

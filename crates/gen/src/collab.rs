@@ -1,0 +1,190 @@
+//! Synthetic collaboration network for the Figure 11 case study.
+//!
+//! The paper queries four database researchers on DBLP and shows that the
+//! maximal 9-truss `G0` has 73 authors (diameter 4, density 0.18) while
+//! LCTC trims it to a 14-author community (diameter 2, density 0.89). This
+//! module builds a network with exactly that shape: a dense senior core that
+//! contains the query authors, a chain of progressively farther dense
+//! research groups that are 9-trusses in their own right (the "free
+//! riders"), and a periphery of sparse collaborations. Author labels are
+//! synthetic ("R01 Astra" etc.) — the data is generated, not scraped.
+
+use ctc_graph::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A collaboration network with human-readable author names.
+pub struct CollabNetwork {
+    /// The graph.
+    pub graph: CsrGraph,
+    /// `names[v]` = display name of author `v`.
+    pub names: Vec<String>,
+    /// The four query authors of the case study.
+    pub query_authors: Vec<VertexId>,
+    /// Vertices of the intended "true" community (the dense core).
+    pub core: Vec<VertexId>,
+}
+
+impl CollabNetwork {
+    /// Vertex id of a named author.
+    pub fn author(&self, name: &str) -> Option<VertexId> {
+        self.names.iter().position(|n| n == name).map(VertexId::from)
+    }
+}
+
+const FIRST: [&str; 20] = [
+    "Astra", "Basil", "Cleo", "Dorian", "Edda", "Felix", "Greta", "Hugo", "Iris", "Jules",
+    "Kara", "Lior", "Mira", "Nils", "Odile", "Pavel", "Quinn", "Rhea", "Sven", "Talia",
+];
+
+fn name_of(i: usize) -> String {
+    format!("{} R{:03}", FIRST[i % FIRST.len()], i)
+}
+
+/// Builds the case-study network.
+///
+/// Layout (all sizes chosen to mirror Figure 11's reported numbers):
+/// * `core`: 14 authors forming `K14` minus two vertex-disjoint 5-cycles —
+///   exactly 81 edges, density 0.89, trussness exactly 10 (each edge loses
+///   at most 4 of its 12 triangles);
+/// * a chain of eleven `K10` research groups, consecutive groups sharing
+///   5 authors; a `K10` is a 10-truss, so the entire chain + core is one
+///   connected 10-truss — the free riders `FindG0` drags in (the paper's
+///   `G0` has 73 authors; ours has 69);
+/// * a sparse periphery of collaborations (trussness ≤ 3) excluded from
+///   any 10-truss.
+pub fn case_study_network(seed: u64) -> CollabNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let mut names = Vec::new();
+    let alloc = |names: &mut Vec<String>, count: usize| -> Vec<u32> {
+        let start = names.len();
+        for i in 0..count {
+            names.push(name_of(start + i));
+        }
+        (start as u32..(start + count) as u32).collect()
+    };
+
+    // Core: K14 minus the 5-cycles (0,1,2,3,4) and (5,6,7,8,9). Removed
+    // pairs never touch vertices 10..14, which seed the group chain.
+    let core = alloc(&mut names, 14);
+    let removed: Vec<(u32, u32)> = vec![
+        (0, 1), (1, 2), (2, 3), (3, 4), (0, 4),
+        (5, 6), (6, 7), (7, 8), (8, 9), (5, 9),
+    ];
+    for (i, &u) in core.iter().enumerate() {
+        for &v in &core[i + 1..] {
+            let pair = (u.min(v), u.max(v));
+            if !removed.contains(&pair) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    // Query authors: four core members.
+    let query_authors = vec![
+        VertexId(core[0]),
+        VertexId(core[1]),
+        VertexId(core[2]),
+        VertexId(core[3]),
+    ];
+
+    // Chain of eleven K10 groups, each sharing 5 authors with its
+    // predecessor. A K10 is a 10-truss, so the chain stays in G0.
+    let mut prev_tail: Vec<u32> = core[9..14].to_vec();
+    for _ in 0..11 {
+        let fresh = alloc(&mut names, 5);
+        let block: Vec<u32> = prev_tail.iter().copied().chain(fresh.iter().copied()).collect();
+        for (i, &u) in block.iter().enumerate() {
+            for &v in &block[i + 1..] {
+                b.add_edge(u, v);
+            }
+        }
+        prev_tail = fresh;
+    }
+
+    // Sparse periphery: 80 authors, each collaborating with 1–3 others
+    // (paths and small stars — trussness ≤ 3, excluded from any 10-truss).
+    let periphery = alloc(&mut names, 80);
+    for (i, &u) in periphery.iter().enumerate() {
+        let deg = rng.gen_range(1..=3);
+        for _ in 0..deg {
+            let t = if rng.gen::<f64>() < 0.5 && i > 0 {
+                periphery[rng.gen_range(0..i)]
+            } else {
+                // Attach to a random non-core author to avoid inflating the
+                // core's trussness.
+                let hub = names.len() as u32 - periphery.len() as u32;
+                rng.gen_range(14..hub)
+            };
+            if t != u {
+                b.add_edge(u, t);
+            }
+        }
+    }
+
+    let graph = crate::util::stitch_connected(b.build(), &mut rng);
+    CollabNetwork {
+        graph,
+        names,
+        query_authors,
+        core: core.into_iter().map(VertexId).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_shape() {
+        let net = case_study_network(7);
+        assert_eq!(net.core.len(), 14);
+        assert_eq!(net.query_authors.len(), 4);
+        assert_eq!(net.graph.num_vertices(), 14 + 11 * 5 + 80);
+        assert!(ctc_graph::is_connected(&net.graph));
+    }
+
+    #[test]
+    fn core_is_exactly_81_edges() {
+        // K14 minus two 5-cycles: 91 − 10 = 81 edges (the paper's Fig. 11
+        // community size).
+        let net = case_study_network(7);
+        let sub = ctc_graph::induced_subgraph(&net.graph, &net.core);
+        assert_eq!(sub.num_edges(), 81);
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let net = case_study_network(7);
+        let mut sorted = net.names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), net.names.len());
+        let v = net.author(&net.names[3]).unwrap();
+        assert_eq!(v, VertexId(3));
+        assert!(net.author("Nobody Zzz").is_none());
+    }
+
+    #[test]
+    fn core_is_dense() {
+        let net = case_study_network(7);
+        let sub = ctc_graph::induced_subgraph(&net.graph, &net.core);
+        let density = ctc_graph::edge_density(sub.num_vertices(), sub.num_edges());
+        assert!(density > 0.8, "core density {density}");
+        assert_eq!(ctc_graph::diameter_exact(&sub.graph), 2.min(ctc_graph::diameter_exact(&sub.graph)));
+    }
+
+    #[test]
+    fn periphery_has_low_trussness() {
+        let net = case_study_network(7);
+        // Vertices 14+48 .. are periphery; check a sample has degree ≤ 6.
+        let start = net.graph.num_vertices() - 80;
+        let mut low = 0;
+        for v in start..net.graph.num_vertices() {
+            if net.graph.degree(VertexId::from(v)) <= 6 {
+                low += 1;
+            }
+        }
+        assert!(low > 60, "periphery unexpectedly dense: {low}/80 low-degree");
+    }
+}

@@ -1,0 +1,257 @@
+//! LFR-style benchmark graphs: power-law degrees, power-law community
+//! sizes, tunable mixing.
+//!
+//! A pragmatic re-implementation of the Lancichinetti–Fortunato–Radicchi
+//! benchmark shape: every vertex draws a target degree from a truncated
+//! power law and spends a `1 − μ` fraction of it inside its community
+//! (configuration-model stub matching, rejecting self-loops/duplicates) and
+//! the rest on a global stub pool. Community sizes follow their own power
+//! law. Gives the heavy-tailed degree + planted-community structure the
+//! paper's SNAP datasets exhibit.
+
+use crate::planted::GroundTruthGraph;
+use ctc_graph::{GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`lfr_like`].
+#[derive(Clone, Debug)]
+pub struct LfrConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Mean target degree.
+    pub avg_degree: f64,
+    /// Maximum degree (power-law truncation).
+    pub max_degree: usize,
+    /// Degree power-law exponent (typical 2.5).
+    pub degree_exponent: f64,
+    /// Minimum community size.
+    pub min_community: usize,
+    /// Maximum community size.
+    pub max_community: usize,
+    /// Community-size power-law exponent (typical 1.5).
+    pub community_exponent: f64,
+    /// Mixing parameter μ: fraction of each vertex's edges leaving its
+    /// community (0 = perfectly separated).
+    pub mu: f64,
+    /// Maximum clique-event size for intra-community wiring (larger →
+    /// higher trussness cores; DBLP-like networks have large "papers").
+    pub max_event: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LfrConfig {
+    fn default() -> Self {
+        LfrConfig {
+            n: 1000,
+            avg_degree: 10.0,
+            max_degree: 50,
+            degree_exponent: 2.5,
+            min_community: 20,
+            max_community: 100,
+            community_exponent: 1.5,
+            mu: 0.2,
+            max_event: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// Draws from a truncated power law on `[lo, hi]` with exponent `gamma` via
+/// inverse transform sampling.
+fn power_law(rng: &mut StdRng, lo: f64, hi: f64, gamma: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    if (gamma - 1.0).abs() < 1e-9 {
+        // 1/x density.
+        (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+    } else {
+        let a = 1.0 - gamma;
+        (lo.powf(a) + u * (hi.powf(a) - lo.powf(a))).powf(1.0 / a)
+    }
+}
+
+/// Generates an LFR-style graph with ground-truth communities.
+pub fn lfr_like(cfg: &LfrConfig) -> GroundTruthGraph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n;
+    // 1. target degrees (power law, scaled to hit avg_degree roughly).
+    let mut degrees: Vec<usize> = (0..n)
+        .map(|_| power_law(&mut rng, 2.0, cfg.max_degree as f64, cfg.degree_exponent) as usize)
+        .collect();
+    let mean: f64 = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let scale = cfg.avg_degree / mean.max(1.0);
+    for d in &mut degrees {
+        *d = ((*d as f64 * scale).round() as usize).clamp(2, cfg.max_degree);
+    }
+    // 2. community sizes (power law) until all vertices are covered.
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut covered = 0usize;
+    while covered < n {
+        let s = power_law(
+            &mut rng,
+            cfg.min_community as f64,
+            cfg.max_community as f64,
+            cfg.community_exponent,
+        ) as usize;
+        let s = s.clamp(cfg.min_community, cfg.max_community).min(n - covered);
+        // Avoid a dangling undersized final community.
+        let s = if n - covered - s < cfg.min_community { n - covered } else { s };
+        sizes.push(s);
+        covered += s;
+    }
+    // 3. assign vertices to communities contiguously (ids are anonymous).
+    let mut membership = vec![u32::MAX; n];
+    let mut communities: Vec<Vec<VertexId>> = Vec::with_capacity(sizes.len());
+    let mut next = 0u32;
+    for (ci, &s) in sizes.iter().enumerate() {
+        let mut comm = Vec::with_capacity(s);
+        for _ in 0..s {
+            membership[next as usize] = ci as u32;
+            comm.push(VertexId(next));
+            next += 1;
+        }
+        communities.push(comm);
+    }
+    // 4. internal wiring per community via *clique events*, external stubs
+    // globally. Pair stub-matching produces triangle-poor communities whose
+    // trussness barely exceeds the background's; real collaboration and
+    // co-purchase communities are cliquish (a paper/basket cliques its
+    // members). Each event cliques 3–5 members sampled ∝ internal degree
+    // budget; an event of size s adds s−1 neighbors per member, so the stub
+    // pool is scaled down by the mean (s−1) ≈ 3 to hit the degree targets.
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(n);
+    let mut external_stubs: Vec<u32> = Vec::new();
+    for comm in &communities {
+        let max_event = (comm.len() * 4 / 5).clamp(3, cfg.max_event.max(3));
+        // Expected event size for the truncated s^-2 law on [3, max_event]:
+        // E[s] = ln(b/a) / (1/a − 1/b); each member of an event gains
+        // E[s] − 1 neighbors per stub, so divide the stub budget by it.
+        let (a, bb) = (3.0f64, max_event as f64);
+        let mean_s = if bb <= a + 0.5 { a } else { (bb / a).ln() / (1.0 / a - 1.0 / bb) };
+        let divisor = (mean_s - 1.0).max(1.0);
+        let mut stubs: Vec<u32> = Vec::new();
+        for &v in comm {
+            let d = degrees[v.index()];
+            let internal =
+                (((1.0 - cfg.mu) * d as f64).round() as usize).min(comm.len() - 1);
+            for _ in 0..((internal as f64 / divisor).ceil() as usize) {
+                stubs.push(v.0);
+            }
+            for _ in internal..d {
+                external_stubs.push(v.0);
+            }
+        }
+        shuffle(&mut rng, &mut stubs);
+        let mut i = 0usize;
+        while i < stubs.len() {
+            // Power-law event sizes: mostly 3–5 member cliques, occasional
+            // large "many-author paper" events that create high-truss cores.
+            let s = (power_law(&mut rng, 3.0, max_event as f64, 2.0) as usize)
+                .clamp(3, max_event)
+                .min(stubs.len() - i);
+            let mut members: Vec<u32> = stubs[i..i + s].to_vec();
+            members.sort_unstable();
+            members.dedup();
+            for (a, &u) in members.iter().enumerate() {
+                for &v in &members[a + 1..] {
+                    b.add_edge(u, v);
+                }
+            }
+            i += s;
+        }
+    }
+    shuffle(&mut rng, &mut external_stubs);
+    for pair in external_stubs.chunks_exact(2) {
+        b.add_edge(pair[0], pair[1]);
+    }
+    // 5. connectivity stitch: attach every community to the first one, then
+    // absorb any leftover stray components (stub matching can drop edges).
+    for comm in communities.iter().skip(1) {
+        let u = comm[rng.gen_range(0..comm.len())];
+        let t = communities[0][rng.gen_range(0..communities[0].len())];
+        b.add_edge(u.0, t.0);
+    }
+    let graph = crate::util::stitch_connected(b.build(), &mut rng);
+    GroundTruthGraph { graph, communities, membership }
+}
+
+fn shuffle(rng: &mut StdRng, xs: &mut [u32]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = lfr_like(&LfrConfig { n: 500, ..Default::default() });
+        assert_eq!(g.graph.num_vertices(), 500);
+        assert!(g.membership.iter().all(|&m| m != u32::MAX));
+        let total: usize = g.communities.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn community_sizes_respect_bounds() {
+        let cfg = LfrConfig { n: 2000, min_community: 15, max_community: 60, ..Default::default() };
+        let g = lfr_like(&cfg);
+        for c in &g.communities {
+            assert!(c.len() >= cfg.min_community, "undersized community {}", c.len());
+            // The final merge step can exceed max by < min_community.
+            assert!(c.len() <= cfg.max_community + cfg.min_community);
+        }
+    }
+
+    #[test]
+    fn low_mu_keeps_edges_internal() {
+        let g = lfr_like(&LfrConfig { n: 800, mu: 0.1, seed: 5, ..Default::default() });
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (_, u, v) in g.graph.edges() {
+            if g.membership[u.index()] == g.membership[v.index()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        let frac = inter as f64 / (intra + inter) as f64;
+        assert!(frac < 0.3, "external fraction {frac}");
+    }
+
+    #[test]
+    fn high_mu_mixes_more_than_low_mu() {
+        let lo = lfr_like(&LfrConfig { n: 800, mu: 0.05, seed: 6, ..Default::default() });
+        let hi = lfr_like(&LfrConfig { n: 800, mu: 0.5, seed: 6, ..Default::default() });
+        let external_frac = |g: &GroundTruthGraph| {
+            let mut inter = 0usize;
+            for (_, u, v) in g.graph.edges() {
+                if g.membership[u.index()] != g.membership[v.index()] {
+                    inter += 1;
+                }
+            }
+            inter as f64 / g.graph.num_edges() as f64
+        };
+        assert!(external_frac(&hi) > external_frac(&lo));
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = lfr_like(&LfrConfig { n: 2000, avg_degree: 8.0, max_degree: 80, ..Default::default() });
+        let avg = 2.0 * g.graph.num_edges() as f64 / 2000.0;
+        assert!(g.graph.max_degree() as f64 > 2.5 * avg);
+        assert!(avg > 3.0, "avg degree collapsed: {avg}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = lfr_like(&LfrConfig { n: 300, seed: 123, ..Default::default() });
+        let b = lfr_like(&LfrConfig { n: 300, seed: 123, ..Default::default() });
+        assert_eq!(a.graph, b.graph);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ctc-gen — synthetic networks and query workloads
+//!
+//! Stand-ins for the paper's datasets and query generators: classic random
+//! graphs, planted-partition and LFR-style benchmarks with ground-truth
+//! communities, six preset networks mirroring Table 2, the paper's three
+//! query knobs (`|Q|`, degree rank, inter-distance), and the Figure 11
+//! collaboration case study.
+//!
+//! ```
+//! use ctc_gen::planted::planted_equal;
+//! use ctc_gen::queries::{DegreeRank, QueryGenerator};
+//!
+//! let gt = planted_equal(6, 25, 0.6, 1.0, 42);
+//! let mut qg = QueryGenerator::new(&gt.graph, 7);
+//! let q = qg.sample(3, DegreeRank::top(0.8), 2).unwrap();
+//! assert_eq!(q.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collab;
+pub mod lfr;
+pub mod networks;
+pub mod planted;
+pub mod queries;
+pub mod random;
+pub mod util;
+
+pub use collab::{case_study_network, CollabNetwork};
+pub use lfr::{lfr_like, LfrConfig};
+pub use networks::{all_networks, ground_truth_networks, mini_network, network_by_name, Network};
+pub use planted::{planted_equal, planted_partition, GroundTruthGraph, PlantedConfig};
+pub use queries::{DegreeRank, QueryGenerator};
+pub use random::{barabasi_albert, erdos_renyi_nm, erdos_renyi_np, watts_strogatz};

@@ -1,0 +1,258 @@
+//! Query-workload generation — the paper's three experiment knobs (§6):
+//! query size `|Q|`, degree rank `Qd`, and inter-distance `l`, plus
+//! ground-truth-community sampling for the F1 experiments.
+
+use crate::planted::GroundTruthGraph;
+use ctc_graph::{vertices_by_degree_desc, BfsScratch, CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Degree-rank window: sample query vertices whose position in the
+/// descending-degree order falls within `[lo, hi)` as fractions of `n`.
+///
+/// The paper's "degree rank X%" buckets are `DegreeRank::bucket(i)` for
+/// `i ∈ 0..5` (top 0–20%, 20–40%, …, 80–100%).
+#[derive(Clone, Copy, Debug)]
+pub struct DegreeRank {
+    /// Lower fraction (inclusive).
+    pub lo: f64,
+    /// Upper fraction (exclusive).
+    pub hi: f64,
+}
+
+impl DegreeRank {
+    /// The full range (no degree constraint).
+    pub fn any() -> Self {
+        DegreeRank { lo: 0.0, hi: 1.0 }
+    }
+
+    /// The `i`-th of five equal buckets (`i ∈ 0..5`).
+    pub fn bucket(i: usize) -> Self {
+        let i = i.min(4) as f64;
+        DegreeRank { lo: i * 0.2, hi: (i + 1.0) * 0.2 }
+    }
+
+    /// Top-`x` fraction (e.g. `top(0.8)` = the paper's default `Qd = 80%`).
+    pub fn top(x: f64) -> Self {
+        DegreeRank { lo: 0.0, hi: x.clamp(0.0, 1.0) }
+    }
+}
+
+/// Reusable query-set sampler over a fixed graph.
+pub struct QueryGenerator<'g> {
+    g: &'g CsrGraph,
+    rng: StdRng,
+    by_degree: Vec<VertexId>,
+    scratch: BfsScratch,
+}
+
+impl<'g> QueryGenerator<'g> {
+    /// Creates a sampler with its own deterministic RNG stream.
+    pub fn new(g: &'g CsrGraph, seed: u64) -> Self {
+        QueryGenerator {
+            g,
+            rng: StdRng::seed_from_u64(seed),
+            by_degree: vertices_by_degree_desc(g),
+            scratch: BfsScratch::new(g.num_vertices()),
+        }
+    }
+
+    fn sample_in_rank(&mut self, rank: DegreeRank) -> Option<VertexId> {
+        let n = self.by_degree.len();
+        if n == 0 {
+            return None;
+        }
+        let lo = ((rank.lo * n as f64) as usize).min(n - 1);
+        let hi = ((rank.hi * n as f64) as usize).clamp(lo + 1, n);
+        let v = self.by_degree[self.rng.gen_range(lo..hi)];
+        (self.g.degree(v) > 0).then_some(v)
+    }
+
+    /// Samples a query set of `size` vertices from the given degree-rank
+    /// window with pairwise distance ≤ `inter_distance`.
+    ///
+    /// Returns `None` if no qualifying set is found within the attempt
+    /// budget (e.g. tiny graphs or over-constrained parameters).
+    pub fn sample(
+        &mut self,
+        size: usize,
+        rank: DegreeRank,
+        inter_distance: u32,
+    ) -> Option<Vec<VertexId>> {
+        if size == 0 {
+            return None;
+        }
+        'attempt: for _ in 0..64 {
+            let seed = self.sample_in_rank(rank)?;
+            if size == 1 {
+                return Some(vec![seed]);
+            }
+            // Candidates within `inter_distance` of the seed, preferring the
+            // far rim so the knob actually spreads the query set.
+            self.scratch.run_bounded(self.g, seed, inter_distance);
+            let mut cand: Vec<(u32, VertexId)> = self
+                .scratch
+                .reached()
+                .filter(|&v| v != seed)
+                .map(|v| (self.scratch.dist(v), v))
+                .collect();
+            if cand.len() + 1 < size {
+                continue 'attempt;
+            }
+            // Shuffle, then stable-sort descending by distance: random
+            // within a distance class, far candidates first.
+            for i in (1..cand.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                cand.swap(i, j);
+            }
+            cand.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+            let mut chosen = vec![seed];
+            for &(_, c) in &cand {
+                if chosen.len() == size {
+                    break;
+                }
+                // Enforce pairwise ≤ inter_distance against chosen members.
+                self.scratch.run_bounded(self.g, c, inter_distance);
+                let mut ok = true;
+                for &x in &chosen {
+                    if self.scratch.dist(x) == ctc_graph::INF {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    chosen.push(c);
+                }
+            }
+            if chosen.len() == size {
+                return Some(chosen);
+            }
+        }
+        None
+    }
+
+    /// Samples a query of `size` members of one ground-truth community
+    /// (uniform among communities that are large enough). Returns the query
+    /// and the community index — the Exp-3 / Fig. 12 workload.
+    pub fn sample_from_ground_truth(
+        &mut self,
+        gt: &GroundTruthGraph,
+        size: usize,
+    ) -> Option<(Vec<VertexId>, usize)> {
+        let eligible: Vec<usize> = gt
+            .communities
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.len() >= size.max(3))
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() || size == 0 {
+            return None;
+        }
+        for _ in 0..32 {
+            let ci = eligible[self.rng.gen_range(0..eligible.len())];
+            let comm = &gt.communities[ci];
+            let mut picks: Vec<VertexId> = Vec::with_capacity(size);
+            let mut guard = 0;
+            while picks.len() < size && guard < 50 * size {
+                let v = comm[self.rng.gen_range(0..comm.len())];
+                if self.g.degree(v) > 0 && !picks.contains(&v) {
+                    picks.push(v);
+                }
+                guard += 1;
+            }
+            if picks.len() == size {
+                return Some((picks, ci));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planted::planted_equal;
+    use ctc_graph::bfs_distances;
+
+    #[test]
+    fn degree_rank_buckets_cover_unit_interval() {
+        for i in 0..5 {
+            let b = DegreeRank::bucket(i);
+            assert!((b.hi - b.lo - 0.2).abs() < 1e-12);
+        }
+        assert_eq!(DegreeRank::bucket(0).lo, 0.0);
+        assert_eq!(DegreeRank::bucket(4).hi, 1.0);
+    }
+
+    #[test]
+    fn sampled_queries_respect_inter_distance() {
+        let gt = planted_equal(10, 30, 0.5, 1.0, 21);
+        let mut qg = QueryGenerator::new(&gt.graph, 7);
+        for _ in 0..20 {
+            let q = qg.sample(3, DegreeRank::any(), 2).expect("sampling failed");
+            assert_eq!(q.len(), 3);
+            for &a in &q {
+                let d = bfs_distances(&gt.graph, a);
+                for &b in &q {
+                    assert!(d[b.index()] <= 2, "pair ({a},{b}) at distance {}", d[b.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_rank_bucket_yields_high_degree() {
+        let gt = planted_equal(8, 40, 0.5, 1.0, 3);
+        let mut qg = QueryGenerator::new(&gt.graph, 11);
+        let order = vertices_by_degree_desc(&gt.graph);
+        let top_floor = gt.graph.degree(order[order.len() / 5]);
+        for _ in 0..10 {
+            let q = qg.sample(1, DegreeRank::bucket(0), 2).unwrap();
+            assert!(
+                gt.graph.degree(q[0]) >= top_floor,
+                "degree {} below top-bucket floor {top_floor}",
+                gt.graph.degree(q[0])
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_sampling_stays_in_one_community() {
+        let gt = planted_equal(6, 25, 0.7, 0.5, 9);
+        let mut qg = QueryGenerator::new(&gt.graph, 13);
+        for _ in 0..10 {
+            let (q, ci) = qg.sample_from_ground_truth(&gt, 4).unwrap();
+            assert_eq!(q.len(), 4);
+            for &v in &q {
+                assert_eq!(gt.membership[v.index()] as usize, ci);
+            }
+            // distinct members
+            let mut s = q.clone();
+            s.sort();
+            s.dedup();
+            assert_eq!(s.len(), 4);
+        }
+    }
+
+    #[test]
+    fn oversized_requests_return_none() {
+        let gt = planted_equal(2, 4, 1.0, 0.0, 5);
+        let mut qg = QueryGenerator::new(&gt.graph, 1);
+        assert!(qg.sample_from_ground_truth(&gt, 50).is_none());
+        assert!(qg.sample(0, DegreeRank::any(), 2).is_none());
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let gt = planted_equal(5, 20, 0.6, 1.0, 2);
+        let mut a = QueryGenerator::new(&gt.graph, 99);
+        let mut b = QueryGenerator::new(&gt.graph, 99);
+        for _ in 0..5 {
+            assert_eq!(
+                a.sample(2, DegreeRank::any(), 3),
+                b.sample(2, DegreeRank::any(), 3)
+            );
+        }
+    }
+}

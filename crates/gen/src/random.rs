@@ -1,0 +1,245 @@
+//! Classic random-graph generators: Erdős–Rényi, Barabási–Albert,
+//! Watts–Strogatz.
+//!
+//! All generators are deterministic given a seed, so experiments are
+//! reproducible run-to-run.
+
+use ctc_graph::{CsrGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct uniform random edges.
+pub fn erdos_renyi_nm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_edges = n * n.saturating_sub(1) / 2;
+    let m = m.min(max_edges);
+    let mut seen = ctc_graph::fx::fx_set_with_capacity::<(u32, u32)>(m * 2);
+    let mut b = GraphBuilder::with_capacity(m);
+    b.ensure_vertices(n);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` via geometric skip sampling, `O(n + m)` expected.
+pub fn erdos_renyi_np(n: usize, p: f64, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(n);
+    if p <= 0.0 || n < 2 {
+        return b.build();
+    }
+    let p = p.min(1.0);
+    let log1m = (1.0 - p).ln();
+    // Walk the upper-triangular pair space with geometric jumps.
+    let (mut u, mut v) = (1usize, 0usize.wrapping_sub(1)); // v starts "before 0"
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = if p >= 1.0 { 1 } else { 1 + (r.ln() / log1m) as usize };
+        let mut vv = v.wrapping_add(skip);
+        while u < n && vv >= u {
+            vv -= u;
+            u += 1;
+        }
+        if u >= n {
+            break;
+        }
+        v = vv;
+        b.add_edge(u as u32, v as u32);
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: start from a small clique,
+/// attach each new vertex to `m_per_node` existing vertices chosen
+/// proportionally to degree (repeat-endpoint sampling).
+pub fn barabasi_albert(n: usize, m_per_node: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m0 = (m_per_node + 1).min(n);
+    let mut b = GraphBuilder::with_capacity(n * m_per_node);
+    b.ensure_vertices(n);
+    // Endpoint multiset: sampling uniformly from it = degree-proportional.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_per_node);
+    for u in 0..m0 as u32 {
+        for v in (u + 1)..m0 as u32 {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in m0..n {
+        let mut targets = ctc_graph::fx::fx_set_with_capacity::<u32>(m_per_node);
+        let mut guard = 0;
+        while targets.len() < m_per_node && guard < 100 * m_per_node {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v as u32 {
+                targets.insert(t);
+            }
+            guard += 1;
+        }
+        for &t in &targets {
+            b.add_edge(v as u32, t);
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
+/// each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n * k);
+    b.ensure_vertices(n);
+    if n < 3 {
+        return b.build();
+    }
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform random non-self target.
+                let mut w = rng.gen_range(0..n);
+                let mut guard = 0;
+                while w == u && guard < 16 {
+                    w = rng.gen_range(0..n);
+                    guard += 1;
+                }
+                if w != u {
+                    b.add_edge(u as u32, w as u32);
+                }
+            } else {
+                b.add_edge(u as u32, v as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_nm_exact_edge_count() {
+        let g = erdos_renyi_nm(100, 300, 7);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn er_nm_caps_at_complete_graph() {
+        let g = erdos_renyi_nm(5, 1000, 7);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn er_np_density_close_to_p() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi_np(n, p, 11);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "expected ~{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn er_np_extremes() {
+        assert_eq!(erdos_renyi_np(50, 0.0, 3).num_edges(), 0);
+        assert_eq!(erdos_renyi_np(10, 1.0, 3).num_edges(), 45);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = erdos_renyi_nm(50, 100, 42);
+        let b = erdos_renyi_nm(50, 100, 42);
+        assert_eq!(a, b);
+        let c = barabasi_albert(80, 3, 9);
+        let d = barabasi_albert(80, 3, 9);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn ba_has_hubs() {
+        let g = barabasi_albert(500, 3, 1);
+        assert!(g.num_edges() >= 3 * (500 - 4));
+        // Preferential attachment should produce a hub well above average.
+        let avg = 2.0 * g.num_edges() as f64 / 500.0;
+        assert!(g.max_degree() as f64 > 3.0 * avg, "max {} avg {avg}", g.max_degree());
+    }
+
+    #[test]
+    fn ws_ring_without_rewiring() {
+        let g = watts_strogatz(20, 2, 0.0, 5);
+        assert_eq!(g.num_edges(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn ws_rewiring_keeps_edge_budget_close() {
+        let g = watts_strogatz(200, 3, 0.3, 5);
+        // Rewiring can only lose edges to dedup collisions.
+        assert!(g.num_edges() <= 600);
+        assert!(g.num_edges() > 500);
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+
+    #[test]
+    fn tiny_inputs_do_not_panic() {
+        assert_eq!(erdos_renyi_nm(0, 10, 1).num_vertices(), 0);
+        assert_eq!(erdos_renyi_nm(1, 10, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi_np(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(erdos_renyi_np(1, 0.5, 1).num_edges(), 0);
+        assert_eq!(barabasi_albert(1, 3, 1).num_edges(), 0);
+        assert_eq!(watts_strogatz(2, 1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn ba_small_n_close_to_clique_seed() {
+        // n == m_per_node + 1: just the seed clique.
+        let g = barabasi_albert(4, 3, 9);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn ws_full_rewiring_stays_simple() {
+        let g = watts_strogatz(50, 2, 1.0, 13);
+        // All edges rewired; dedup may shrink but the graph stays simple.
+        assert!(g.num_edges() <= 100);
+        for v in g.vertices() {
+            let row = g.neighbors(v);
+            assert!(row.windows(2).all(|w| w[0] < w[1]));
+            assert!(!row.contains(&v.0));
+        }
+    }
+
+    #[test]
+    fn er_np_no_duplicate_edges() {
+        let g = erdos_renyi_np(80, 0.2, 17);
+        let mut seen = std::collections::HashSet::new();
+        for (_, u, v) in g.edges() {
+            assert!(seen.insert((u.0, v.0)), "duplicate edge ({u},{v})");
+            assert!(u < v);
+        }
+    }
+}

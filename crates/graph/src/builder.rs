@@ -1,0 +1,140 @@
+//! Incremental construction of [`CsrGraph`]s.
+//!
+//! The builder accepts an arbitrary multiset of undirected edges, drops
+//! self-loops and duplicates, and produces a compact CSR image. All paper
+//! algorithms assume a simple undirected graph (§2), so normalization lives
+//! here, once.
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+
+/// Builder for [`CsrGraph`].
+///
+/// ```
+/// use ctc_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(1, 2); // duplicate, dropped
+/// b.add_edge(2, 2); // self-loop, dropped
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Default, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32)>,
+    max_vertex: Option<u32>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-reserved space for `edges` edges.
+    pub fn with_capacity(edges: usize) -> Self {
+        GraphBuilder { edges: Vec::with_capacity(edges), max_vertex: None }
+    }
+
+    /// Adds an undirected edge `{u, v}` by raw ids. Self-loops are ignored.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+        let hi = b.max(self.max_vertex.unwrap_or(0));
+        self.max_vertex = Some(hi);
+    }
+
+    /// Adds every edge from an iterator of raw id pairs.
+    pub fn extend_edges<I: IntoIterator<Item = (u32, u32)>>(&mut self, it: I) {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Ensures the graph has at least `n` vertices even if some are isolated.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let hi = (n - 1) as u32;
+        self.max_vertex = Some(self.max_vertex.map_or(hi, |m| m.max(hi)));
+    }
+
+    /// Number of (not yet deduplicated) edge records added so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the builder into an immutable [`CsrGraph`].
+    ///
+    /// Duplicate edges are removed; vertex count is `max id + 1` (or the
+    /// value forced by [`ensure_vertices`](Self::ensure_vertices)).
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.max_vertex.map_or(0, |m| m as usize + 1);
+        CsrGraph::from_sorted_dedup_edges(n, self.edges)
+    }
+}
+
+/// Builds a graph directly from a slice of raw edge pairs.
+///
+/// Convenience for tests and fixtures.
+pub fn graph_from_edges(edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(edges.len());
+    b.extend_edges(edges.iter().copied());
+    b.build()
+}
+
+/// Builds a graph from edges given as [`VertexId`] pairs.
+pub fn graph_from_vertex_pairs(edges: &[(VertexId, VertexId)]) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(edges.len());
+    b.extend_edges(edges.iter().map(|&(u, v)| (u.0, v.0)));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_drops_self_loops() {
+        let g = graph_from_edges(&[(0, 1), (1, 0), (0, 1), (3, 3), (2, 3)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.edge_between(VertexId(0), VertexId(1)).is_some());
+        assert!(g.edge_between(VertexId(2), VertexId(3)).is_some());
+        assert!(g.edge_between(VertexId(3), VertexId(3)).is_none());
+    }
+
+    #[test]
+    fn ensure_vertices_creates_isolated() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertices(5);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(VertexId(4)), 0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn raw_edge_count_tracks_inserts() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(2, 2);
+        assert_eq!(b.raw_edge_count(), 2); // self-loop dropped at insert
+    }
+}

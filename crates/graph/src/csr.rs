@@ -1,0 +1,276 @@
+//! Immutable compressed-sparse-row (CSR) representation of an undirected
+//! simple graph.
+//!
+//! Layout: per-vertex neighbor rows, each sorted by neighbor id, with a
+//! parallel array mapping every directed arc to its undirected [`EdgeId`].
+//! Edge endpoints are stored once, canonically ordered (`u < v`). This gives
+//! `O(log d)` edge lookup without hashing, cache-friendly sequential
+//! neighborhood scans, and dense per-edge side arrays for the truss engine.
+
+use crate::ids::{EdgeId, VertexId};
+
+/// An immutable undirected simple graph in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` is vertex `v`'s slice in `neighbors`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbor rows (2m entries).
+    neighbors: Vec<u32>,
+    /// `arc_edge[i]` is the undirected edge id of the arc `neighbors[i]`.
+    arc_edge: Vec<u32>,
+    /// Canonical endpoints (`u < v`) indexed by [`EdgeId`].
+    edges: Vec<(u32, u32)>,
+}
+
+impl CsrGraph {
+    /// Builds from an already sorted, deduplicated, canonicalized edge list
+    /// (`u < v`, ascending). Use [`GraphBuilder`](crate::GraphBuilder) for
+    /// arbitrary input.
+    pub(crate) fn from_sorted_dedup_edges(n: usize, edges: Vec<(u32, u32)>) -> Self {
+        let m = edges.len();
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0u32; 2 * m];
+        let mut arc_edge = vec![0u32; 2 * m];
+        for (eid, &(u, v)) in edges.iter().enumerate() {
+            let cu = cursor[u as usize] as usize;
+            neighbors[cu] = v;
+            arc_edge[cu] = eid as u32;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            neighbors[cv] = u;
+            arc_edge[cv] = eid as u32;
+            cursor[v as usize] += 1;
+        }
+        // Rows are sorted already for the `u` side (edges ascending by (u,v)),
+        // but the `v` side interleaves; sort each row by neighbor id, carrying
+        // the arc_edge entries along.
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            if hi - lo > 1 {
+                let mut row: Vec<(u32, u32)> = neighbors[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(arc_edge[lo..hi].iter().copied())
+                    .collect();
+                row.sort_unstable();
+                for (i, (nb, ae)) in row.into_iter().enumerate() {
+                    neighbors[lo + i] = nb;
+                    arc_edge[lo + i] = ae;
+                }
+            }
+        }
+        CsrGraph { offsets, neighbors, arc_edge, edges }
+    }
+
+    /// Number of vertices `n`.
+    #[inline(always)]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline(always)]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `v`.
+    #[inline(always)]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(VertexId::from(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over all vertex ids.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices()).map(VertexId::from)
+    }
+
+    /// Sorted neighbor row of `v` as raw ids.
+    #[inline(always)]
+    pub fn neighbors(&self, v: VertexId) -> &[u32] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Edge ids parallel to [`neighbors`](Self::neighbors).
+    #[inline(always)]
+    pub fn neighbor_edge_ids(&self, v: VertexId) -> &[u32] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.arc_edge[lo..hi]
+    }
+
+    /// Iterator of `(neighbor, edge id)` pairs for `v`.
+    #[inline]
+    pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .zip(self.neighbor_edge_ids(v).iter())
+            .map(|(&nb, &e)| (VertexId(nb), EdgeId(e)))
+    }
+
+    /// Canonical endpoints (`u < v`) of edge `e`.
+    #[inline(always)]
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let (u, v) = self.edges[e.index()];
+        (VertexId(u), VertexId(v))
+    }
+
+    /// Iterator over all edges as `(EdgeId, u, v)` with `u < v`.
+    #[inline]
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId::from(i), VertexId(u), VertexId(v)))
+    }
+
+    /// Looks up the edge `{u, v}`, if present, via binary search in the
+    /// smaller endpoint's row.
+    pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u == v || u.index() >= self.num_vertices() || v.index() >= self.num_vertices() {
+            return None;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let row = self.neighbors(a);
+        let pos = row.binary_search(&b.0).ok()?;
+        Some(EdgeId(self.neighbor_edge_ids(a)[pos]))
+    }
+
+    /// `true` if `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Approximate in-memory footprint in bytes (CSR arrays only).
+    ///
+    /// Used by the Table 3 experiment to report "graph size" the way the
+    /// paper does (megabytes of the in-memory structure).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.neighbors.len() * 4
+            + self.arc_edge.len() * 4
+            + self.edges.len() * 8
+    }
+
+    /// Returns the given endpoint's opposite on edge `e`.
+    ///
+    /// Panics in debug builds if `x` is not an endpoint of `e`.
+    #[inline(always)]
+    pub fn other_endpoint(&self, e: EdgeId, x: VertexId) -> VertexId {
+        let (u, v) = self.edges[e.index()];
+        debug_assert!(x.0 == u || x.0 == v, "vertex {x} not an endpoint of edge {e}");
+        if x.0 == u {
+            VertexId(v)
+        } else {
+            VertexId(u)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn triangle() -> CsrGraph {
+        graph_from_edges(&[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbor_rows_are_sorted() {
+        let g = graph_from_edges(&[(0, 5), (0, 2), (0, 9), (0, 1)]);
+        assert_eq!(g.neighbors(VertexId(0)), &[1, 2, 5, 9]);
+        for v in g.vertices() {
+            let row = g.neighbors(v);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row of {v} not sorted");
+        }
+    }
+
+    #[test]
+    fn arc_edge_ids_match_endpoints() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        for v in g.vertices() {
+            for (nb, e) in g.incident(v) {
+                let (a, b) = g.edge_endpoints(e);
+                assert!(
+                    (a == v && b == nb) || (a == nb && b == v),
+                    "arc ({v},{nb}) mapped to edge {e} with endpoints ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_between_both_directions() {
+        let g = triangle();
+        let e1 = g.edge_between(VertexId(0), VertexId(2));
+        let e2 = g.edge_between(VertexId(2), VertexId(0));
+        assert!(e1.is_some());
+        assert_eq!(e1, e2);
+        assert!(g.edge_between(VertexId(0), VertexId(0)).is_none());
+    }
+
+    #[test]
+    fn edge_between_out_of_range_is_none() {
+        let g = triangle();
+        assert_eq!(g.edge_between(VertexId(0), VertexId(99)), None);
+        assert_eq!(g.edge_between(VertexId(99), VertexId(0)), None);
+    }
+
+    #[test]
+    fn other_endpoint_flips() {
+        let g = triangle();
+        let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        assert_eq!(g.other_endpoint(e, VertexId(0)), VertexId(1));
+        assert_eq!(g.other_endpoint(e, VertexId(1)), VertexId(0));
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = graph_from_edges(&[(3, 1), (2, 0)]);
+        for (_, u, v) in g.edges() {
+            assert!(u < v);
+        }
+        assert_eq!(g.edges().count(), 2);
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_m() {
+        let small = triangle();
+        let big = graph_from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)]);
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+}

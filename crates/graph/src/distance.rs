@@ -1,0 +1,173 @@
+//! Distances, eccentricities, diameters and query distances (Defs. 3–4).
+//!
+//! Candidate communities are small, so their diameters are computed exactly
+//! by all-pairs BFS. Whole-network diameters (only reported in summaries)
+//! use the standard double-sweep lower bound.
+
+use crate::ids::VertexId;
+use crate::traversal::{Adjacency, BfsScratch, INF};
+
+/// Eccentricity of `v`: the longest shortest path out of `v` ([`INF`] if the
+/// active component of `v` is not the whole active vertex set — callers who
+/// care about reachability should check separately).
+pub fn eccentricity<A: Adjacency>(adj: &A, v: VertexId, scratch: &mut BfsScratch) -> u32 {
+    let (_, far) = scratch.run(adj, v);
+    far
+}
+
+/// Exact diameter of the active part of `adj` by all-pairs BFS.
+///
+/// Returns [`INF`] when the active vertices are disconnected, 0 for empty or
+/// single-vertex graphs. Cost `O(n·m)` — intended for extracted communities.
+pub fn diameter_exact<A: Adjacency>(adj: &A) -> u32 {
+    let n = adj.vertex_count();
+    let active: Vec<VertexId> =
+        (0..n).map(VertexId::from).filter(|&v| adj.is_active(v)).collect();
+    if active.len() <= 1 {
+        return 0;
+    }
+    let mut scratch = BfsScratch::new(n);
+    let mut diam = 0u32;
+    for &v in &active {
+        let (_, far) = scratch.run(adj, v);
+        if scratch.reached_count() != active.len() {
+            return INF;
+        }
+        diam = diam.max(far);
+    }
+    diam
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `start`, then BFS from
+/// the farthest vertex found. Cheap (`2` BFS) and usually tight on social
+/// networks. Returns 0 for empty graphs.
+pub fn diameter_double_sweep<A: Adjacency>(adj: &A, start: VertexId) -> u32 {
+    let n = adj.vertex_count();
+    if n == 0 || !adj.is_active(start) {
+        return 0;
+    }
+    let mut scratch = BfsScratch::new(n);
+    let (far, _) = scratch.run(adj, start);
+    let (_, d) = scratch.run(adj, far);
+    d
+}
+
+/// Vertex query distance for every vertex: `dist(v, Q) = max_{q∈Q} dist(v, q)`
+/// (Def. 3). Runs `|Q|` BFS passes. Vertices unreachable from any query
+/// vertex get [`INF`].
+pub fn query_distances<A: Adjacency>(
+    adj: &A,
+    q: &[VertexId],
+    scratch: &mut BfsScratch,
+) -> Vec<u32> {
+    let n = adj.vertex_count();
+    let mut out = vec![0u32; n];
+    if q.is_empty() {
+        return out;
+    }
+    for &qv in q {
+        scratch.run(adj, qv);
+        for (v, d) in out.iter_mut().enumerate() {
+            let dv = scratch.dist(VertexId::from(v));
+            *d = (*d).max(dv);
+        }
+    }
+    // Inactive vertices should read as unreachable.
+    for (v, d) in out.iter_mut().enumerate() {
+        if !adj.is_active(VertexId::from(v)) {
+            *d = INF;
+        }
+    }
+    out
+}
+
+/// Graph query distance `dist(G, Q) = max_{active v} dist(v, Q)` (Def. 3).
+///
+/// [`INF`] if some active vertex cannot reach some query vertex.
+pub fn graph_query_distance<A: Adjacency>(
+    adj: &A,
+    q: &[VertexId],
+    scratch: &mut BfsScratch,
+) -> u32 {
+    let dists = query_distances(adj, q, scratch);
+    (0..adj.vertex_count())
+        .filter(|&v| adj.is_active(VertexId::from(v)))
+        .map(|v| dists[v])
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::dynamic::DynGraph;
+
+    #[test]
+    fn path_diameter() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(diameter_exact(&g), 3);
+        assert_eq!(diameter_double_sweep(&g, VertexId(1)), 3);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(diameter_exact(&g), 2); // C5: diameter 2 (paper Ex. 2)
+    }
+
+    #[test]
+    fn disconnected_diameter_is_inf() {
+        let g = graph_from_edges(&[(0, 1), (2, 3)]);
+        assert_eq!(diameter_exact(&g), INF);
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut s = BfsScratch::new(5);
+        assert_eq!(eccentricity(&g, VertexId(2), &mut s), 2);
+        assert_eq!(eccentricity(&g, VertexId(0), &mut s), 4);
+    }
+
+    #[test]
+    fn query_distance_matches_paper_example() {
+        // Path 0-1-2-3-4 with Q = {0, 4}: dist(2, Q) = 2, dist(0, Q) = 4.
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut s = BfsScratch::new(5);
+        let d = query_distances(&g, &[VertexId(0), VertexId(4)], &mut s);
+        assert_eq!(d, vec![4, 3, 2, 3, 4]);
+        assert_eq!(graph_query_distance(&g, &[VertexId(0), VertexId(4)], &mut s), 4);
+    }
+
+    #[test]
+    fn query_distance_respects_deletions() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut d = DynGraph::new(&g);
+        d.remove_vertex(VertexId(3));
+        let mut s = BfsScratch::new(4);
+        let qd = query_distances(&d, &[VertexId(0)], &mut s);
+        assert_eq!(qd[1], 1);
+        assert_eq!(qd[3], INF, "deleted vertex must read as unreachable");
+        assert_eq!(graph_query_distance(&d, &[VertexId(0)], &mut s), 1);
+    }
+
+    #[test]
+    fn empty_query_is_zero() {
+        let g = graph_from_edges(&[(0, 1)]);
+        let mut s = BfsScratch::new(2);
+        assert_eq!(query_distances(&g, &[], &mut s), vec![0, 0]);
+    }
+
+    #[test]
+    fn lemma2_bounds_hold_on_sample() {
+        // Lemma 2: dist(G,Q) <= diam(G) <= 2 dist(G,Q).
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let mut s = BfsScratch::new(5);
+        let q = [VertexId(0), VertexId(2)];
+        let qd = graph_query_distance(&g, &q, &mut s);
+        let diam = diameter_exact(&g);
+        assert!(qd <= diam);
+        assert!(diam <= 2 * qd);
+    }
+}

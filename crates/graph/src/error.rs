@@ -1,0 +1,80 @@
+//! Error type shared across the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while building, loading or querying graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id referenced a vertex outside the graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// An operation required a connected graph but the input was not.
+    Disconnected,
+    /// The query set was empty where at least one query vertex is required.
+    EmptyQuery,
+    /// A parse error while reading an edge-list file.
+    Parse {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An I/O failure, carried as a string so the error stays `Clone + Eq`.
+    Io(String),
+    /// A malformed binary graph image.
+    Corrupt(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex id {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::EmptyQuery => write!(f, "query vertex set is empty"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "io error: {msg}"),
+            GraphError::Corrupt(msg) => write!(f, "corrupt graph image: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3"));
+        assert!(GraphError::Disconnected.to_string().contains("connected"));
+        let p = GraphError::Parse { line: 4, message: "bad token".into() };
+        assert!(p.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Strongly-typed vertex and edge identifiers.
+//!
+//! Both are thin `u32` newtypes: the paper's largest network (Orkut) has
+//! 3.1M vertices and 117M edges, comfortably inside `u32`, and halving the
+//! index width keeps the CSR arrays cache-resident (see the perf-guide notes
+//! on smaller integers).
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`CsrGraph`](crate::CsrGraph).
+///
+/// Vertex ids are dense: a graph with `n` vertices uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an undirected edge in a [`CsrGraph`](crate::CsrGraph).
+///
+/// Edge ids are dense: a graph with `m` edges uses ids `0..m`. Both arcs
+/// `(u,v)` and `(v,u)` of an undirected edge share one `EdgeId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// The id as a `usize`, for indexing per-vertex arrays.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize`, for indexing per-edge arrays.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline(always)]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    #[inline(always)]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        VertexId(v as u32)
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline(always)]
+    fn from(e: u32) -> Self {
+        EdgeId(e)
+    }
+}
+
+impl From<usize> for EdgeId {
+    #[inline(always)]
+    fn from(e: usize) -> Self {
+        debug_assert!(e <= u32::MAX as usize);
+        EdgeId(e as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from(42u32);
+        assert_eq!(v.index(), 42);
+        assert_eq!(VertexId::from(42usize), v);
+        assert_eq!(format!("{v:?}"), "v42");
+        assert_eq!(format!("{v}"), "42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from(7u32);
+        assert_eq!(e.index(), 7);
+        assert_eq!(EdgeId::from(7usize), e);
+        assert_eq!(format!("{e:?}"), "e7");
+        assert_eq!(format!("{e}"), "7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(0) < EdgeId(9));
+    }
+}

@@ -1,0 +1,211 @@
+//! Graph serialization: SNAP-style edge lists and a compact binary image.
+//!
+//! The paper's datasets ship as whitespace-separated edge lists with `#`
+//! comments (SNAP format); [`read_edge_list`] accepts exactly that. The
+//! binary image is a little-endian `u32` dump framed with a magic header,
+//! assembled through the `bytes` crate.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::fx::FxHashMap;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Magic bytes prefixing the binary graph image.
+pub const MAGIC: &[u8; 4] = b"CTCG";
+/// Binary image format version.
+pub const VERSION: u32 = 1;
+
+/// Reads a SNAP-style edge list: one `u v` pair per line, `#` comments and
+/// blank lines ignored. Vertex labels may be arbitrary non-negative
+/// integers; they are compacted to dense ids in first-seen order. Returns
+/// the graph and the dense-id → original-label table.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<(CsrGraph, Vec<u64>)> {
+    let reader = BufReader::new(reader);
+    let mut relabel: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut labels: Vec<u64> = Vec::new();
+    let mut builder = GraphBuilder::new();
+    let intern = |raw: u64, labels: &mut Vec<u64>, relabel: &mut FxHashMap<u64, u32>| -> u32 {
+        *relabel.entry(raw).or_insert_with(|| {
+            labels.push(raw);
+            (labels.len() - 1) as u32
+        })
+    };
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two vertex ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("not a vertex id: {tok:?}"),
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        let lu = intern(u, &mut labels, &mut relabel);
+        let lv = intern(v, &mut labels, &mut relabel);
+        builder.add_edge(lu, lv);
+    }
+    builder.ensure_vertices(labels.len());
+    Ok((builder.build(), labels))
+}
+
+/// Writes `g` as an edge list (`u v` per line, dense ids).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> Result<()> {
+    writeln!(w, "# ctc graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (_, u, v) in g.edges() {
+        writeln!(w, "{} {}", u.0, v.0)?;
+    }
+    Ok(())
+}
+
+/// Serializes `g` into the compact binary image.
+pub fn to_bytes(g: &CsrGraph) -> Bytes {
+    let m = g.num_edges();
+    let mut buf = BytesMut::with_capacity(16 + 8 * m);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(g.num_vertices() as u32);
+    buf.put_u32_le(m as u32);
+    for (_, u, v) in g.edges() {
+        buf.put_u32_le(u.0);
+        buf.put_u32_le(v.0);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from the binary image produced by [`to_bytes`].
+pub fn from_bytes(mut data: &[u8]) -> Result<CsrGraph> {
+    if data.len() < 16 {
+        return Err(GraphError::Corrupt("image shorter than header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(GraphError::Corrupt(format!("unsupported version {version}")));
+    }
+    let n = data.get_u32_le() as usize;
+    let m = data.get_u32_le() as usize;
+    if data.remaining() < 8 * m {
+        return Err(GraphError::Corrupt(format!(
+            "truncated edge section: want {} bytes, have {}",
+            8 * m,
+            data.remaining()
+        )));
+    }
+    let mut builder = GraphBuilder::with_capacity(m);
+    builder.ensure_vertices(n);
+    for _ in 0..m {
+        let u = data.get_u32_le();
+        let v = data.get_u32_le();
+        if u as usize >= n || v as usize >= n {
+            return Err(GraphError::Corrupt(format!("edge ({u},{v}) out of range for n={n}")));
+        }
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Loads an edge-list file from disk.
+pub fn load_edge_list_path<P: AsRef<Path>>(path: P) -> Result<(CsrGraph, Vec<u64>)> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(f)
+}
+
+/// Saves an edge-list file to disk.
+pub fn save_edge_list_path<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_edge_list(g, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::ids::VertexId;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let (g2, labels) = read_edge_list(&out[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 4);
+        assert_eq!(g2.num_edges(), 4);
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn snap_style_input_parses() {
+        let text = "# comment line\n\n5 7\n7 9\n5 9\n";
+        let (g, labels) = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(labels, vec![5, 7, 9]);
+        // Dense relabeling: original 5 is dense 0.
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\n2 x\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_token_is_parse_error() {
+        let err = read_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = graph_from_edges(&[(0, 3), (1, 3), (2, 3), (0, 1)]);
+        let img = to_bytes(&g);
+        let g2 = from_bytes(&img).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(from_bytes(b"nope").is_err());
+        assert!(from_bytes(b"XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00").is_err());
+        // Valid header claiming edges that are not present.
+        let mut img = BytesMut::new();
+        img.put_slice(MAGIC);
+        img.put_u32_le(VERSION);
+        img.put_u32_le(2);
+        img.put_u32_le(5);
+        assert!(from_bytes(&img).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_edge() {
+        let mut img = BytesMut::new();
+        img.put_slice(MAGIC);
+        img.put_u32_le(VERSION);
+        img.put_u32_le(2); // n = 2
+        img.put_u32_le(1); // m = 1
+        img.put_u32_le(0);
+        img.put_u32_le(7); // vertex 7 out of range
+        assert!(from_bytes(&img).is_err());
+    }
+}

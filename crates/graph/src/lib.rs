@@ -1,0 +1,60 @@
+//! # ctc-graph — graph substrate for closest truss community search
+//!
+//! The foundation layer of the CTC workspace (a reproduction of *Approximate
+//! Closest Community Search in Networks*, VLDB 2015): an immutable CSR graph
+//! with strongly-typed ids, a deletion overlay for the paper's peeling
+//! algorithms, BFS/traversal machinery, triangle & support computation,
+//! distances/diameters, induced subgraphs, personalized PageRank, summary
+//! statistics and IO.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use ctc_graph::{graph_from_edges, VertexId, triangle_count, diameter_exact};
+//!
+//! // A 4-clique: every edge sits in 2 triangles.
+//! let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+//! assert_eq!(g.num_edges(), 6);
+//! assert_eq!(triangle_count(&g), 4);
+//! assert_eq!(diameter_exact(&g), 1);
+//! assert_eq!(g.neighbors(VertexId(0)), &[1, 2, 3]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod distance;
+pub mod dynamic;
+pub mod error;
+pub mod fx;
+pub mod ids;
+pub mod io;
+pub mod pagerank;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+pub mod triangles;
+pub mod union_find;
+
+pub use builder::{graph_from_edges, graph_from_vertex_pairs, GraphBuilder};
+pub use csr::CsrGraph;
+pub use distance::{
+    diameter_double_sweep, diameter_exact, eccentricity, graph_query_distance, query_distances,
+};
+pub use dynamic::DynGraph;
+pub use error::{GraphError, Result};
+pub use fx::{FxHashMap, FxHashSet};
+pub use ids::{EdgeId, VertexId};
+pub use pagerank::{personalized_pagerank, PageRankOptions};
+pub use stats::{edge_density, graph_stats, vertices_by_degree_desc, GraphStats};
+pub use subgraph::{alive_subgraph, edge_subgraph, induced_subgraph, Subgraph};
+pub use traversal::{
+    bfs_distances, connected_components, is_connected, query_connected, Adjacency, BfsScratch,
+    FilteredGraph, INF,
+};
+pub use triangles::{
+    common_neighbors, edge_supports, edge_supports_dyn, for_each_triangle, support_of,
+    triangle_count,
+};
+pub use union_find::UnionFind;

@@ -1,0 +1,192 @@
+//! Induced subgraph extraction with id remapping.
+//!
+//! CTC search constantly narrows scope: `FindG0` yields an edge subset of
+//! `G`, LCTC expands a Steiner tree into a local subgraph, and peeling
+//! operates on the extracted piece. [`Subgraph`] packages the extracted
+//! [`CsrGraph`] together with the mapping back to the parent's vertex ids.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::dynamic::DynGraph;
+use crate::fx::{fx_map_with_capacity, FxHashMap};
+use crate::ids::{EdgeId, VertexId};
+
+/// A compact graph extracted from a parent, with both-way vertex mappings.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The extracted graph with dense local ids.
+    pub graph: CsrGraph,
+    /// `to_parent[local] = parent id`.
+    pub to_parent: Vec<u32>,
+    /// `parent id -> local id`.
+    pub from_parent: FxHashMap<u32, u32>,
+}
+
+impl Subgraph {
+    /// Maps a parent vertex into this subgraph, if included.
+    #[inline]
+    pub fn local(&self, parent: VertexId) -> Option<VertexId> {
+        self.from_parent.get(&parent.0).map(|&l| VertexId(l))
+    }
+
+    /// Maps a local vertex back to the parent graph.
+    #[inline]
+    pub fn parent(&self, local: VertexId) -> VertexId {
+        VertexId(self.to_parent[local.index()])
+    }
+
+    /// Maps a set of parent vertices to local ids; `None` if any is absent.
+    pub fn locals(&self, parents: &[VertexId]) -> Option<Vec<VertexId>> {
+        parents.iter().map(|&p| self.local(p)).collect()
+    }
+
+    /// Maps local vertices back to parent ids.
+    pub fn parents(&self, locals: &[VertexId]) -> Vec<VertexId> {
+        locals.iter().map(|&l| self.parent(l)).collect()
+    }
+
+    /// Number of vertices in the extracted graph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of edges in the extracted graph.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+/// Extracts the subgraph of `g` induced by `vertices`.
+///
+/// Keeps every edge of `g` whose endpoints are both in `vertices`.
+pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> Subgraph {
+    let mut from_parent: FxHashMap<u32, u32> = fx_map_with_capacity(vertices.len());
+    let mut to_parent = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        if from_parent.insert(v.0, to_parent.len() as u32).is_none() {
+            to_parent.push(v.0);
+        }
+    }
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(to_parent.len());
+    for (local_u, &pu) in to_parent.iter().enumerate() {
+        for &pv in g.neighbors(VertexId(pu)) {
+            if pv <= pu {
+                continue; // visit each edge once, from the smaller parent id
+            }
+            if let Some(&local_v) = from_parent.get(&pv) {
+                b.add_edge(local_u as u32, local_v);
+            }
+        }
+    }
+    Subgraph { graph: b.build(), to_parent, from_parent }
+}
+
+/// Extracts the subgraph of `g` consisting of exactly the given edges
+/// (vertices are the union of their endpoints).
+pub fn edge_subgraph(g: &CsrGraph, edges: &[EdgeId]) -> Subgraph {
+    let mut from_parent: FxHashMap<u32, u32> = fx_map_with_capacity(edges.len());
+    let mut to_parent: Vec<u32> = Vec::new();
+    let local_id = |p: u32, to_parent: &mut Vec<u32>, from_parent: &mut FxHashMap<u32, u32>| {
+        *from_parent.entry(p).or_insert_with(|| {
+            to_parent.push(p);
+            (to_parent.len() - 1) as u32
+        })
+    };
+    let mut b = GraphBuilder::with_capacity(edges.len());
+    for &e in edges {
+        let (u, v) = g.edge_endpoints(e);
+        let lu = local_id(u.0, &mut to_parent, &mut from_parent);
+        let lv = local_id(v.0, &mut to_parent, &mut from_parent);
+        b.add_edge(lu, lv);
+    }
+    b.ensure_vertices(to_parent.len());
+    Subgraph { graph: b.build(), to_parent, from_parent }
+}
+
+/// Materializes the alive part of a [`DynGraph`] as a standalone subgraph.
+pub fn alive_subgraph(d: &DynGraph<'_>) -> Subgraph {
+    let vertices = d.alive_vertex_vec();
+    let mut from_parent: FxHashMap<u32, u32> = fx_map_with_capacity(vertices.len());
+    let mut to_parent = Vec::with_capacity(vertices.len());
+    for &v in &vertices {
+        from_parent.insert(v.0, to_parent.len() as u32);
+        to_parent.push(v.0);
+    }
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(to_parent.len());
+    for (e, u, v) in d.alive_edges() {
+        let _ = e;
+        let lu = from_parent[&u.0];
+        let lv = from_parent[&v.0];
+        b.add_edge(lu, lv);
+    }
+    Subgraph { graph: b.build(), to_parent, from_parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn sample() -> CsrGraph {
+        // Two triangles sharing vertex 2, plus a pendant.
+        graph_from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)])
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = sample();
+        let s = induced_subgraph(&g, &[VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(s.num_vertices(), 4);
+        assert_eq!(s.num_edges(), 4); // (0,1),(1,2),(0,2),(2,3); (3,4) excluded
+        let l2 = s.local(VertexId(2)).unwrap();
+        assert_eq!(s.parent(l2), VertexId(2));
+        assert!(s.local(VertexId(5)).is_none());
+    }
+
+    #[test]
+    fn induced_dedups_input_vertices() {
+        let g = sample();
+        let s = induced_subgraph(&g, &[VertexId(0), VertexId(1), VertexId(0)]);
+        assert_eq!(s.num_vertices(), 2);
+        assert_eq!(s.num_edges(), 1);
+    }
+
+    #[test]
+    fn edge_subgraph_takes_exact_edges() {
+        let g = sample();
+        let e01 = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        let e24 = g.edge_between(VertexId(2), VertexId(4)).unwrap();
+        let s = edge_subgraph(&g, &[e01, e24]);
+        assert_eq!(s.num_vertices(), 4);
+        assert_eq!(s.num_edges(), 2);
+        // Edge (0,2) exists in parent but was not selected.
+        let l0 = s.local(VertexId(0)).unwrap();
+        let l2 = s.local(VertexId(2)).unwrap();
+        assert!(!s.graph.has_edge(l0, l2));
+    }
+
+    #[test]
+    fn alive_subgraph_reflects_deletions() {
+        let g = sample();
+        let mut d = DynGraph::new(&g);
+        d.remove_vertex(VertexId(5));
+        d.remove_edge(g.edge_between(VertexId(2), VertexId(3)).unwrap());
+        let s = alive_subgraph(&d);
+        assert_eq!(s.num_vertices(), 5);
+        assert_eq!(s.num_edges(), 5);
+        let l2 = s.local(VertexId(2)).unwrap();
+        let l3 = s.local(VertexId(3)).unwrap();
+        assert!(!s.graph.has_edge(l2, l3));
+    }
+
+    #[test]
+    fn roundtrip_mappings() {
+        let g = sample();
+        let verts = [VertexId(2), VertexId(4), VertexId(5)];
+        let s = induced_subgraph(&g, &verts);
+        let locals = s.locals(&verts).unwrap();
+        assert_eq!(s.parents(&locals), verts.to_vec());
+    }
+}

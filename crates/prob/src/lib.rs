@@ -1,0 +1,25 @@
+//! # ctc-prob — probabilistic-graph extension
+//!
+//! The paper's §8 closes with: *"given the recent surge of interest in
+//! probabilistic graphs, an exciting question is how k-truss generalizes to
+//! probabilistic graphs."* This crate implements that direction:
+//!
+//! * [`ProbGraph`] — a topology with independent edge probabilities and
+//!   possible-world sampling;
+//! * [`prob_truss_decomposition`] — the (k, γ)-truss: every edge keeps
+//!   ≥ k−2 triangles with probability ≥ γ (Poisson-binomial DP tail);
+//! * [`monte_carlo_ctc`] — sampling-based closest community search with
+//!   per-vertex inclusion confidence.
+
+#![warn(missing_docs)]
+
+pub mod ktruss;
+pub mod pgraph;
+pub mod search;
+
+pub use ktruss::{
+    mc_ktruss_membership, prob_truss_decomposition, support_tail_probability,
+    ProbTrussDecomposition,
+};
+pub use pgraph::ProbGraph;
+pub use search::{monte_carlo_ctc, McCommunity};

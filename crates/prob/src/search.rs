@@ -1,0 +1,154 @@
+//! Monte-Carlo closest community search on probabilistic graphs.
+//!
+//! Sampling-based semantics: draw `N` possible worlds, run a CTC search in
+//! each, and aggregate per-vertex inclusion frequencies. The "community at
+//! confidence θ" is the set of vertices appearing in at least a θ fraction
+//! of successful worlds — a natural reliability-weighted analogue of the
+//! deterministic community.
+
+use crate::pgraph::ProbGraph;
+use ctc_core::{CtcConfig, CtcSearcher};
+use ctc_graph::error::{GraphError, Result};
+use ctc_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Aggregated result of a Monte-Carlo CTC search.
+#[derive(Clone, Debug)]
+pub struct McCommunity {
+    /// `inclusion[v]` = fraction of successful worlds whose community
+    /// contained `v`.
+    pub inclusion: Vec<f64>,
+    /// Mean trussness over successful worlds.
+    pub expected_k: f64,
+    /// Worlds sampled.
+    pub worlds: usize,
+    /// Worlds where the query was connected and a community was found.
+    pub successful_worlds: usize,
+}
+
+impl McCommunity {
+    /// Vertices included with frequency ≥ `theta`, ascending by id.
+    pub fn at_confidence(&self, theta: f64) -> Vec<VertexId> {
+        self.inclusion
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f >= theta)
+            .map(|(v, _)| VertexId::from(v))
+            .collect()
+    }
+
+    /// Reliability of the query itself: fraction of worlds with an answer.
+    pub fn query_reliability(&self) -> f64 {
+        if self.worlds == 0 {
+            0.0
+        } else {
+            self.successful_worlds as f64 / self.worlds as f64
+        }
+    }
+}
+
+/// Runs the Monte-Carlo CTC search with `worlds` samples.
+///
+/// Each world uses the BulkDelete algorithm (the best quality/runtime
+/// tradeoff for repeated searches). Errors if *no* world yields a
+/// community.
+pub fn monte_carlo_ctc(
+    pg: &ProbGraph,
+    q: &[VertexId],
+    cfg: &CtcConfig,
+    worlds: usize,
+    seed: u64,
+) -> Result<McCommunity> {
+    if q.is_empty() {
+        return Err(GraphError::EmptyQuery);
+    }
+    let n = pg.topology().num_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; n];
+    let mut k_total = 0.0f64;
+    let mut successes = 0usize;
+    for _ in 0..worlds {
+        let world = pg.sample_world(&mut rng);
+        let searcher = CtcSearcher::new(&world);
+        // Failed worlds (query disconnected) simply do not count.
+        if let Ok(c) = searcher.bulk_delete(q, cfg) {
+            successes += 1;
+            k_total += c.k as f64;
+            for &v in &c.vertices {
+                counts[v.index()] += 1;
+            }
+        }
+    }
+    if successes == 0 {
+        return Err(GraphError::Disconnected);
+    }
+    let inclusion = counts.iter().map(|&c| c as f64 / successes as f64).collect();
+    Ok(McCommunity {
+        inclusion,
+        expected_k: k_total / successes as f64,
+        worlds,
+        successful_worlds: successes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+
+    #[test]
+    fn certain_graph_reproduces_deterministic_answer() {
+        let g = figure1_graph();
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q2, f.q3];
+        let pg = ProbGraph::uniform(g.clone(), 1.0).unwrap();
+        let mc = monte_carlo_ctc(&pg, &q, &CtcConfig::default(), 5, 3).unwrap();
+        assert_eq!(mc.successful_worlds, 5);
+        assert_eq!(mc.query_reliability(), 1.0);
+        let det = CtcSearcher::new(&g).bulk_delete(&q, &CtcConfig::default()).unwrap();
+        assert_eq!(mc.at_confidence(1.0), det.vertices);
+        assert!((mc.expected_k - det.k as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weak_bridge_lowers_reliability() {
+        // Make only the bridge edges (q1–t, t–q3) unreliable and query
+        // across them: {q1, q3} can connect via the 4-truss too, so the
+        // query stays reliable; but querying the bridge vertex t itself is
+        // fragile.
+        let g = figure1_graph();
+        let f = Figure1Ids::default();
+        let mut probs = vec![1.0; g.num_edges()];
+        for (a, b) in [(f.q1, f.t), (f.t, f.q3)] {
+            let e = g.edge_between(a, b).unwrap();
+            probs[e.index()] = 0.3;
+        }
+        let pg = ProbGraph::new(g, probs).unwrap();
+        let solid = monte_carlo_ctc(&pg, &[f.q1, f.q3], &CtcConfig::default(), 40, 9).unwrap();
+        assert_eq!(solid.query_reliability(), 1.0, "4-truss path is certain");
+        let fragile = monte_carlo_ctc(&pg, &[f.t], &CtcConfig::default(), 40, 9).unwrap();
+        // t needs at least one of its two 0.3-edges: P ≈ 1 − 0.7² = 0.51.
+        let rel = fragile.query_reliability();
+        assert!((0.25..0.8).contains(&rel), "reliability {rel}");
+    }
+
+    #[test]
+    fn inclusion_frequencies_are_probabilities() {
+        let g = figure1_graph();
+        let f = Figure1Ids::default();
+        let pg = ProbGraph::uniform(g, 0.8).unwrap();
+        let mc = monte_carlo_ctc(&pg, &[f.q2], &CtcConfig::default(), 30, 21).unwrap();
+        assert!(mc.inclusion.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // The query vertex is in every successful community.
+        assert_eq!(mc.inclusion[f.q2.index()], 1.0);
+        // Confidence filtering is monotone.
+        assert!(mc.at_confidence(0.2).len() >= mc.at_confidence(0.8).len());
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let pg = ProbGraph::uniform(figure1_graph(), 0.5).unwrap();
+        assert!(monte_carlo_ctc(&pg, &[], &CtcConfig::default(), 5, 1).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! Truss decomposition: compute the trussness of every edge.
+//!
+//! Implements the in-memory peeling algorithm of Wang & Cheng (PVLDB'12,
+//! the paper's [29]): repeatedly remove the edge of minimum support,
+//! assigning it trussness `sup + 2`, and decrement the supports of the two
+//! other edges of each triangle it closed. A bucket queue keyed by support
+//! gives `O(1)` re-prioritization, for `O(m^{1.5})` total time.
+
+use ctc_graph::{edge_supports, CsrGraph, DynGraph, EdgeId, VertexId};
+
+/// The result of a truss decomposition.
+#[derive(Clone, Debug)]
+pub struct TrussDecomposition {
+    /// `edge_truss[e]` = trussness of edge `e` (≥ 2).
+    pub edge_truss: Vec<u32>,
+    /// Maximum edge trussness, `τ̄(∅)` in the paper (2 for triangle-free
+    /// graphs with at least one edge, 0 for edgeless graphs).
+    pub max_truss: u32,
+}
+
+impl TrussDecomposition {
+    /// Trussness of edge `e`.
+    #[inline]
+    pub fn truss(&self, e: EdgeId) -> u32 {
+        self.edge_truss[e.index()]
+    }
+
+    /// Vertex trussness `τ(v) = max` incident edge trussness (0 if
+    /// isolated).
+    pub fn vertex_truss(&self, g: &CsrGraph, v: VertexId) -> u32 {
+        g.neighbor_edge_ids(v)
+            .iter()
+            .map(|&e| self.edge_truss[e as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Vertex trussness for every vertex.
+    pub fn vertex_truss_all(&self, g: &CsrGraph) -> Vec<u32> {
+        (0..g.num_vertices())
+            .map(|v| self.vertex_truss(g, VertexId::from(v)))
+            .collect()
+    }
+}
+
+/// Bucket queue over edges keyed by current support.
+///
+/// `sorted` holds all edge ids ordered by support; `pos[e]` locates an edge;
+/// `bin_start[s]` is the first index of the bucket with support `s`.
+/// Decrementing an edge's support swaps it with the first element of its
+/// bucket — the classic O(1) trick from k-core decomposition.
+struct SupportBuckets {
+    sorted: Vec<u32>,
+    pos: Vec<u32>,
+    bin_start: Vec<u32>,
+    sup: Vec<u32>,
+}
+
+impl SupportBuckets {
+    fn new(sup: Vec<u32>) -> Self {
+        let m = sup.len();
+        let max_sup = sup.iter().copied().max().unwrap_or(0) as usize;
+        let mut counts = vec![0u32; max_sup + 2];
+        for &s in &sup {
+            counts[s as usize] += 1;
+        }
+        let mut bin_start = vec![0u32; max_sup + 2];
+        let mut acc = 0u32;
+        for (s, &c) in counts.iter().enumerate() {
+            bin_start[s] = acc;
+            acc += c;
+        }
+        let mut cursor = bin_start.clone();
+        let mut sorted = vec![0u32; m];
+        let mut pos = vec![0u32; m];
+        for (e, &s) in sup.iter().enumerate() {
+            let p = cursor[s as usize];
+            sorted[p as usize] = e as u32;
+            pos[e] = p;
+            cursor[s as usize] += 1;
+        }
+        SupportBuckets { sorted, pos, bin_start, sup }
+    }
+
+    /// Decrements `e`'s support by one, keeping buckets valid. Must only be
+    /// called when `sup[e] > floor` for the current processing frontier.
+    fn decrement(&mut self, e: u32) {
+        let s = self.sup[e as usize];
+        debug_assert!(s > 0);
+        let p = self.pos[e as usize];
+        let first = self.bin_start[s as usize];
+        // Swap e with the first edge of its bucket, then shrink the bucket.
+        let other = self.sorted[first as usize];
+        self.sorted.swap(first as usize, p as usize);
+        self.pos[e as usize] = first;
+        self.pos[other as usize] = p;
+        self.bin_start[s as usize] = first + 1;
+        self.sup[e as usize] = s - 1;
+    }
+}
+
+/// Runs the truss decomposition on `g`.
+pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
+    let m = g.num_edges();
+    let mut edge_truss = vec![0u32; m];
+    if m == 0 {
+        return TrussDecomposition { edge_truss, max_truss: 0 };
+    }
+    let sup = edge_supports(g);
+    let mut buckets = SupportBuckets::new(sup);
+    let mut live = DynGraph::new(g);
+    let mut max_truss = 2u32;
+    // Peel edges in ascending current-support order. `k_floor` tracks the
+    // highest support seen at removal time; supports of later edges are
+    // clamped to it implicitly because `decrement` is skipped when a
+    // neighbor edge's support has already fallen to the frontier.
+    let mut k_floor = 0u32;
+    let mut touched: Vec<u32> = Vec::new();
+    for i in 0..m {
+        let e = EdgeId(buckets.sorted[i]);
+        let s = buckets.sup[e.index()];
+        k_floor = k_floor.max(s);
+        let truss = k_floor + 2;
+        edge_truss[e.index()] = truss;
+        max_truss = max_truss.max(truss);
+        let (u, v) = g.edge_endpoints(e);
+        // Collect first: decrementing re-orders the bucket arrays, which
+        // must not race with the common-neighbor merge borrowing `live`.
+        touched.clear();
+        live.for_each_common_neighbor(u, v, |_, euw, evw| {
+            touched.push(euw.0);
+            touched.push(evw.0);
+        });
+        for &f in &touched {
+            if buckets.sup[f as usize] > k_floor {
+                buckets.decrement(f);
+            }
+        }
+        live.remove_edge(e);
+    }
+    TrussDecomposition { edge_truss, max_truss }
+}
+
+/// Trussness of a *standalone* graph: `2 + min edge support` (Def. 2),
+/// or 0 when the graph has no edges.
+pub fn graph_trussness(g: &CsrGraph) -> u32 {
+    if g.num_edges() == 0 {
+        return 0;
+    }
+    2 + edge_supports(g).iter().copied().min().unwrap_or(0)
+}
+
+/// `true` if every edge of `g` has support ≥ `k − 2` within `g`.
+pub fn is_k_truss(g: &CsrGraph, k: u32) -> bool {
+    if g.num_edges() == 0 {
+        return true; // vacuously: no edge violates the bound
+    }
+    edge_supports(g).iter().all(|&s| s + 2 >= k)
+}
+
+/// Reference decomposition used as a test oracle: repeatedly strip edges of
+/// support `< k − 2` for increasing `k`. O(m²)-ish; test-only.
+pub fn naive_truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
+    let m = g.num_edges();
+    let mut edge_truss = vec![0u32; m];
+    if m == 0 {
+        return TrussDecomposition { edge_truss, max_truss: 0 };
+    }
+    let mut live = DynGraph::new(g);
+    let mut k = 2u32;
+    let mut max_truss = 2u32;
+    while live.num_alive_edges() > 0 {
+        loop {
+            let doomed: Vec<EdgeId> = live
+                .alive_edges()
+                .filter(|&(_, u, v)| {
+                    let mut c = 0u32;
+                    live.for_each_common_neighbor(u, v, |_, _, _| c += 1);
+                    c + 2 < k + 1 // support < k-1, i.e. not in the (k+1)-truss
+                })
+                .map(|(e, _, _)| e)
+                .collect();
+            if doomed.is_empty() {
+                break;
+            }
+            for e in doomed {
+                if live.is_edge_alive(e) {
+                    edge_truss[e.index()] = k;
+                    max_truss = max_truss.max(k);
+                    live.remove_edge(e);
+                }
+            }
+        }
+        k += 1;
+    }
+    TrussDecomposition { edge_truss, max_truss }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_graph::graph_from_edges;
+
+    #[test]
+    fn k4_is_a_4_truss() {
+        let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let d = truss_decomposition(&g);
+        assert!(d.edge_truss.iter().all(|&t| t == 4));
+        assert_eq!(d.max_truss, 4);
+        assert_eq!(graph_trussness(&g), 4);
+        assert!(is_k_truss(&g, 4));
+        assert!(!is_k_truss(&g, 5));
+    }
+
+    #[test]
+    fn triangle_free_graph_is_all_2() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let d = truss_decomposition(&g);
+        assert!(d.edge_truss.iter().all(|&t| t == 2));
+        assert_eq!(d.max_truss, 2);
+    }
+
+    #[test]
+    fn pendant_edge_on_triangle() {
+        // Triangle {0,1,2} plus pendant 2-3: triangle edges τ=3, pendant τ=2.
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let d = truss_decomposition(&g);
+        let pendant = g.edge_between(VertexId(2), VertexId(3)).unwrap();
+        assert_eq!(d.truss(pendant), 2);
+        for (e, _, _) in g.edges() {
+            if e != pendant {
+                assert_eq!(d.truss(e), 3);
+            }
+        }
+        assert_eq!(d.vertex_truss(&g, VertexId(2)), 3);
+        assert_eq!(d.vertex_truss(&g, VertexId(3)), 2);
+    }
+
+    #[test]
+    fn paper_example_support_vs_truss() {
+        // §2: τ(e(q2,v2)) = 4 even though sup(e) = 3 in G. Figure 1 graph.
+        let g = crate::fixtures::figure1_graph();
+        let f = crate::fixtures::Figure1Ids::default();
+        let d = truss_decomposition(&g);
+        let e = g.edge_between(f.q2, f.v2).unwrap();
+        assert_eq!(ctc_graph::support_of(&g, f.q2, f.v2), Some(3));
+        assert_eq!(d.truss(e), 4);
+        // Whole grey region is a 4-truss; t's edges are trussness 2.
+        let et1 = g.edge_between(f.q1, f.t).unwrap();
+        let et2 = g.edge_between(f.t, f.q3).unwrap();
+        assert_eq!(d.truss(et1), 2);
+        assert_eq!(d.truss(et2), 2);
+        assert_eq!(d.max_truss, 4);
+        assert_eq!(d.vertex_truss(&g, f.q2), 4);
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_mixed_graph() {
+        let g = graph_from_edges(&[
+            // K5 on 0..5 → 5-truss
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            // triangle hanging off vertex 4
+            (4, 5),
+            (5, 6),
+            (4, 6),
+            // chain
+            (6, 7),
+            (7, 8),
+        ]);
+        let fast = truss_decomposition(&g);
+        let slow = naive_truss_decomposition(&g);
+        assert_eq!(fast.edge_truss, slow.edge_truss);
+        assert_eq!(fast.max_truss, 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph_from_edges(&[]);
+        let d = truss_decomposition(&g);
+        assert_eq!(d.max_truss, 0);
+        assert_eq!(graph_trussness(&g), 0);
+        assert!(is_k_truss(&g, 99));
+    }
+
+    #[test]
+    fn two_overlapping_k4s_share_peel_level() {
+        // Two K4s sharing an edge: the shared edge has higher support but
+        // still trussness 4 (no 5-truss exists).
+        let g = graph_from_edges(&[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+        ]);
+        let d = truss_decomposition(&g);
+        assert_eq!(d.max_truss, 4);
+        let shared = g.edge_between(VertexId(2), VertexId(3)).unwrap();
+        assert_eq!(d.truss(shared), 4);
+    }
+}

@@ -1,0 +1,333 @@
+//! `FindG0` (Algorithm 2): the maximal connected k-truss containing the
+//! query nodes with the largest `k`.
+//!
+//! Edges stream in by descending trussness level, expanding outward from
+//! the query vertices. A per-vertex cursor over the truss-sorted rows of the
+//! [`TrussIndex`] makes every edge O(1) to visit (Remark 2: `O(m')` total),
+//! and a union-find answers the per-level "is Q connected yet?" check in
+//! near-constant amortized time.
+
+use crate::index::TrussIndex;
+use ctc_graph::error::{GraphError, Result};
+use ctc_graph::union_find::UnionFind;
+use ctc_graph::{CsrGraph, EdgeId, Subgraph, VertexId};
+
+/// Output of [`find_g0`]: the maximal connected k-truss containing `Q` with
+/// the largest `k`, as an edge/vertex set of the parent graph.
+#[derive(Clone, Debug)]
+pub struct G0 {
+    /// The trussness `k` of the community (`τ(G0)`).
+    pub k: u32,
+    /// Edges of `G0` (parent edge ids).
+    pub edges: Vec<EdgeId>,
+    /// Vertices of `G0` (parent vertex ids), ascending.
+    pub vertices: Vec<VertexId>,
+}
+
+const NO_LEVEL: u32 = u32::MAX;
+
+/// Runs Algorithm 2 on `g` with query set `q`.
+///
+/// Errors with [`GraphError::EmptyQuery`] for an empty query,
+/// [`GraphError::VertexOutOfRange`] for bad ids, and
+/// [`GraphError::Disconnected`] when the query vertices do not share a
+/// connected component (they can never be covered by one connected k-truss).
+pub fn find_g0(g: &CsrGraph, idx: &TrussIndex, q: &[VertexId]) -> Result<G0> {
+    if q.is_empty() {
+        return Err(GraphError::EmptyQuery);
+    }
+    let n = g.num_vertices();
+    for &v in q {
+        if v.index() >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v.0, n });
+        }
+        if g.degree(v) == 0 {
+            // An isolated query vertex cannot sit in any k-truss.
+            return Err(GraphError::Disconnected);
+        }
+    }
+    // Lemma 1: k ≤ min_q τ(q).
+    let k_start = q.iter().map(|&v| idx.vertex_truss(v)).min().expect("q nonempty");
+    debug_assert!(k_start >= 2);
+
+    let mut cursor = vec![0u32; n];
+    let mut in_g0_vertex = vec![false; n];
+    let mut in_g0_edge = vec![false; g.num_edges()];
+    let mut g0_edges: Vec<EdgeId> = Vec::new();
+    let mut uf = UnionFind::new(n);
+    // Worklists per level, indexed by k (0..=k_start). `pending[v]` is the
+    // level the vertex was last enqueued at (loose dedup; reprocessing is
+    // idempotent thanks to the cursors).
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); k_start as usize + 1];
+    let mut pending = vec![NO_LEVEL; n];
+    for &qv in q {
+        if pending[qv.index()] != k_start {
+            pending[qv.index()] = k_start;
+            levels[k_start as usize].push(qv.0);
+        }
+    }
+    let q_raw: Vec<u32> = q.iter().map(|v| v.0).collect();
+
+    let mut k = k_start;
+    loop {
+        // Drain the worklist of level k; it may grow while we iterate.
+        let mut worklist = std::mem::take(&mut levels[k as usize]);
+        let mut head = 0usize;
+        while head < worklist.len() {
+            let v = VertexId(worklist[head]);
+            head += 1;
+            let (nbrs, edges) = idx.sorted_row(v);
+            let mut c = cursor[v.index()] as usize;
+            while c < edges.len() {
+                let e = EdgeId(edges[c]);
+                if idx.edge_truss(e) < k {
+                    break;
+                }
+                let u = VertexId(nbrs[c]);
+                c += 1;
+                if !in_g0_edge[e.index()] {
+                    in_g0_edge[e.index()] = true;
+                    g0_edges.push(e);
+                    in_g0_vertex[v.index()] = true;
+                    in_g0_vertex[u.index()] = true;
+                    uf.union(v.0, u.0);
+                }
+                if pending[u.index()] != k {
+                    pending[u.index()] = k;
+                    worklist.push(u.0);
+                }
+            }
+            cursor[v.index()] = c as u32;
+            // Line 12–13: requeue v at the level of its next untaken edge.
+            if c < edges.len() {
+                let l = idx.edge_truss(EdgeId(edges[c]));
+                debug_assert!(l < k);
+                if pending[v.index()] != l {
+                    pending[v.index()] = l;
+                    levels[l as usize].push(v.0);
+                }
+            }
+        }
+        // Level complete: is Q connected inside G0?
+        if uf.all_connected(&q_raw) && q.iter().all(|&v| in_g0_vertex[v.index()]) {
+            return Ok(extract_component(g, idx, &mut uf, &g0_edges, q[0], k));
+        }
+        if k == 2 {
+            return Err(GraphError::Disconnected);
+        }
+        k -= 1;
+    }
+}
+
+/// Keeps only the connected component of the accumulated edge set that
+/// contains `root`, producing the final `G0`.
+fn extract_component(
+    g: &CsrGraph,
+    _idx: &TrussIndex,
+    uf: &mut UnionFind,
+    g0_edges: &[EdgeId],
+    root: VertexId,
+    k: u32,
+) -> G0 {
+    let rep = uf.find(root.0);
+    let mut edges = Vec::with_capacity(g0_edges.len());
+    let mut vertex_set: Vec<bool> = vec![false; g.num_vertices()];
+    for &e in g0_edges {
+        let (u, v) = g.edge_endpoints(e);
+        if uf.find(u.0) == rep {
+            edges.push(e);
+            vertex_set[u.index()] = true;
+            vertex_set[v.index()] = true;
+        }
+    }
+    let vertices = vertex_set
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| VertexId::from(i))
+        .collect();
+    G0 { k, edges, vertices }
+}
+
+/// Materializes a [`G0`] as a standalone [`Subgraph`] of `g`.
+pub fn g0_subgraph(g: &CsrGraph, g0: &G0) -> Subgraph {
+    ctc_graph::edge_subgraph(g, &g0.edges)
+}
+
+/// Fixed-k variant (§7.1 "trading trussness for diameter"): the maximal
+/// connected k-truss containing `q` for a *given* `k`, or `None` if the
+/// query is not covered / not connected at that level.
+pub fn find_ktruss_containing(
+    g: &CsrGraph,
+    idx: &TrussIndex,
+    q: &[VertexId],
+    k: u32,
+) -> Option<G0> {
+    if q.is_empty() || q.iter().any(|&v| idx.vertex_truss(v) < k) {
+        return None;
+    }
+    // BFS from q[0] over edges with trussness ≥ k.
+    let view = ctc_graph::FilteredGraph::new(g, |e| idx.edge_truss(e) >= k);
+    let mut scratch = ctc_graph::BfsScratch::new(g.num_vertices());
+    scratch.run(&view, q[0]);
+    if q.iter().any(|&v| scratch.dist(v) == ctc_graph::INF) {
+        return None;
+    }
+    let mut vertices: Vec<VertexId> = scratch.reached().collect();
+    vertices.sort_unstable();
+    let mut edges = Vec::new();
+    for &v in &vertices {
+        for (nb, e) in g.incident(v) {
+            if v < nb && idx.edge_truss(e) >= k && scratch.dist(nb) != ctc_graph::INF {
+                edges.push(e);
+            }
+        }
+    }
+    // Drop vertices that have no qualifying incident edge (can only be the
+    // root itself in degenerate cases).
+    vertices.retain(|&v| {
+        g.incident(v).any(|(nb, e)| idx.edge_truss(e) >= k && scratch.dist(nb) != ctc_graph::INF)
+    });
+    Some(G0 { k, edges, vertices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure1_graph, figure4_graph, Figure1Ids, Figure4Ids};
+    use ctc_graph::graph_from_edges;
+
+    #[test]
+    fn figure1_query_q123_returns_grey_4truss() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        let f = Figure1Ids::default();
+        let g0 = find_g0(&g, &idx, &[f.q1, f.q2, f.q3]).unwrap();
+        assert_eq!(g0.k, 4);
+        // grey region: 11 vertices, 23 edges (everything but t and its 2 edges)
+        assert_eq!(g0.vertices.len(), 11);
+        assert_eq!(g0.edges.len(), 23);
+        assert!(!g0.vertices.contains(&f.t));
+    }
+
+    #[test]
+    fn figure4_example6_descends_to_level_2() {
+        let g = figure4_graph();
+        let idx = TrussIndex::build(&g);
+        let f = Figure4Ids::default();
+        let g0 = find_g0(&g, &idx, &[f.q1, f.q2]).unwrap();
+        assert_eq!(g0.k, 2, "Example 6: bridge forces k down to 2");
+        assert_eq!(g0.vertices.len(), 8);
+        assert_eq!(g0.edges.len(), 13, "G0 coincides with the whole graph");
+    }
+
+    #[test]
+    fn single_query_vertex_gets_its_best_truss() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        let f = Figure1Ids::default();
+        let g0 = find_g0(&g, &idx, &[f.q3]).unwrap();
+        assert_eq!(g0.k, 4);
+        // q3's 4-truss component: the whole grey region (connected via q3).
+        assert!(g0.vertices.contains(&f.p1));
+        assert!(g0.vertices.contains(&f.v3));
+        assert!(!g0.vertices.contains(&f.t));
+    }
+
+    #[test]
+    fn component_trimming_drops_unreached_side() {
+        // Two disjoint K4s; query inside one of them.
+        let g = graph_from_edges(&[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 7),
+        ]);
+        let idx = TrussIndex::build(&g);
+        let g0 = find_g0(&g, &idx, &[VertexId(0)]).unwrap();
+        assert_eq!(g0.k, 4);
+        assert_eq!(g0.vertices.len(), 4);
+        assert!(g0.vertices.iter().all(|v| v.0 <= 3));
+    }
+
+    #[test]
+    fn disconnected_query_errors() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let idx = TrussIndex::build(&g);
+        let err = find_g0(&g, &idx, &[VertexId(0), VertexId(3)]).unwrap_err();
+        assert_eq!(err, GraphError::Disconnected);
+    }
+
+    #[test]
+    fn empty_and_bad_queries_error() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2)]);
+        let idx = TrussIndex::build(&g);
+        assert_eq!(find_g0(&g, &idx, &[]).unwrap_err(), GraphError::EmptyQuery);
+        assert!(matches!(
+            find_g0(&g, &idx, &[VertexId(99)]).unwrap_err(),
+            GraphError::VertexOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn isolated_query_vertex_errors() {
+        let mut b = ctc_graph::GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.ensure_vertices(4);
+        let g = b.build();
+        let idx = TrussIndex::build(&g);
+        assert_eq!(find_g0(&g, &idx, &[VertexId(3)]).unwrap_err(), GraphError::Disconnected);
+    }
+
+    #[test]
+    fn g0_is_a_genuine_k_truss() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        let f = Figure1Ids::default();
+        let g0 = find_g0(&g, &idx, &[f.q1, f.q2, f.q3]).unwrap();
+        let sub = g0_subgraph(&g, &g0);
+        assert!(crate::decompose::is_k_truss(&sub.graph, g0.k));
+        assert!(ctc_graph::is_connected(&sub.graph));
+    }
+
+    #[test]
+    fn fixed_k_variant_matches_levels() {
+        let g = figure4_graph();
+        let idx = TrussIndex::build(&g);
+        let f = Figure4Ids::default();
+        // k=4: q1's own K4 only.
+        let a = find_ktruss_containing(&g, &idx, &[f.q1], 4).unwrap();
+        assert_eq!(a.vertices.len(), 4);
+        // k=4 with both queries: impossible (bridge is trussness 2).
+        assert!(find_ktruss_containing(&g, &idx, &[f.q1, f.q2], 4).is_none());
+        // k=2: whole graph.
+        let b = find_ktruss_containing(&g, &idx, &[f.q1, f.q2], 2).unwrap();
+        assert_eq!(b.vertices.len(), 8);
+        assert_eq!(b.edges.len(), 13);
+    }
+
+    #[test]
+    fn find_g0_matches_fixed_k_at_its_level() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q3];
+        let g0 = find_g0(&g, &idx, &q).unwrap();
+        let fixed = find_ktruss_containing(&g, &idx, &q, g0.k).unwrap();
+        let mut a = g0.edges.clone();
+        let mut b = fixed.edges.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "streaming and filtered construction must agree");
+    }
+}

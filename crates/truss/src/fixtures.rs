@@ -1,0 +1,277 @@
+//! Graphs from the paper's running examples, encoded once and shared by
+//! tests across the workspace.
+//!
+//! The figures only draw the graphs; the edge sets below were reconstructed
+//! so that every claim the text makes about them holds, and the unit tests
+//! of this crate and `ctc-core` assert those claims.
+
+use ctc_graph::{graph_from_edges, CsrGraph, VertexId};
+
+/// Named vertices of the Figure 1 graph.
+///
+/// Layout: `q1..q3` are the query nodes, `v1..v5` the "good" community,
+/// `p1..p3` the free riders, `t` the degree-2 bridge.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure1Ids {
+    /// Query node q1.
+    pub q1: VertexId,
+    /// Query node q2.
+    pub q2: VertexId,
+    /// Query node q3.
+    pub q3: VertexId,
+    /// Community node v1.
+    pub v1: VertexId,
+    /// Community node v2.
+    pub v2: VertexId,
+    /// Community node v3.
+    pub v3: VertexId,
+    /// Community node v4.
+    pub v4: VertexId,
+    /// Community node v5.
+    pub v5: VertexId,
+    /// Free rider p1.
+    pub p1: VertexId,
+    /// Free rider p2.
+    pub p2: VertexId,
+    /// Free rider p3.
+    pub p3: VertexId,
+    /// Bridge node t.
+    pub t: VertexId,
+}
+
+impl Default for Figure1Ids {
+    fn default() -> Self {
+        Figure1Ids {
+            q1: VertexId(0),
+            q2: VertexId(1),
+            q3: VertexId(2),
+            v1: VertexId(3),
+            v2: VertexId(4),
+            v3: VertexId(5),
+            v4: VertexId(6),
+            v5: VertexId(7),
+            p1: VertexId(8),
+            p2: VertexId(9),
+            p3: VertexId(10),
+            t: VertexId(11),
+        }
+    }
+}
+
+/// The Figure 1 graph `G` of the paper.
+///
+/// Properties asserted by tests:
+/// * the grey region (everything except `t`) is a 4-truss with diameter 4;
+/// * `sup(q2,v2) = 3` but `τ(q2,v2) = 4` (§2 example);
+/// * Figure 1(b) = grey minus `{p1,p2,p3}` is a 4-truss with diameter 3 —
+///   the CTC for `Q = {q1,q2,q3}`;
+/// * the 5-cycle `q1–t–q3–v4–q2–q1` exists (Example 2) and is the
+///   min-diameter connected subgraph containing `Q`;
+/// * `distG0(p1, Q) = 4` so Basic deletes `p1` first (Example 4).
+pub fn figure1_graph() -> CsrGraph {
+    let f = Figure1Ids::default();
+    let (q1, q2, q3) = (f.q1.0, f.q2.0, f.q3.0);
+    let (v1, v2, v3, v4, v5) = (f.v1.0, f.v2.0, f.v3.0, f.v4.0, f.v5.0);
+    let (p1, p2, p3) = (f.p1.0, f.p2.0, f.p3.0);
+    let t = f.t.0;
+    graph_from_edges(&[
+        // K4 on {q1, q2, v1, v2}
+        (q1, q2),
+        (q1, v1),
+        (q1, v2),
+        (q2, v1),
+        (q2, v2),
+        (v1, v2),
+        // K4 on {q3, v3, v4, v5}
+        (q3, v3),
+        (q3, v4),
+        (q3, v5),
+        (v3, v4),
+        (v3, v5),
+        (v4, v5),
+        // K4 on {q3, p1, p2, p3} — the free riders
+        (q3, p1),
+        (q3, p2),
+        (q3, p3),
+        (p1, p2),
+        (p1, p3),
+        (p2, p3),
+        // stitching edges keeping the grey region a 4-truss
+        (q2, v5),
+        (v2, v5),
+        (v1, v5),
+        (q2, v4),
+        (v1, v4),
+        // the bridge t: support-0 edges (trussness 2)
+        (q1, t),
+        (t, q3),
+    ])
+}
+
+/// Vertices of Figure 1(b) — the closest truss community for
+/// `Q = {q1, q2, q3}`.
+pub fn figure1b_vertices() -> Vec<VertexId> {
+    let f = Figure1Ids::default();
+    vec![f.q1, f.q2, f.q3, f.v1, f.v2, f.v3, f.v4, f.v5]
+}
+
+/// Vertices of the grey region of Figure 1 (the 4-truss `G0`).
+pub fn figure1_grey_vertices() -> Vec<VertexId> {
+    let f = Figure1Ids::default();
+    vec![f.q1, f.q2, f.q3, f.v1, f.v2, f.v3, f.v4, f.v5, f.p1, f.p2, f.p3]
+}
+
+/// Named vertices of the Figure 4 graph.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure4Ids {
+    /// Query node q1 (left K4).
+    pub q1: VertexId,
+    /// Query node q2 (right K4).
+    pub q2: VertexId,
+    /// Left community nodes.
+    pub v1: VertexId,
+    /// Left community nodes.
+    pub v2: VertexId,
+    /// Right community nodes.
+    pub v3: VertexId,
+    /// Right community nodes.
+    pub v4: VertexId,
+    /// Left bridge endpoint.
+    pub t1: VertexId,
+    /// Right bridge endpoint.
+    pub t2: VertexId,
+}
+
+impl Default for Figure4Ids {
+    fn default() -> Self {
+        Figure4Ids {
+            q1: VertexId(0),
+            q2: VertexId(1),
+            v1: VertexId(2),
+            v2: VertexId(3),
+            v3: VertexId(4),
+            v4: VertexId(5),
+            t1: VertexId(6),
+            t2: VertexId(7),
+        }
+    }
+}
+
+/// The Figure 4 graph: two K4s (`{q1,v1,v2,t1}` and `{q2,v3,v4,t2}`)
+/// bridged by the trussness-2 edge `t1–t2`.
+///
+/// Example 6 runs FindG0 on it with `Q = {q1, q2}`: level 4 leaves `Q`
+/// disconnected, level 3 is empty, level 2 adds the bridge and succeeds, so
+/// `G0` is the whole graph with `k = 2`.
+pub fn figure4_graph() -> CsrGraph {
+    let f = Figure4Ids::default();
+    graph_from_edges(&[
+        (f.q1.0, f.v1.0),
+        (f.q1.0, f.v2.0),
+        (f.q1.0, f.t1.0),
+        (f.v1.0, f.v2.0),
+        (f.v1.0, f.t1.0),
+        (f.v2.0, f.t1.0),
+        (f.q2.0, f.v3.0),
+        (f.q2.0, f.v4.0),
+        (f.q2.0, f.t2.0),
+        (f.v3.0, f.v4.0),
+        (f.v3.0, f.t2.0),
+        (f.v4.0, f.t2.0),
+        (f.t1.0, f.t2.0),
+    ])
+}
+
+/// A clique `K_n` on vertices `0..n` — trussness `n`.
+pub fn clique(n: u32) -> CsrGraph {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    graph_from_edges(&edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_graph::{diameter_exact, graph_query_distance, induced_subgraph, BfsScratch};
+
+    #[test]
+    fn figure1_shape() {
+        let g = figure1_graph();
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 25);
+    }
+
+    #[test]
+    fn figure1_grey_is_4truss_with_diameter_4() {
+        let g = figure1_graph();
+        let grey = induced_subgraph(&g, &figure1_grey_vertices());
+        assert!(crate::decompose::is_k_truss(&grey.graph, 4));
+        assert_eq!(crate::decompose::graph_trussness(&grey.graph), 4);
+        assert_eq!(diameter_exact(&grey.graph), 4);
+    }
+
+    #[test]
+    fn figure1b_is_4truss_with_diameter_3() {
+        let g = figure1_graph();
+        let b = induced_subgraph(&g, &figure1b_vertices());
+        assert!(crate::decompose::is_k_truss(&b.graph, 4));
+        assert_eq!(diameter_exact(&b.graph), 3);
+    }
+
+    #[test]
+    fn figure1_p1_query_distance_is_4() {
+        // Example 4: distG0(p1, Q) = 4 for Q = {q1,q2,q3} within the grey
+        // region.
+        let g = figure1_graph();
+        let f = Figure1Ids::default();
+        let grey = induced_subgraph(&g, &figure1_grey_vertices());
+        let q: Vec<_> = [f.q1, f.q2, f.q3]
+            .iter()
+            .map(|&v| grey.local(v).unwrap())
+            .collect();
+        let mut s = BfsScratch::new(grey.num_vertices());
+        let d = ctc_graph::query_distances(&grey.graph, &q, &mut s);
+        let p1 = grey.local(f.p1).unwrap();
+        assert_eq!(d[p1.index()], 4);
+        assert_eq!(graph_query_distance(&grey.graph, &q, &mut s), 4);
+    }
+
+    #[test]
+    fn figure1_five_cycle_exists() {
+        let g = figure1_graph();
+        let f = Figure1Ids::default();
+        for (a, b) in [(f.q1, f.t), (f.t, f.q3), (f.q3, f.v4), (f.v4, f.q2), (f.q2, f.q1)] {
+            assert!(g.has_edge(a, b), "missing cycle edge ({a:?},{b:?})");
+        }
+        // Example 2 relies on q2–q3 and q1–q3 NOT being edges.
+        assert!(!g.has_edge(f.q2, f.q3));
+        assert!(!g.has_edge(f.q1, f.q3));
+    }
+
+    #[test]
+    fn figure4_shape_and_trussness() {
+        let g = figure4_graph();
+        let f = Figure4Ids::default();
+        assert_eq!(g.num_edges(), 13);
+        let d = crate::decompose::truss_decomposition(&g);
+        let bridge = g.edge_between(f.t1, f.t2).unwrap();
+        assert_eq!(d.truss(bridge), 2);
+        for (e, _, _) in g.edges() {
+            if e != bridge {
+                assert_eq!(d.truss(e), 4, "edge {e} should be trussness 4");
+            }
+        }
+    }
+
+    #[test]
+    fn clique_trussness_is_n() {
+        for n in 3..=6 {
+            let g = clique(n);
+            assert_eq!(crate::decompose::graph_trussness(&g), n);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The paper's "simple truss index" (§4.3).
+//!
+//! For each vertex the incident arcs are re-sorted by **descending edge
+//! trussness**, so "all incident edges with trussness ≥ k" is a row prefix;
+//! vertex trussness is the first entry. A hashtable keyed by the canonical
+//! vertex pair resolves edge trussness without the CSR lookup, exactly as
+//! the paper describes. Construction costs one truss decomposition,
+//! `O(ρ·m)` (Remark 1); the index occupies `O(m)` space.
+
+use crate::decompose::{truss_decomposition, TrussDecomposition};
+use ctc_graph::fx::{fx_map_with_capacity, FxHashMap};
+use ctc_graph::{CsrGraph, EdgeId, VertexId};
+
+/// Truss index over a fixed graph.
+#[derive(Clone, Debug)]
+pub struct TrussIndex {
+    /// Trussness per edge id.
+    edge_truss: Vec<u32>,
+    /// Trussness per vertex (max incident edge trussness; 0 if isolated).
+    vertex_truss: Vec<u32>,
+    /// Maximum trussness of any edge — `τ̄(∅)`.
+    max_truss: u32,
+    /// Row offsets (copied from the CSR so the index is self-contained).
+    offsets: Vec<u32>,
+    /// Neighbor ids, each row sorted by (desc trussness, asc id).
+    sorted_nbr: Vec<u32>,
+    /// Edge ids parallel to `sorted_nbr`.
+    sorted_edge: Vec<u32>,
+    /// Canonical `(u, v) → edge id` hashtable (paper: "we build a hashtable
+    /// to keep all the edges and their trussness values").
+    edge_map: FxHashMap<(u32, u32), u32>,
+}
+
+impl TrussIndex {
+    /// Builds the index for `g` (runs a truss decomposition).
+    pub fn build(g: &CsrGraph) -> Self {
+        let decomp = truss_decomposition(g);
+        Self::from_decomposition(g, &decomp)
+    }
+
+    /// Builds the index from a precomputed decomposition.
+    pub fn from_decomposition(g: &CsrGraph, decomp: &TrussDecomposition) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let edge_truss = decomp.edge_truss.clone();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut sorted_nbr = Vec::with_capacity(2 * m);
+        let mut sorted_edge = Vec::with_capacity(2 * m);
+        let mut vertex_truss = vec![0u32; n];
+        let mut row: Vec<(u32, u32, u32)> = Vec::new(); // (truss, nbr, edge)
+        for v in 0..n {
+            let v = VertexId::from(v);
+            row.clear();
+            for (nb, e) in g.incident(v) {
+                row.push((edge_truss[e.index()], nb.0, e.0));
+            }
+            // Descending trussness, ascending neighbor id inside a level.
+            row.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            if let Some(&(t, _, _)) = row.first() {
+                vertex_truss[v.index()] = t;
+            }
+            for &(_, nb, e) in &row {
+                sorted_nbr.push(nb);
+                sorted_edge.push(e);
+            }
+            offsets.push(sorted_nbr.len() as u32);
+        }
+        let mut edge_map = fx_map_with_capacity(m);
+        for (e, u, v) in g.edges() {
+            edge_map.insert((u.0, v.0), e.0);
+        }
+        TrussIndex {
+            edge_truss,
+            vertex_truss,
+            max_truss: decomp.max_truss,
+            offsets,
+            sorted_nbr,
+            sorted_edge,
+            edge_map,
+        }
+    }
+
+    /// Trussness of edge `e`.
+    #[inline(always)]
+    pub fn edge_truss(&self, e: EdgeId) -> u32 {
+        self.edge_truss[e.index()]
+    }
+
+    /// The whole per-edge trussness array.
+    #[inline]
+    pub fn edge_truss_slice(&self) -> &[u32] {
+        &self.edge_truss
+    }
+
+    /// Trussness of vertex `v` (Lemma 1 upper bound `k ≤ min_q τ(q)` uses
+    /// this).
+    #[inline(always)]
+    pub fn vertex_truss(&self, v: VertexId) -> u32 {
+        self.vertex_truss[v.index()]
+    }
+
+    /// `τ̄(∅)`: the maximum trussness of any edge of the indexed graph.
+    #[inline(always)]
+    pub fn max_truss(&self) -> u32 {
+        self.max_truss
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges covered.
+    pub fn num_edges(&self) -> usize {
+        self.edge_truss.len()
+    }
+
+    /// Trussness of the edge `{u, v}` via the hashtable (`None` if absent).
+    pub fn truss_of_pair(&self, u: VertexId, v: VertexId) -> Option<u32> {
+        let key = if u.0 < v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        self.edge_map.get(&key).map(|&e| self.edge_truss[e as usize])
+    }
+
+    /// Edge id of `{u, v}` via the hashtable.
+    pub fn edge_of_pair(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        let key = if u.0 < v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        self.edge_map.get(&key).map(|&e| EdgeId(e))
+    }
+
+    /// The truss-sorted row of `v`: parallel `(neighbors, edge ids)` slices
+    /// ordered by descending edge trussness.
+    #[inline]
+    pub fn sorted_row(&self, v: VertexId) -> (&[u32], &[u32]) {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        (&self.sorted_nbr[lo..hi], &self.sorted_edge[lo..hi])
+    }
+
+    /// Iterator over `(neighbor, edge, trussness)` of `v`'s incident edges
+    /// with trussness ≥ `k` (a row prefix).
+    pub fn incident_at_least(
+        &self,
+        v: VertexId,
+        k: u32,
+    ) -> impl Iterator<Item = (VertexId, EdgeId, u32)> + '_ {
+        let (nbrs, edges) = self.sorted_row(v);
+        nbrs.iter()
+            .zip(edges.iter())
+            .map(|(&nb, &e)| (VertexId(nb), EdgeId(e), self.edge_truss[e as usize]))
+            .take_while(move |&(_, _, t)| t >= k)
+    }
+
+    /// Approximate in-memory footprint in bytes (used by Table 3).
+    pub fn memory_bytes(&self) -> usize {
+        self.edge_truss.len() * 4
+            + self.vertex_truss.len() * 4
+            + self.offsets.len() * 4
+            + self.sorted_nbr.len() * 4
+            + self.sorted_edge.len() * 4
+            // hashtable entries: key (8) + value (4), plus ~1/0.875 load
+            + (self.edge_map.len() * 12 * 8) / 7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure1_graph, Figure1Ids};
+    use ctc_graph::graph_from_edges;
+
+    #[test]
+    fn rows_sorted_by_descending_truss() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        for v in g.vertices() {
+            let (_, edges) = idx.sorted_row(v);
+            let ts: Vec<u32> = edges.iter().map(|&e| idx.edge_truss(EdgeId(e))).collect();
+            assert!(ts.windows(2).all(|w| w[0] >= w[1]), "row of {v} not sorted: {ts:?}");
+        }
+    }
+
+    #[test]
+    fn vertex_truss_is_first_row_entry() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        let f = Figure1Ids::default();
+        assert_eq!(idx.vertex_truss(f.q2), 4);
+        assert_eq!(idx.vertex_truss(f.t), 2);
+        for v in g.vertices() {
+            let (_, edges) = idx.sorted_row(v);
+            let first = edges.first().map(|&e| idx.edge_truss(EdgeId(e))).unwrap_or(0);
+            assert_eq!(idx.vertex_truss(v), first);
+        }
+    }
+
+    #[test]
+    fn hashtable_agrees_with_csr() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        for (e, u, v) in g.edges() {
+            assert_eq!(idx.truss_of_pair(u, v), Some(idx.edge_truss(e)));
+            assert_eq!(idx.truss_of_pair(v, u), Some(idx.edge_truss(e)));
+            assert_eq!(idx.edge_of_pair(u, v), Some(e));
+        }
+        let f = Figure1Ids::default();
+        assert_eq!(idx.truss_of_pair(f.q2, f.q3), None);
+    }
+
+    #[test]
+    fn incident_at_least_is_prefix() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        let f = Figure1Ids::default();
+        // q1 has 4 trussness-4 edges and the trussness-2 edge to t.
+        let at4: Vec<_> = idx.incident_at_least(f.q1, 4).collect();
+        assert_eq!(at4.len(), 3);
+        let at2: Vec<_> = idx.incident_at_least(f.q1, 2).collect();
+        assert_eq!(at2.len(), 4);
+        assert!(at2.iter().any(|&(nb, _, t)| nb == f.t && t == 2));
+    }
+
+    #[test]
+    fn max_truss_matches_decomposition() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        assert_eq!(idx.max_truss(), 4);
+        assert_eq!(idx.num_edges(), g.num_edges());
+        assert_eq!(idx.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn memory_accounting_nonzero() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2)]);
+        let idx = TrussIndex::build(&g);
+        assert!(idx.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn isolated_vertex_truss_is_zero() {
+        let mut b = ctc_graph::GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertices(3);
+        let g = b.build();
+        let idx = TrussIndex::build(&g);
+        assert_eq!(idx.vertex_truss(VertexId(2)), 0);
+        assert!(idx.sorted_row(VertexId(2)).0.is_empty());
+    }
+}

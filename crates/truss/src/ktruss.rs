@@ -1,0 +1,92 @@
+//! K-truss extraction helpers on top of the index.
+
+use crate::index::TrussIndex;
+use ctc_graph::{CsrGraph, EdgeId, UnionFind, VertexId};
+
+/// All edges with trussness ≥ `k` (the maximal, possibly disconnected,
+/// k-truss of the indexed graph).
+pub fn ktruss_edges(idx: &TrussIndex, k: u32) -> Vec<EdgeId> {
+    idx.edge_truss_slice()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t >= k)
+        .map(|(e, _)| EdgeId::from(e))
+        .collect()
+}
+
+/// Connected components of the maximal k-truss, each as an edge list.
+///
+/// These are the paper's "maximal connected k-trusses"; `FindG0` returns the
+/// one covering the query set.
+pub fn connected_ktruss_components(
+    g: &CsrGraph,
+    idx: &TrussIndex,
+    k: u32,
+) -> Vec<Vec<EdgeId>> {
+    let edges = ktruss_edges(idx, k);
+    let mut uf = UnionFind::new(g.num_vertices());
+    for &e in &edges {
+        let (u, v) = g.edge_endpoints(e);
+        uf.union(u.0, v.0);
+    }
+    let mut by_rep: ctc_graph::FxHashMap<u32, Vec<EdgeId>> = Default::default();
+    for &e in &edges {
+        let (u, _) = g.edge_endpoints(e);
+        by_rep.entry(uf.find(u.0)).or_default().push(e);
+    }
+    let mut comps: Vec<Vec<EdgeId>> = by_rep.into_values().collect();
+    comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    comps
+}
+
+/// Vertices covered by an edge list (ascending, deduplicated).
+pub fn edge_list_vertices(g: &CsrGraph, edges: &[EdgeId]) -> Vec<VertexId> {
+    let mut vs: Vec<u32> = Vec::with_capacity(edges.len());
+    for &e in edges {
+        let (u, v) = g.edge_endpoints(e);
+        vs.push(u.0);
+        vs.push(v.0);
+    }
+    vs.sort_unstable();
+    vs.dedup();
+    vs.into_iter().map(VertexId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure1_graph, figure4_graph};
+    use crate::index::TrussIndex;
+
+    #[test]
+    fn figure4_level4_has_two_components() {
+        let g = figure4_graph();
+        let idx = TrussIndex::build(&g);
+        let comps = connected_ktruss_components(&g, &idx, 4);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 6);
+        assert_eq!(comps[1].len(), 6);
+        let comps2 = connected_ktruss_components(&g, &idx, 2);
+        assert_eq!(comps2.len(), 1);
+        assert_eq!(comps2[0].len(), 13);
+    }
+
+    #[test]
+    fn figure1_level4_is_one_component() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        let comps = connected_ktruss_components(&g, &idx, 4);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 23);
+        let vs = edge_list_vertices(&g, &comps[0]);
+        assert_eq!(vs.len(), 11);
+    }
+
+    #[test]
+    fn level_above_max_is_empty() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        assert!(ktruss_edges(&idx, idx.max_truss() + 1).is_empty());
+        assert!(connected_ktruss_components(&g, &idx, 99).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # ctc-truss — the k-truss engine
+//!
+//! Truss decomposition, the paper's compact truss index, `FindG0`
+//! (Algorithm 2), k-truss maintenance under deletion (Algorithm 3), k-truss
+//! component extraction, and the triangle-connected (TCP) community model
+//! that *Approximate Closest Community Search in Networks* (VLDB'15)
+//! contrasts against.
+//!
+//! ```
+//! use ctc_truss::{TrussIndex, find_g0, fixtures};
+//! use ctc_graph::VertexId;
+//!
+//! let g = fixtures::figure1_graph();
+//! let f = fixtures::Figure1Ids::default();
+//! let idx = TrussIndex::build(&g);
+//! let g0 = find_g0(&g, &idx, &[f.q1, f.q2, f.q3]).unwrap();
+//! assert_eq!(g0.k, 4);           // the largest k covering the query
+//! assert_eq!(g0.vertices.len(), 11); // the grey region of Figure 1
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod decompose;
+pub mod find_g0;
+pub mod fixtures;
+pub mod index;
+pub mod ktruss;
+pub mod maintain;
+pub mod tcp;
+
+pub use decompose::{
+    graph_trussness, is_k_truss, naive_truss_decomposition, truss_decomposition,
+    TrussDecomposition,
+};
+pub use find_g0::{find_g0, find_ktruss_containing, g0_subgraph, G0};
+pub use index::TrussIndex;
+pub use ktruss::{connected_ktruss_components, edge_list_vertices, ktruss_edges};
+pub use maintain::{CascadeReport, TrussMaintainer};
+pub use tcp::{tcp_communities, tcp_feasible, TcpCommunity};

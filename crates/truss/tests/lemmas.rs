@@ -1,0 +1,196 @@
+//! The paper's structural lemmas (§3.1), tested mechanically.
+
+use ctc_graph::{
+    bfs_distances, diameter_exact, edge_subgraph, graph_from_edges, is_connected, CsrGraph,
+    DynGraph, VertexId, INF,
+};
+use ctc_truss::fixtures::{clique, figure1_graph, figure1b_vertices, Figure1Ids};
+use ctc_truss::{connected_ktruss_components, find_g0, truss_decomposition, TrussIndex};
+use proptest::prelude::*;
+
+/// Lemma 1: the trussness of any connected k-truss containing Q is at most
+/// `min_q τ(q)`.
+#[test]
+fn lemma1_k_bounded_by_query_vertex_truss() {
+    let g = figure1_graph();
+    let idx = TrussIndex::build(&g);
+    let f = Figure1Ids::default();
+    for q in [vec![f.q1], vec![f.q1, f.t], vec![f.q2, f.q3], vec![f.t]] {
+        if let Ok(g0) = find_g0(&g, &idx, &q) {
+            let bound = q.iter().map(|&v| idx.vertex_truss(v)).min().unwrap();
+            assert!(g0.k <= bound, "k {} exceeds Lemma 1 bound {}", g0.k, bound);
+        }
+    }
+}
+
+/// §3.1: the diameter of a connected k-truss with n vertices is at most
+/// ⌊(2n − 2) / k⌋.
+#[test]
+fn ktruss_diameter_bound() {
+    let g = figure1_graph();
+    let idx = TrussIndex::build(&g);
+    for k in 3..=idx.max_truss() {
+        for comp in connected_ktruss_components(&g, &idx, k) {
+            let sub = edge_subgraph(&g, &comp);
+            let n = sub.num_vertices() as u32;
+            let d = diameter_exact(&sub.graph);
+            assert!(
+                d <= (2 * n - 2) / k,
+                "k={k}: diameter {d} exceeds bound {}",
+                (2 * n - 2) / k
+            );
+        }
+    }
+}
+
+/// §3.1: a connected k-truss is (k−1)-edge-connected — removing any k−2
+/// edges leaves it connected. Exhaustive over all (k−2)-subsets on the
+/// Figure 1(b) community (k = 4: all edge pairs).
+#[test]
+fn ktruss_edge_connectivity() {
+    let g = figure1_graph();
+    let b = ctc_graph::induced_subgraph(&g, &figure1b_vertices());
+    let m = b.graph.num_edges();
+    for e1 in 0..m {
+        for e2 in (e1 + 1)..m {
+            let mut live = DynGraph::new(&b.graph);
+            live.remove_edge(ctc_graph::EdgeId::from(e1));
+            live.remove_edge(ctc_graph::EdgeId::from(e2));
+            assert!(
+                is_connected(&live),
+                "removing edges {e1},{e2} disconnected a 4-truss"
+            );
+        }
+    }
+}
+
+/// Hierarchy: the k-truss is contained in the (k−1)-truss for all k ≥ 3.
+#[test]
+fn truss_hierarchy_nesting() {
+    let g = figure1_graph();
+    let d = truss_decomposition(&g);
+    for k in 3..=d.max_truss {
+        for (e, _, _) in g.edges() {
+            if d.truss(e) >= k {
+                assert!(d.truss(e) >= k - 1, "hierarchy violated");
+            }
+        }
+    }
+    // Cliques: τ(K_n) = n and every subset relation holds trivially.
+    for n in 4..=7u32 {
+        let kn = clique(n);
+        let dk = truss_decomposition(&kn);
+        assert!(dk.edge_truss.iter().all(|&t| t == n));
+    }
+}
+
+/// Fact 1 (the engine behind Lemma 3): distances are non-decreasing under
+/// subgraph shrinkage.
+fn check_fact1(edges: &[(u32, u32)], removed: &[usize], src: u32) {
+    let g = graph_from_edges(edges);
+    let n = g.num_vertices();
+    if n == 0 {
+        return;
+    }
+    let src = VertexId(src % n as u32);
+    let before = bfs_distances(&g, src);
+    let mut live = DynGraph::new(&g);
+    for &r in removed {
+        if g.num_edges() > 0 {
+            live.remove_edge(ctc_graph::EdgeId::from(r % g.num_edges()));
+        }
+    }
+    if !live.is_vertex_alive(src) {
+        return;
+    }
+    let mut scratch = ctc_graph::BfsScratch::new(n);
+    scratch.run(&live, src);
+    for v in 0..n {
+        let v = VertexId::from(v);
+        let after = scratch.dist(v);
+        if after != INF {
+            assert!(
+                after >= before[v.index()],
+                "distance decreased after deletion: {} < {}",
+                after,
+                before[v.index()]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fact1_distances_monotone_under_shrinkage(
+        edges in proptest::collection::vec((0u32..12, 0u32..12), 1..40),
+        removed in proptest::collection::vec(0usize..64, 0..8),
+        src in 0u32..12,
+    ) {
+        check_fact1(&edges, &removed, src);
+    }
+
+    /// Lemma 2 on arbitrary connected graphs: dist(G,Q) ≤ diam ≤ 2·dist(G,Q).
+    #[test]
+    fn lemma2_bounds(
+        edges in proptest::collection::vec((0u32..10, 0u32..10), 4..40),
+        q_raw in proptest::collection::vec(0u32..10, 1..4),
+    ) {
+        let g = graph_from_edges(&edges);
+        if g.num_vertices() == 0 || !is_connected(&g) {
+            return Ok(());
+        }
+        let n = g.num_vertices() as u32;
+        let mut q: Vec<VertexId> = q_raw.iter().map(|&v| VertexId(v % n)).collect();
+        q.sort();
+        q.dedup();
+        let mut scratch = ctc_graph::BfsScratch::new(n as usize);
+        let qd = ctc_graph::graph_query_distance(&g, &q, &mut scratch);
+        let diam = diameter_exact(&g);
+        prop_assert!(qd <= diam);
+        prop_assert!(diam <= 2 * qd.max(1));
+    }
+
+    /// Every edge's trussness is realized: the τ(e)-truss containing e is a
+    /// genuine τ(e)-truss, and e is not in any (τ(e)+1)-truss.
+    #[test]
+    fn trussness_is_tight(edges in proptest::collection::vec((0u32..10, 0u32..10), 3..40)) {
+        let g = graph_from_edges(&edges);
+        let d = truss_decomposition(&g);
+        let idx = TrussIndex::build(&g);
+        for (e, _, _) in g.edges() {
+            let k = d.truss(e);
+            // e appears among the τ ≥ k components...
+            let comps = connected_ktruss_components(&g, &idx, k);
+            prop_assert!(comps.iter().any(|c| c.contains(&e)));
+            // ...and each such component is a valid k-truss.
+            for c in &comps {
+                if c.contains(&e) {
+                    let sub = edge_subgraph(&g, c);
+                    prop_assert!(ctc_truss::is_k_truss(&sub.graph, k));
+                }
+            }
+            // but never at level k+1.
+            let higher = connected_ktruss_components(&g, &idx, k + 1);
+            prop_assert!(!higher.iter().any(|c| c.contains(&e)));
+        }
+    }
+}
+
+/// Degenerate inputs stay sane end to end.
+#[test]
+fn degenerate_graphs() {
+    // Single edge.
+    let g: CsrGraph = graph_from_edges(&[(0, 1)]);
+    let d = truss_decomposition(&g);
+    assert_eq!(d.max_truss, 2);
+    let idx = TrussIndex::build(&g);
+    let g0 = find_g0(&g, &idx, &[VertexId(0), VertexId(1)]).unwrap();
+    assert_eq!(g0.k, 2);
+    assert_eq!(g0.edges.len(), 1);
+    // Star: no triangles anywhere.
+    let star = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+    let ds = truss_decomposition(&star);
+    assert!(ds.edge_truss.iter().all(|&t| t == 2));
+}

@@ -1,0 +1,94 @@
+//! LCTC parameter exploration: the η / γ knobs and the fixed-k tradeoff.
+//!
+//! Mirrors Exp-5 and Exp-6 of the paper at demo scale: sweep the expansion
+//! budget η, the truss-distance penalty γ, and the fixed trussness `k`
+//! ("trading trussness for diameter", §7.1), showing how each knob moves
+//! community size, diameter and trussness.
+//!
+//! Run with: `cargo run --release --example parameter_tuning`
+
+use ctc::gen::planted_equal;
+use ctc::prelude::*;
+
+fn main() {
+    // Dense planted circles (60 members, p_in = 0.5) give a deep truss
+    // hierarchy, so the fixed-k sweep has room to show the tradeoff.
+    let gt = planted_equal(40, 60, 0.5, 1.2, 0x7E57);
+    let g = &gt.graph;
+    println!("planted network: {} vertices, {} edges\n", g.num_vertices(), g.num_edges());
+    let searcher = CtcSearcher::new(g);
+    let mut qgen = QueryGenerator::new(g, 3);
+    // Two workloads: a *spread* query (members in different circles) where
+    // the exploration knobs bite, and a *tight* in-circle query where the
+    // paper's "parameter-free is safe" story shows.
+    let spread = qgen.sample(3, DegreeRank::top(0.8), 2).expect("spread query");
+    let (tight, _) = qgen.sample_from_ground_truth(&gt, 3).expect("tight query");
+    println!(
+        "spread query: {:?}   tight query: {:?}\n",
+        spread.iter().map(|v| v.0).collect::<Vec<_>>(),
+        tight.iter().map(|v| v.0).collect::<Vec<_>>()
+    );
+    let q = spread;
+
+    // Sweep η.
+    let mut t = Table::new(["η", "k", "|V|", "diameter", "time"]);
+    for eta in [50usize, 100, 250, 500, 1000, 2000] {
+        let cfg = CtcConfig::new().eta(eta);
+        match searcher.local(&q, &cfg) {
+            Ok(c) => {
+                t.row([
+                    eta.to_string(),
+                    c.k.to_string(),
+                    c.num_vertices().to_string(),
+                    c.diameter().to_string(),
+                    format!("{:.1}ms", c.timings.total.as_secs_f64() * 1e3),
+                ]);
+            }
+            Err(e) => {
+                t.row([eta.to_string(), "-".into(), "-".into(), "-".into(), e.to_string()]);
+            }
+        }
+    }
+    println!("varying η (γ = 3):\n{}", t.render());
+
+    // Sweep γ.
+    let mut t = Table::new(["γ", "k", "|V|", "diameter"]);
+    for gamma in [0.0, 1.0, 3.0, 5.0, 9.0] {
+        let cfg = CtcConfig::new().gamma(gamma);
+        match searcher.local(&q, &cfg) {
+            Ok(c) => {
+                t.row([
+                    format!("{gamma}"),
+                    c.k.to_string(),
+                    c.num_vertices().to_string(),
+                    c.diameter().to_string(),
+                ]);
+            }
+            Err(e) => {
+                t.row([format!("{gamma}"), "-".into(), "-".into(), e.to_string()]);
+            }
+        }
+    }
+    println!("varying γ (η = 1000):\n{}", t.render());
+
+    // Fixed-k sweep (Fig. 14 / §7.1) on the tight query, where the full
+    // truss hierarchy is available.
+    let q = tight;
+    let max_k = searcher
+        .local(&q, &CtcConfig::default())
+        .map(|c| c.k)
+        .unwrap_or(2);
+    let mut t = Table::new(["fixed k", "|V|", "diameter"]);
+    for k in 2..=max_k {
+        let cfg = CtcConfig::new().fixed_k(k);
+        match searcher.local(&q, &cfg) {
+            Ok(c) => {
+                t.row([k.to_string(), c.num_vertices().to_string(), c.diameter().to_string()]);
+            }
+            Err(e) => {
+                t.row([k.to_string(), "-".into(), e.to_string()]);
+            }
+        }
+    }
+    println!("trading trussness for diameter (fixed k):\n{}", t.render());
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the paper's Figure 1 worked end to end.
+//!
+//! Builds the running-example graph, runs all three CTC algorithms for
+//! `Q = {q1, q2, q3}` and prints what each returns — including the
+//! free-rider vertices `p1, p2, p3` that Basic removes and BulkDelete
+//! keeps (Examples 4 and 7 of the paper).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ctc::prelude::*;
+use ctc::truss::fixtures::{figure1_graph, Figure1Ids};
+
+fn main() {
+    let g = figure1_graph();
+    let f = Figure1Ids::default();
+    let q = [f.q1, f.q2, f.q3];
+    println!(
+        "Figure 1 graph: {} vertices, {} edges; query = q1, q2, q3\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let searcher = CtcSearcher::new(&g);
+    println!("max edge trussness τ̄(∅) = {}\n", searcher.index().max_truss());
+
+    let cfg = CtcConfig::default();
+    let mut table = Table::new(["algorithm", "k", "|V|", "|E|", "diameter", "density", "free riders removed"]);
+    for (name, community) in [
+        ("Truss (FindG0 only)", searcher.truss_only(&q, &cfg).unwrap()),
+        ("Basic (Alg. 1)", searcher.basic(&q, &cfg).unwrap()),
+        ("BulkDelete (Alg. 4)", searcher.bulk_delete(&q, &cfg).unwrap()),
+        ("LCTC (Alg. 5)", searcher.local(&q, &cfg).unwrap()),
+    ] {
+        let riders_removed = [f.p1, f.p2, f.p3]
+            .iter()
+            .filter(|p| !community.vertices.contains(p))
+            .count();
+        table.row([
+            name.to_string(),
+            community.k.to_string(),
+            community.num_vertices().to_string(),
+            community.num_edges().to_string(),
+            community.diameter().to_string(),
+            format!("{:.2}", community.density()),
+            format!("{riders_removed}/3"),
+        ]);
+        community.validate(&q).expect("every result is a connected k-truss containing Q");
+    }
+    println!("{}", table.render());
+
+    println!(
+        "Basic recovers the paper's Figure 1(b): the 4-truss on {{q1,q2,q3,v1..v5}} \
+         with diameter 3 — the optimal closest truss community.\n\
+         BulkDelete trades that optimality for speed (Example 7 keeps all of G0),\n\
+         and LCTC gets the same community by looking only at a local neighborhood."
+    );
+}

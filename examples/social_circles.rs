@@ -1,0 +1,77 @@
+//! Community search on a social network with planted ground truth:
+//! CTC algorithms vs the MDC / QDC / k-core baselines, scored by F1.
+//!
+//! A planted-partition "social circles" graph is generated (the Exp-3
+//! setup at demo scale); query sets are sampled from single ground-truth
+//! communities; every model's detected community is compared against the
+//! planted one.
+//!
+//! Run with: `cargo run --release --example social_circles`
+
+use ctc::eval::{fmt_secs, mean_std};
+use ctc::gen::planted_equal;
+use ctc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // 30 circles of 30 people, dense inside, noisy between.
+    let gt = planted_equal(30, 30, 0.55, 1.0, 0x50C1A1);
+    let g = &gt.graph;
+    println!(
+        "social network: {} people, {} friendships, {} planted circles\n",
+        g.num_vertices(),
+        g.num_edges(),
+        gt.communities.len()
+    );
+
+    let searcher = CtcSearcher::new(g);
+    let cfg = CtcConfig::default();
+    let mut qgen = QueryGenerator::new(g, 7);
+
+    let trials = 25;
+    let mut scores: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+    let mut times: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+    for _ in 0..trials {
+        let (q, ci) = qgen.sample_from_ground_truth(&gt, 3).expect("sampling");
+        let truth = &gt.communities[ci];
+        let mut record = |name: &'static str, result: Result<Community, String>, secs: f64| {
+            let f1 = result.map(|c| f1_score(&c.vertices, truth).f1).unwrap_or(0.0);
+            scores.entry(name).or_default().push(f1);
+            times.entry(name).or_default().push(secs);
+        };
+        let run = |f: &dyn Fn() -> Result<Community, String>| -> (Result<Community, String>, f64) {
+            let t = Instant::now();
+            let r = f();
+            (r, t.elapsed().as_secs_f64())
+        };
+        let (r, s) = run(&|| searcher.local(&q, &cfg).map_err(|e| e.to_string()));
+        record("LCTC", r, s);
+        let (r, s) = run(&|| searcher.bulk_delete(&q, &cfg).map_err(|e| e.to_string()));
+        record("BD", r, s);
+        let (r, s) = run(&|| searcher.truss_only(&q, &cfg).map_err(|e| e.to_string()));
+        record("Truss", r, s);
+        let (r, s) = run(&|| mdc(g, &q, &MdcConfig::default()).map_err(|e| e.to_string()));
+        record("MDC", r, s);
+        let (r, s) = run(&|| qdc(g, &q, &QdcConfig::default()).map_err(|e| e.to_string()));
+        record("QDC", r, s);
+        let (r, s) = run(&|| kcore_community(g, &q).map_err(|e| e.to_string()));
+        record("k-core", r, s);
+    }
+
+    let mut table = Table::new(["model", "mean F1", "std", "mean time"]);
+    for (name, f1s) in &scores {
+        let (mean, std) = mean_std(f1s);
+        let (t_mean, _) = mean_std(&times[name]);
+        table.row([
+            name.to_string(),
+            format!("{mean:.3}"),
+            format!("{std:.3}"),
+            fmt_secs(t_mean),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "({} query sets of 3 members each, sampled inside single planted circles)",
+        trials
+    );
+}

@@ -1,0 +1,76 @@
+//! Community search on an *uncertain* network — the paper's §8 future-work
+//! direction, implemented in `ctc-prob`.
+//!
+//! A protein-interaction-style graph where edges carry confidence scores:
+//! the (k, γ)-truss decomposition finds reliably-dense substructures, and
+//! Monte-Carlo CTC reports per-vertex inclusion confidence for a query.
+//!
+//! Run with: `cargo run --release --example uncertain_network`
+
+use ctc::prelude::*;
+use ctc::prob::{monte_carlo_ctc, prob_truss_decomposition, ProbGraph};
+use ctc::truss::fixtures::{figure1_graph, Figure1Ids};
+
+fn main() {
+    // Figure 1's topology, but interactions have confidences: the dense
+    // community edges are well-attested (0.95), the free-rider clique is
+    // mid-confidence (0.7), and the bridge through t is speculative (0.3).
+    let g = figure1_graph();
+    let f = Figure1Ids::default();
+    let mut probs = vec![0.95; g.num_edges()];
+    for pair in [(f.q3, f.p1), (f.q3, f.p2), (f.q3, f.p3), (f.p1, f.p2), (f.p1, f.p3), (f.p2, f.p3)]
+    {
+        probs[g.edge_between(pair.0, pair.1).unwrap().index()] = 0.7;
+    }
+    for pair in [(f.q1, f.t), (f.t, f.q3)] {
+        probs[g.edge_between(pair.0, pair.1).unwrap().index()] = 0.3;
+    }
+    let pg = ProbGraph::new(g.clone(), probs).expect("valid probabilities");
+    println!(
+        "uncertain network: {} vertices, {} possible edges, {:.1} expected edges\n",
+        g.num_vertices(),
+        g.num_edges(),
+        pg.expected_edges()
+    );
+
+    // (k, γ)-truss decomposition at different confidence levels.
+    println!("(k,γ)-truss: max probabilistic trussness by confidence γ");
+    let mut t = Table::new(["γ", "max k", "edges at max k"]);
+    for gamma in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let d = prob_truss_decomposition(&pg, gamma);
+        let at_max = d.edge_truss.iter().filter(|&&t| t == d.max_truss).count();
+        t.row([format!("{gamma}"), d.max_truss.to_string(), at_max.to_string()]);
+    }
+    println!("{}", t.render());
+
+    // Monte-Carlo CTC for the three query vertices.
+    let q = [f.q1, f.q2, f.q3];
+    let mc = monte_carlo_ctc(&pg, &q, &CtcConfig::default(), 200, 7).expect("search");
+    println!(
+        "Monte-Carlo CTC over {} worlds (query reliable in {:.0}% of them, mean k = {:.2}):",
+        mc.worlds,
+        100.0 * mc.query_reliability(),
+        mc.expected_k
+    );
+    let names = ["q1", "q2", "q3", "v1", "v2", "v3", "v4", "v5", "p1", "p2", "p3", "t"];
+    let mut t = Table::new(["vertex", "inclusion", "verdict"]);
+    for v in g.vertices() {
+        let inc = mc.inclusion[v.index()];
+        if inc == 0.0 {
+            continue;
+        }
+        let verdict = if inc >= 0.9 {
+            "core member"
+        } else if inc >= 0.4 {
+            "borderline"
+        } else {
+            "unlikely"
+        };
+        t.row([names[v.index()].to_string(), format!("{:.2}", inc), verdict.to_string()]);
+    }
+    println!("{}", t.render());
+    println!(
+        "community at 90% confidence: {:?}",
+        mc.at_confidence(0.9).iter().map(|v| names[v.index()]).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,207 @@
+//! The paper's approximation guarantees, checked against brute force.
+//!
+//! For small graphs the optimal CTC is computable exactly: enumerate vertex
+//! supersets of `Q`, peel each induced subgraph to its maximal k-truss, and
+//! take the minimum diameter among connected candidates at the maximum
+//! feasible trussness. (Taking the *maximal* k-truss per vertex set is
+//! sound: adding edges over the same vertices never raises the diameter and
+//! never breaks the truss condition, so some optimum is edge-maximal.)
+//!
+//! Theorem 3: `diam(Basic) ≤ 2·diam(OPT)`.
+//! Theorem 6: `diam(BD) ≤ 2·diam(OPT) + 2`.
+
+use ctc::prelude::*;
+use ctc::truss::fixtures::{figure1_graph, Figure1Ids};
+use ctc_graph::{
+    diameter_exact, edge_supports, graph_from_edges, induced_subgraph, CsrGraph, DynGraph,
+    VertexId, INF,
+};
+use proptest::prelude::*;
+
+/// Maximal k-truss of `g` (peel edges with support < k−2 to fixpoint);
+/// returns the surviving graph as a DynGraph snapshot materialized anew.
+fn peel_to_ktruss(g: &CsrGraph, k: u32) -> CsrGraph {
+    let mut live = DynGraph::new(g);
+    loop {
+        let doomed: Vec<_> = live
+            .alive_edges()
+            .filter(|&(_, u, v)| {
+                let mut c = 0u32;
+                live.for_each_common_neighbor(u, v, |_, _, _| c += 1);
+                c + 2 < k
+            })
+            .map(|(e, _, _)| e)
+            .collect();
+        if doomed.is_empty() {
+            break;
+        }
+        for e in doomed {
+            live.remove_edge(e);
+        }
+    }
+    ctc_graph::alive_subgraph(&live).graph
+}
+
+/// Exact CTC by exhaustive search: returns `(k_max, optimal diameter)`.
+///
+/// Only call on graphs with ≤ ~16 non-query vertices.
+fn brute_force_ctc(g: &CsrGraph, q: &[VertexId]) -> Option<(u32, u32)> {
+    let others: Vec<VertexId> = g.vertices().filter(|v| !q.contains(v)).collect();
+    assert!(others.len() <= 16, "brute force explosion");
+    let mut best: Option<(u32, u32)> = None; // (k, diameter)
+    for mask in 0u32..(1 << others.len()) {
+        let mut vs: Vec<VertexId> = q.to_vec();
+        for (i, &v) in others.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                vs.push(v);
+            }
+        }
+        let sub = induced_subgraph(g, &vs);
+        let ql: Vec<VertexId> = match sub.locals(q) {
+            Some(l) => l,
+            None => continue,
+        };
+        // Try every k from high to low on this vertex set.
+        for k in (2..=16u32).rev() {
+            let peeled = peel_to_ktruss(&sub.graph, k);
+            // Every query vertex must survive with at least one edge — a
+            // bare vertex is not a k-truss community.
+            if ql.iter().any(|&v| peeled.degree(v) == 0) {
+                continue;
+            }
+            let mut scratch = ctc_graph::BfsScratch::new(peeled.num_vertices());
+            if !ctc_graph::query_connected(&peeled, &ql, &mut scratch) {
+                continue;
+            }
+            // Restrict to Q's component for the diameter.
+            scratch.run(&peeled, ql[0]);
+            let comp: Vec<VertexId> = scratch.reached().collect();
+            let csub = induced_subgraph(&peeled, &comp);
+            // The component of a k-truss peel is itself a k-truss? Induced
+            // on component keeps exactly the component's edges ✓.
+            let sup = edge_supports(&csub.graph);
+            if sup.iter().any(|&s| s + 2 < k) || csub.num_edges() == 0 {
+                continue;
+            }
+            let d = diameter_exact(&csub.graph);
+            if d == INF {
+                continue;
+            }
+            best = match best {
+                None => Some((k, d)),
+                Some((bk, bd)) => {
+                    if k > bk || (k == bk && d < bd) {
+                        Some((k, d))
+                    } else {
+                        Some((bk, bd))
+                    }
+                }
+            };
+            break; // higher k found for this set; lower k on same set can
+                   // only matter if it had higher global k — handled by the
+                   // max over sets
+        }
+    }
+    best
+}
+
+#[test]
+fn figure1_brute_force_confirms_example4() {
+    let g = figure1_graph();
+    let f = Figure1Ids::default();
+    let q = [f.q1, f.q2, f.q3];
+    let (k, opt) = brute_force_ctc(&g, &q).expect("feasible");
+    assert_eq!(k, 4);
+    assert_eq!(opt, 3, "Figure 1(b) is optimal");
+    let searcher = CtcSearcher::new(&g);
+    let basic = searcher.basic(&q, &CtcConfig::default()).unwrap();
+    assert_eq!(basic.k, k);
+    assert!(basic.diameter() <= 2 * opt);
+    // On this instance Basic is exactly optimal (Example 4).
+    assert_eq!(basic.diameter(), opt);
+}
+
+#[test]
+fn figure1_bd_within_guarantee() {
+    let g = figure1_graph();
+    let f = Figure1Ids::default();
+    let q = [f.q1, f.q2, f.q3];
+    let (_, opt) = brute_force_ctc(&g, &q).expect("feasible");
+    let searcher = CtcSearcher::new(&g);
+    let bd = searcher.bulk_delete(&q, &CtcConfig::default()).unwrap();
+    assert!(
+        bd.diameter() <= 2 * opt + 2,
+        "BD diameter {} vs bound {}",
+        bd.diameter(),
+        2 * opt + 2
+    );
+}
+
+/// Random small graphs: every algorithm returns a valid community whose
+/// trussness matches the brute-force max, and Basic honors the
+/// 2-approximation.
+fn check_on_graph(edges: &[(u32, u32)], q_raw: &[u32]) {
+    let g = graph_from_edges(edges);
+    if g.num_vertices() < 2 {
+        return;
+    }
+    let q: Vec<VertexId> = q_raw
+        .iter()
+        .map(|&v| VertexId(v % g.num_vertices() as u32))
+        .collect();
+    let mut qd: Vec<VertexId> = q.clone();
+    qd.sort();
+    qd.dedup();
+    if qd.iter().any(|&v| g.degree(v) == 0) {
+        return;
+    }
+    let searcher = CtcSearcher::new(&g);
+    let cfg = CtcConfig::default();
+    let basic = match searcher.basic(&qd, &cfg) {
+        Ok(c) => c,
+        Err(_) => return, // disconnected query: nothing to check
+    };
+    let Some((k_opt, d_opt)) = brute_force_ctc(&g, &qd) else {
+        panic!("algorithm found a community but brute force found none");
+    };
+    assert_eq!(basic.k, k_opt, "Basic must find the maximum trussness");
+    assert!(
+        basic.diameter() <= 2 * d_opt,
+        "2-approximation violated: basic {} opt {}",
+        basic.diameter(),
+        d_opt
+    );
+    basic.validate(&qd).unwrap();
+    let bd = searcher.bulk_delete(&qd, &cfg).unwrap();
+    assert_eq!(bd.k, k_opt);
+    assert!(bd.diameter() <= 2 * d_opt + 2, "BD bound violated");
+    bd.validate(&qd).unwrap();
+    let lctc = searcher.local(&qd, &cfg).unwrap();
+    lctc.validate(&qd).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn approximation_holds_on_random_graphs(
+        edges in proptest::collection::vec((0u32..10, 0u32..10), 8..28),
+        q in proptest::collection::vec(0u32..10, 1..3),
+    ) {
+        check_on_graph(&edges, &q);
+    }
+}
+
+#[test]
+fn dense_small_graph_regression() {
+    // Near-complete graph on 8 vertices with a few chords removed.
+    let mut edges = Vec::new();
+    for u in 0..8u32 {
+        for v in (u + 1)..8 {
+            if (u, v) != (0, 7) && (u, v) != (2, 5) {
+                edges.push((u, v));
+            }
+        }
+    }
+    check_on_graph(&edges, &[0, 7]);
+}

@@ -1,0 +1,82 @@
+//! End-to-end tests of the `ctc-cli` binary via its public interface.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ctc-cli"))
+}
+
+fn write_figure1(path: &std::path::Path) {
+    let g = ctc::truss::fixtures::figure1_graph();
+    ctc::graph::io::save_edge_list_path(&g, path).unwrap();
+}
+
+#[test]
+fn stats_subcommand() {
+    let dir = std::env::temp_dir().join("ctc_cli_test_stats");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("fig1.txt");
+    write_figure1(&file);
+    let out = cli().args(["stats", file.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("12"), "vertex count missing: {text}");
+    assert!(text.contains("25"), "edge count missing: {text}");
+}
+
+#[test]
+fn decompose_subcommand() {
+    let dir = std::env::temp_dir().join("ctc_cli_test_decomp");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("fig1.txt");
+    write_figure1(&file);
+    let out = cli().args(["decompose", file.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Figure 1: 23 trussness-4 edges and 2 trussness-2 edges.
+    assert!(text.contains("4"), "level 4 missing: {text}");
+    assert!(text.contains("23"), "level-4 count missing: {text}");
+}
+
+#[test]
+fn search_subcommand_finds_figure1b() {
+    let dir = std::env::temp_dir().join("ctc_cli_test_search");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("fig1.txt");
+    write_figure1(&file);
+    // Labels equal dense ids here (the writer emits dense ids): q1=0,q2=1,q3=2.
+    let out = cli()
+        .args(["search", file.to_str().unwrap(), "--query", "0,1,2", "--algo", "basic"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("k = 4"), "wrong trussness: {text}");
+    assert!(text.contains("8 vertices"), "wrong size: {text}");
+    assert!(text.contains("diameter 3"), "wrong diameter: {text}");
+}
+
+#[test]
+fn search_rejects_unknown_label_and_algo() {
+    let dir = std::env::temp_dir().join("ctc_cli_test_err");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("fig1.txt");
+    write_figure1(&file);
+    let out = cli()
+        .args(["search", file.to_str().unwrap(), "--query", "999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = cli()
+        .args(["search", file.to_str().unwrap(), "--query", "0", "--algo", "nope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = cli().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,46 @@
+//! Integration of the probabilistic extension with the generator stack:
+//! uncertain planted networks end to end.
+
+use ctc::prob::{monte_carlo_ctc, prob_truss_decomposition, ProbGraph};
+use ctc::prelude::*;
+use ctc_gen::planted_equal;
+
+#[test]
+fn mc_ctc_recovers_planted_circle_under_uncertainty() {
+    let gt = planted_equal(6, 25, 0.7, 0.6, 91);
+    let g = gt.graph.clone();
+    let mut qgen = QueryGenerator::new(&g, 7);
+    let (q, ci) = qgen.sample_from_ground_truth(&gt, 3).expect("query");
+    let truth = &gt.communities[ci];
+    // High but not certain edge reliability.
+    let pg = ProbGraph::uniform(g, 0.9).unwrap();
+    let mc = monte_carlo_ctc(&pg, &q, &CtcConfig::default(), 25, 5).expect("mc search");
+    assert!(mc.query_reliability() > 0.5, "query too fragile: {}", mc.query_reliability());
+    let confident = mc.at_confidence(0.6);
+    let f1 = f1_score(&confident, truth).f1;
+    assert!(f1 > 0.3, "confident community misses the planted circle: F1 = {f1}");
+    // All query vertices are certain members.
+    for &v in &q {
+        assert!(mc.inclusion[v.index()] > 0.99);
+    }
+}
+
+#[test]
+fn prob_trussness_degrades_smoothly_with_reliability() {
+    let gt = planted_equal(4, 20, 0.8, 0.4, 33);
+    let g = gt.graph;
+    let mut max_by_p = Vec::new();
+    for p in [1.0, 0.9, 0.7, 0.5] {
+        let pg = ProbGraph::uniform(g.clone(), p).unwrap();
+        let d = prob_truss_decomposition(&pg, 0.5);
+        max_by_p.push(d.max_truss);
+    }
+    // Lower reliability can only lower the confident trussness.
+    assert!(
+        max_by_p.windows(2).all(|w| w[0] >= w[1]),
+        "prob trussness not monotone in p: {max_by_p:?}"
+    );
+    // The certain end of the sweep matches the deterministic decomposition.
+    let det = ctc::truss::truss_decomposition(&g);
+    assert_eq!(max_by_p[0], det.max_truss);
+}
