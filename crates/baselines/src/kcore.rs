@@ -18,7 +18,11 @@ pub fn kcore_community(g: &CsrGraph, q: &[VertexId]) -> Result<Community> {
         return Err(GraphError::EmptyQuery);
     }
     let core = core_decomposition(g);
-    let k_hi = q.iter().map(|&v| core[v.index()]).min().expect("q nonempty");
+    let k_hi = q
+        .iter()
+        .map(|&v| core[v.index()])
+        .min()
+        .expect("q nonempty");
     let mut scratch = BfsScratch::new(g.num_vertices());
     // Query connectivity in the k-core is monotone in k: search downward.
     let connected_at = |k: u32, scratch: &mut BfsScratch| -> bool {
@@ -47,8 +51,10 @@ pub fn kcore_community(g: &CsrGraph, q: &[VertexId]) -> Result<Community> {
         core[u.index()] >= k && core[v.index()] >= k
     });
     scratch.run(&view, q[0]);
-    let vertices: Vec<VertexId> =
-        scratch.reached().filter(|&v| core[v.index()] >= k).collect();
+    let vertices: Vec<VertexId> = scratch
+        .reached()
+        .filter(|&v| core[v.index()] >= k)
+        .collect();
     Ok(community_from_induced(
         g,
         2,
@@ -56,7 +62,11 @@ pub fn kcore_community(g: &CsrGraph, q: &[VertexId]) -> Result<Community> {
         q,
         (g.num_vertices(), g.num_edges()),
         0,
-        PhaseTimings { locate: t0.elapsed(), peel: Default::default(), total: t0.elapsed() },
+        PhaseTimings {
+            locate: t0.elapsed(),
+            peel: Default::default(),
+            total: t0.elapsed(),
+        },
     ))
 }
 
@@ -67,7 +77,16 @@ mod tests {
 
     #[test]
     fn finds_dense_core_ignores_tail() {
-        let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]);
+        let g = graph_from_edges(&[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+        ]);
         let c = kcore_community(&g, &[VertexId(0)]).unwrap();
         assert_eq!(c.num_vertices(), 4, "the 3-core is the K4");
         assert!(!c.vertices.contains(&VertexId(5)));
@@ -75,7 +94,16 @@ mod tests {
 
     #[test]
     fn query_in_tail_lowers_k() {
-        let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]);
+        let g = graph_from_edges(&[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+        ]);
         let c = kcore_community(&g, &[VertexId(0), VertexId(5)]).unwrap();
         assert!(c.contains_query(&[VertexId(0), VertexId(5)]));
         assert_eq!(c.num_vertices(), 6, "1-core = whole graph");
@@ -90,6 +118,9 @@ mod tests {
     #[test]
     fn empty_query_errors() {
         let g = graph_from_edges(&[(0, 1)]);
-        assert_eq!(kcore_community(&g, &[]).unwrap_err(), GraphError::EmptyQuery);
+        assert_eq!(
+            kcore_community(&g, &[]).unwrap_err(),
+            GraphError::EmptyQuery
+        );
     }
 }

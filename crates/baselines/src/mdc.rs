@@ -33,7 +33,10 @@ pub struct MdcConfig {
 
 impl Default for MdcConfig {
     fn default() -> Self {
-        MdcConfig { distance_bound: Some(2), size_bound: None }
+        MdcConfig {
+            distance_bound: Some(2),
+            size_bound: None,
+        }
     }
 }
 
@@ -49,10 +52,7 @@ pub fn mdc(g: &CsrGraph, q: &[VertexId], cfg: &MdcConfig) -> Result<Community> {
     let restricted: Subgraph = match cfg.distance_bound {
         Some(d) => {
             let dist = query_distances(g, q, &mut scratch);
-            let keep: Vec<VertexId> = g
-                .vertices()
-                .filter(|v| dist[v.index()] <= d)
-                .collect();
+            let keep: Vec<VertexId> = g.vertices().filter(|v| dist[v.index()] <= d).collect();
             let sub = induced_subgraph(g, &keep);
             let mut s2 = BfsScratch::new(sub.num_vertices());
             match sub.locals(q) {
@@ -86,20 +86,21 @@ pub fn mdc(g: &CsrGraph, q: &[VertexId], cfg: &MdcConfig) -> Result<Community> {
     let n = restricted.num_vertices();
     let pick = |limit: Option<usize>| -> Option<usize> {
         let mut best: Option<(u32, usize)> = None;
-        for t in 0..=t_star {
+        for (t, &md) in mindeg_before.iter().enumerate().take(t_star + 1) {
             if let Some(cap) = limit {
                 if n - t > cap {
                     continue;
                 }
             }
-            let md = mindeg_before[t];
             if best.is_none_or(|(b, _)| md >= b) {
                 best = Some((md, t));
             }
         }
         best.map(|(_, t)| t)
     };
-    let best_t = pick(cfg.size_bound).or_else(|| pick(None)).expect("t=0 is always feasible");
+    let best_t = pick(cfg.size_bound)
+        .or_else(|| pick(None))
+        .expect("t=0 is always feasible");
     // Reconstruct: vertices removed at position ≥ best_t survive.
     let vertices: Vec<VertexId> = (best_t..n)
         .map(|i| restricted.parent(VertexId(order[i])))
@@ -111,7 +112,11 @@ pub fn mdc(g: &CsrGraph, q: &[VertexId], cfg: &MdcConfig) -> Result<Community> {
         q,
         (restricted.num_vertices(), restricted.num_edges()),
         best_t,
-        PhaseTimings { locate: t0.elapsed(), peel: Default::default(), total: t0.elapsed() },
+        PhaseTimings {
+            locate: t0.elapsed(),
+            peel: Default::default(),
+            total: t0.elapsed(),
+        },
     ))
 }
 
@@ -131,8 +136,9 @@ fn greedy_peel_order(g: &CsrGraph, q: &[VertexId]) -> (Vec<u32>, Vec<u32>, usize
     for &v in q {
         is_query[v.index()] = true;
     }
-    let mut heap: BinaryHeap<Reverse<(u32, u32)>> =
-        (0..n as u32).map(|v| Reverse((degree[v as usize], v))).collect();
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = (0..n as u32)
+        .map(|v| Reverse((degree[v as usize], v)))
+        .collect();
     let mut mindeg_before = Vec::with_capacity(n);
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut stop = 0usize;
@@ -171,15 +177,12 @@ fn greedy_peel_order(g: &CsrGraph, q: &[VertexId]) -> (Vec<u32>, Vec<u32>, usize
 }
 
 /// Is `q` connected within the snapshot keeping `order[t..]`?
-fn snapshot_query_connected(
-    g: &CsrGraph,
-    order: &[u32],
-    t: usize,
-    q: &[VertexId],
-) -> bool {
+fn snapshot_query_connected(g: &CsrGraph, order: &[u32], t: usize, q: &[VertexId]) -> bool {
     let alive: Vec<VertexId> = order[t..].iter().map(|&v| VertexId(v)).collect();
     let sub = induced_subgraph(g, &alive);
-    let Some(ql) = sub.locals(q) else { return false };
+    let Some(ql) = sub.locals(q) else {
+        return false;
+    };
     let mut scratch = BfsScratch::new(sub.num_vertices());
     query_connected(&sub.graph, &ql, &mut scratch)
 }
@@ -191,7 +194,16 @@ mod tests {
 
     /// K4 (0..4) + pendant path 3-4-5: MDC around 0 should find the K4.
     fn k4_with_tail() -> CsrGraph {
-        graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+        graph_from_edges(&[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+        ])
     }
 
     #[test]
@@ -202,7 +214,12 @@ mod tests {
         assert!(c.contains_query(&[VertexId(0)]));
         // Min degree of the K4 is 3.
         let sub = c.subgraph();
-        let min_deg = sub.graph.vertices().map(|v| sub.graph.degree(v)).min().unwrap();
+        let min_deg = sub
+            .graph
+            .vertices()
+            .map(|v| sub.graph.degree(v))
+            .min()
+            .unwrap();
         assert_eq!(min_deg, 3);
     }
 
@@ -210,8 +227,15 @@ mod tests {
     fn distance_bound_restricts() {
         // Query at the tail end: distance bound 1 keeps only {4,5,3}.
         let g = k4_with_tail();
-        let c = mdc(&g, &[VertexId(5)], &MdcConfig { distance_bound: Some(1), size_bound: None })
-            .unwrap();
+        let c = mdc(
+            &g,
+            &[VertexId(5)],
+            &MdcConfig {
+                distance_bound: Some(1),
+                size_bound: None,
+            },
+        )
+        .unwrap();
         assert!(c.num_vertices() <= 2, "got {:?}", c.vertices);
         assert!(c.contains_query(&[VertexId(5)]));
     }
@@ -220,8 +244,15 @@ mod tests {
     fn multi_query_spanning_requires_connector() {
         // Q = {0, 5}: the community must include the path through 3 and 4.
         let g = k4_with_tail();
-        let c = mdc(&g, &[VertexId(0), VertexId(5)], &MdcConfig { distance_bound: Some(3), size_bound: None })
-            .unwrap();
+        let c = mdc(
+            &g,
+            &[VertexId(0), VertexId(5)],
+            &MdcConfig {
+                distance_bound: Some(3),
+                size_bound: None,
+            },
+        )
+        .unwrap();
         assert!(c.contains_query(&[VertexId(0), VertexId(5)]));
         assert!(c.vertices.contains(&VertexId(4)));
     }
@@ -229,18 +260,31 @@ mod tests {
     #[test]
     fn empty_query_errors() {
         let g = k4_with_tail();
-        assert_eq!(mdc(&g, &[], &MdcConfig::default()).unwrap_err(), GraphError::EmptyQuery);
+        assert_eq!(
+            mdc(&g, &[], &MdcConfig::default()).unwrap_err(),
+            GraphError::EmptyQuery
+        );
     }
 
     #[test]
     fn size_bound_prefers_smaller() {
         let g = k4_with_tail();
-        let unbounded = mdc(&g, &[VertexId(0)], &MdcConfig { distance_bound: None, size_bound: None })
-            .unwrap();
+        let unbounded = mdc(
+            &g,
+            &[VertexId(0)],
+            &MdcConfig {
+                distance_bound: None,
+                size_bound: None,
+            },
+        )
+        .unwrap();
         let bounded = mdc(
             &g,
             &[VertexId(0)],
-            &MdcConfig { distance_bound: None, size_bound: Some(4) },
+            &MdcConfig {
+                distance_bound: None,
+                size_bound: Some(4),
+            },
         )
         .unwrap();
         assert!(bounded.num_vertices() <= 4);
@@ -251,8 +295,15 @@ mod tests {
     fn disconnected_query_errors() {
         let g = graph_from_edges(&[(0, 1), (2, 3)]);
         assert_eq!(
-            mdc(&g, &[VertexId(0), VertexId(2)], &MdcConfig { distance_bound: None, size_bound: None })
-                .unwrap_err(),
+            mdc(
+                &g,
+                &[VertexId(0), VertexId(2)],
+                &MdcConfig {
+                    distance_bound: None,
+                    size_bound: None
+                }
+            )
+            .unwrap_err(),
             GraphError::Disconnected
         );
     }

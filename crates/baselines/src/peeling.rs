@@ -47,7 +47,12 @@ impl DegreeBuckets {
             pos[v] = p;
             cursor[d as usize] += 1;
         }
-        DegreeBuckets { sorted, pos, bin_start, degree }
+        DegreeBuckets {
+            sorted,
+            pos,
+            bin_start,
+            degree,
+        }
     }
 
     /// The `i`-th vertex in the (dynamically maintained) degree order.

@@ -37,7 +37,11 @@ pub struct QdcConfig {
 
 impl Default for QdcConfig {
     fn default() -> Self {
-        QdcConfig { restart: 0.15, rwr_iterations: 40, enforce_query_connectivity: false }
+        QdcConfig {
+            restart: 0.15,
+            rwr_iterations: 40,
+            enforce_query_connectivity: false,
+        }
     }
 }
 
@@ -53,7 +57,11 @@ pub fn qdc(g: &CsrGraph, q: &[VertexId], cfg: &QdcConfig) -> Result<Community> {
     let r = personalized_pagerank(
         g,
         q,
-        PageRankOptions { restart: cfg.restart, tolerance: 1e-12, max_iterations: cfg.rwr_iterations },
+        PageRankOptions {
+            restart: cfg.restart,
+            tolerance: 1e-12,
+            max_iterations: cfg.rwr_iterations,
+        },
     );
     // cost(v) = 1 / max(r(v), floor); floor keeps far vertices finite.
     let floor = 1e-12;
@@ -107,10 +115,14 @@ pub fn qdc(g: &CsrGraph, q: &[VertexId], cfg: &QdcConfig) -> Result<Community> {
         for &v in &order[..t] {
             alive[v as usize] = false;
         }
-        let keep: Vec<VertexId> =
-            (0..n).map(VertexId::from).filter(|&v| alive[v.index()]).collect();
+        let keep: Vec<VertexId> = (0..n)
+            .map(VertexId::from)
+            .filter(|&v| alive[v.index()])
+            .collect();
         let sub = induced_subgraph(g, &keep);
-        let Some(ql) = sub.locals(q) else { return false };
+        let Some(ql) = sub.locals(q) else {
+            return false;
+        };
         let mut scratch = ctc_graph::BfsScratch::new(sub.num_vertices());
         ctc_graph::query_connected(&sub.graph, &ql, &mut scratch)
     };
@@ -132,14 +144,20 @@ pub fn qdc(g: &CsrGraph, q: &[VertexId], cfg: &QdcConfig) -> Result<Community> {
         order.len() // original QDC: any snapshot is admissible
     };
     let best_t = (0..=t_star)
-        .max_by(|&a, &b| densities[a].partial_cmp(&densities[b]).expect("finite densities"))
+        .max_by(|&a, &b| {
+            densities[a]
+                .partial_cmp(&densities[b])
+                .expect("finite densities")
+        })
         .unwrap_or(0);
     let mut alive = vec![true; n];
     for &v in &order[..best_t] {
         alive[v as usize] = false;
     }
-    let keep: Vec<VertexId> =
-        (0..n).map(VertexId::from).filter(|&v| alive[v.index()]).collect();
+    let keep: Vec<VertexId> = (0..n)
+        .map(VertexId::from)
+        .filter(|&v| alive[v.index()])
+        .collect();
     let sub = induced_subgraph(g, &keep);
     // Keep the query's component (the snapshot may contain stray pieces).
     let (labels, _) = connected_components(&sub.graph);
@@ -158,7 +176,11 @@ pub fn qdc(g: &CsrGraph, q: &[VertexId], cfg: &QdcConfig) -> Result<Community> {
         q,
         (g.num_vertices(), g.num_edges()),
         best_t,
-        PhaseTimings { locate: t0.elapsed(), peel: Default::default(), total: t0.elapsed() },
+        PhaseTimings {
+            locate: t0.elapsed(),
+            peel: Default::default(),
+            total: t0.elapsed(),
+        },
     );
     if !community.contains_query(q) {
         return Err(GraphError::Disconnected);
@@ -225,13 +247,19 @@ mod tests {
     #[test]
     fn empty_query_errors() {
         let g = barbell();
-        assert_eq!(qdc(&g, &[], &QdcConfig::default()).unwrap_err(), GraphError::EmptyQuery);
+        assert_eq!(
+            qdc(&g, &[], &QdcConfig::default()).unwrap_err(),
+            GraphError::EmptyQuery
+        );
     }
 
     #[test]
     fn safe_mode_spanning_query_keeps_path() {
         let g = barbell();
-        let cfg = QdcConfig { enforce_query_connectivity: true, ..Default::default() };
+        let cfg = QdcConfig {
+            enforce_query_connectivity: true,
+            ..Default::default()
+        };
         let c = qdc(&g, &[VertexId(0), VertexId(9)], &cfg).unwrap();
         assert!(c.contains_query(&[VertexId(0), VertexId(9)]));
         // Must include the connecting path.

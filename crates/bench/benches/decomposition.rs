@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_decomposition(c: &mut Criterion) {
     let mut group = c.benchmark_group("truss_decomposition");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for name in ["facebook", "dblp"] {
         let net = mini_network(name, 7).expect("mini preset");
         let g = net.graph;

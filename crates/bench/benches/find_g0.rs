@@ -7,16 +7,20 @@ use std::time::Duration;
 
 fn bench_find_g0(c: &mut Criterion) {
     let mut group = c.benchmark_group("find_g0");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let net = mini_network("facebook", 7).expect("mini preset");
     let g = net.graph;
     let idx = TrussIndex::build(&g);
     for size in [1usize, 4, 16] {
         let mut qg = QueryGenerator::new(&g, 11);
         let q = qg.sample(size, DegreeRank::top(0.8), 2).expect("query");
-        group.bench_with_input(BenchmarkId::from_parameter(format!("|Q|={size}")), &q, |b, q| {
-            b.iter(|| find_g0(&g, &idx, q).expect("connected"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("|Q|={size}")),
+            &q,
+            |b, q| b.iter(|| find_g0(&g, &idx, q).expect("connected")),
+        );
     }
     group.finish();
 }

@@ -9,25 +9,34 @@ use std::time::Duration;
 
 fn bench_maintenance(c: &mut Criterion) {
     let mut group = c.benchmark_group("ktruss_maintenance");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let net = mini_network("facebook", 7).expect("mini preset");
     let g = net.graph;
     let d = truss_decomposition(&g);
-    let mut levels: Vec<u32> =
-        [3u32, d.max_truss / 2, d.max_truss].into_iter().filter(|&k| k >= 3).collect();
+    let mut levels: Vec<u32> = [3u32, d.max_truss / 2, d.max_truss]
+        .into_iter()
+        .filter(|&k| k >= 3)
+        .collect();
     levels.sort_unstable();
     levels.dedup();
     for k in levels {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, &k| {
-            b.iter(|| {
-                let mut live = DynGraph::new(&g);
-                let mut m = TrussMaintainer::new(&live, k);
-                // Delete a spread of ten vertices and cascade.
-                let victims: Vec<_> =
-                    (0..10).map(|i| ctc_graph::VertexId(i * 37 % g.num_vertices() as u32)).collect();
-                m.delete_vertices(&mut live, &victims)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k={k}")),
+            &k,
+            |b, &k| {
+                b.iter(|| {
+                    let mut live = DynGraph::new(&g);
+                    let mut m = TrussMaintainer::new(&live, k);
+                    // Delete a spread of ten vertices and cascade.
+                    let victims: Vec<_> = (0..10)
+                        .map(|i| ctc_graph::VertexId(i * 37 % g.num_vertices() as u32))
+                        .collect();
+                    m.delete_vertices(&mut live, &victims)
+                })
+            },
+        );
     }
     group.finish();
 }

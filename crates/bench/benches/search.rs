@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("ctc_search");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let net = mini_network("facebook", 7).expect("mini preset");
     let g = net.graph;
     let searcher = CtcSearcher::new(&g);

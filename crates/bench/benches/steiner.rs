@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_steiner(c: &mut Criterion) {
     let mut group = c.benchmark_group("steiner_truss_distance");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let net = mini_network("dblp", 7).expect("mini preset");
     let g = net.graph;
     let idx = TrussIndex::build(&g);

@@ -34,13 +34,23 @@ impl ExpEnv {
             .and_then(|s| s.parse().ok())
             .map(Duration::from_secs)
             .unwrap_or(Duration::from_secs(60));
-        let seed = std::env::var("CTC_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
-        ExpEnv { queries, budget, seed }
+        let seed = std::env::var("CTC_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        ExpEnv {
+            queries,
+            budget,
+            seed,
+        }
     }
 }
 
 /// An algorithm under test, boxed for uniform tables.
-pub type Algo<'a> = (&'a str, Box<dyn Fn(&[VertexId]) -> Result<Community, String> + 'a>);
+pub type Algo<'a> = (
+    &'a str,
+    Box<dyn Fn(&[VertexId]) -> Result<Community, String> + 'a>,
+);
 
 /// The three CTC algorithms as named closures over a searcher.
 ///
@@ -60,11 +70,20 @@ pub fn ctc_algos<'a>(searcher: &'a CtcSearcher<'a>, cfg: &'a CtcConfig) -> Vec<A
         c
     };
     vec![
-        ("Basic", Box::new(move |q: &[VertexId]| {
-            searcher.basic(q, &basic_cfg).map_err(|e| e.to_string())
-        })),
-        ("BD", Box::new(move |q| searcher.bulk_delete(q, cfg).map_err(|e| e.to_string()))),
-        ("LCTC", Box::new(move |q| searcher.local(q, cfg).map_err(|e| e.to_string()))),
+        (
+            "Basic",
+            Box::new(move |q: &[VertexId]| {
+                searcher.basic(q, &basic_cfg).map_err(|e| e.to_string())
+            }),
+        ),
+        (
+            "BD",
+            Box::new(move |q| searcher.bulk_delete(q, cfg).map_err(|e| e.to_string())),
+        ),
+        (
+            "LCTC",
+            Box::new(move |q| searcher.local(q, cfg).map_err(|e| e.to_string())),
+        ),
     ]
 }
 

@@ -34,9 +34,19 @@ pub fn steiner_modes() {
         });
         t.row([
             label.to_string(),
-            fmt_f(mean(outs.iter().filter_map(|o| o.value()).map(|c| c.k as f64))),
-            fmt_f(mean(outs.iter().filter_map(|o| o.value()).map(|c| c.num_vertices() as f64))),
-            fmt_f(mean(outs.iter().filter_map(|o| o.value()).map(|c| c.diameter() as f64))),
+            fmt_f(mean(
+                outs.iter().filter_map(|o| o.value()).map(|c| c.k as f64),
+            )),
+            fmt_f(mean(
+                outs.iter()
+                    .filter_map(|o| o.value())
+                    .map(|c| c.num_vertices() as f64),
+            )),
+            fmt_f(mean(
+                outs.iter()
+                    .filter_map(|o| o.value())
+                    .map(|c| c.diameter() as f64),
+            )),
             fmt_secs(stats.mean_seconds),
         ]);
     }
@@ -54,13 +64,16 @@ pub fn delete_policies() {
     );
     let searcher = CtcSearcher::new(g);
     let queries = sample_queries(&net, env.queries, 3, DegreeRank::top(0.8), 2, env.seed);
-    let mut rows: Vec<(&str, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> = vec![
+    type PolicyRow = (&'static str, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut rows: Vec<PolicyRow> = vec![
         ("SingleFurthest (Alg. 1)", vec![], vec![], vec![], vec![]),
         ("BulkAtLeast (Alg. 4)", vec![], vec![], vec![], vec![]),
         ("LocalGreedy (LCTC §5.2)", vec![], vec![], vec![], vec![]),
     ];
     for q in &queries {
-        let Ok(g0) = ctc_truss::find_g0(g, searcher.index(), q) else { continue };
+        let Ok(g0) = ctc_truss::find_g0(g, searcher.index(), q) else {
+            continue;
+        };
         let sub = g0_subgraph(g, &g0);
         let Some(ql) = sub.locals(q) else { continue };
         for (i, policy) in [

@@ -131,11 +131,29 @@ pub fn run(network: &str, knob: Knob) {
                 outs.iter().filter_map(|o| o.value()).map(|c| c.density()),
             )));
         }
-        time_t.row([p.label.clone(), times[0].clone(), times[1].clone(), times[2].clone()]);
-        kept_t.row([p.label.clone(), kepts[0].clone(), kepts[1].clone(), kepts[2].clone()]);
-        dens_t.row([p.label.clone(), denss[0].clone(), denss[1].clone(), denss[2].clone()]);
+        time_t.row([
+            p.label.clone(),
+            times[0].clone(),
+            times[1].clone(),
+            times[2].clone(),
+        ]);
+        kept_t.row([
+            p.label.clone(),
+            kepts[0].clone(),
+            kepts[1].clone(),
+            kepts[2].clone(),
+        ]);
+        dens_t.row([
+            p.label.clone(),
+            denss[0].clone(),
+            denss[1].clone(),
+            denss[2].clone(),
+        ]);
     }
     println!("(a) mean query time\n{}", time_t.render());
-    println!("(b) kept % of G0 (lower = more free riders removed)\n{}", kept_t.render());
+    println!(
+        "(b) kept % of G0 (lower = more free riders removed)\n{}",
+        kept_t.render()
+    );
     println!("(c) community edge density\n{}", dens_t.render());
 }

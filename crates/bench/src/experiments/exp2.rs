@@ -11,12 +11,19 @@ pub fn run() {
     let g = &net.graph;
     banner(
         "Fig. 11 — case study on a synthetic collaboration network",
-        &format!("{} authors, {} co-author edges", g.num_vertices(), g.num_edges()),
+        &format!(
+            "{} authors, {} co-author edges",
+            g.num_vertices(),
+            g.num_edges()
+        ),
     );
     let q = net.query_authors.clone();
     println!(
         "query authors: {}",
-        q.iter().map(|&v| net.names[v.index()].clone()).collect::<Vec<_>>().join(", ")
+        q.iter()
+            .map(|&v| net.names[v.index()].clone())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let searcher = CtcSearcher::new(g);
     let cfg = CtcConfig::default();

@@ -8,13 +8,13 @@ use ctc_core::{Community, CtcConfig, CtcSearcher};
 use ctc_eval::{f1_score, fmt_f, fmt_secs, run_workload, Table};
 use ctc_gen::{ground_truth_networks, QueryGenerator};
 use ctc_graph::VertexId;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// Per-network aggregate row.
 struct NetRow {
     name: String,
-    f1: Vec<f64>,      // per method
-    time: Vec<f64>,    // per method (mean seconds)
+    f1: Vec<f64>,   // per method
+    time: Vec<f64>, // per method (mean seconds)
     truss_v: f64,
     truss_e: f64,
     lctc_v: f64,
@@ -47,7 +47,7 @@ pub fn run() {
         let cfg = CtcConfig::default();
         // Workload: (query, ground-truth community index).
         let mut qg = QueryGenerator::new(g, env.seed);
-        let mut rng = rand::rngs::StdRng::clone(&rand::SeedableRng::seed_from_u64(env.seed ^ 0x5a5a));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed ^ 0x5a5a);
         let mut workload: Vec<(Vec<VertexId>, usize)> = Vec::new();
         for _ in 0..env.queries * 4 {
             if workload.len() == env.queries {
@@ -58,19 +58,31 @@ pub fn run() {
                 workload.push((q, ci));
             }
         }
-        let methods: Vec<(&str, Box<dyn Fn(&[VertexId]) -> Result<Community, String>>)> = vec![
-            ("MDC", Box::new(|q: &[VertexId]| {
-                mdc(g, q, &MdcConfig::default()).map_err(|e| e.to_string())
-            })),
-            ("QDC", Box::new(|q: &[VertexId]| {
-                qdc(g, q, &QdcConfig::default()).map_err(|e| e.to_string())
-            })),
-            ("Truss", Box::new(|q: &[VertexId]| {
-                searcher.truss_only(q, &cfg).map_err(|e| e.to_string())
-            })),
-            ("LCTC", Box::new(|q: &[VertexId]| {
-                searcher.local(q, &cfg).map_err(|e| e.to_string())
-            })),
+        type Method<'a> = (
+            &'a str,
+            Box<dyn Fn(&[VertexId]) -> Result<Community, String> + 'a>,
+        );
+        let methods: Vec<Method> = vec![
+            (
+                "MDC",
+                Box::new(|q: &[VertexId]| {
+                    mdc(g, q, &MdcConfig::default()).map_err(|e| e.to_string())
+                }),
+            ),
+            (
+                "QDC",
+                Box::new(|q: &[VertexId]| {
+                    qdc(g, q, &QdcConfig::default()).map_err(|e| e.to_string())
+                }),
+            ),
+            (
+                "Truss",
+                Box::new(|q: &[VertexId]| searcher.truss_only(q, &cfg).map_err(|e| e.to_string())),
+            ),
+            (
+                "LCTC",
+                Box::new(|q: &[VertexId]| searcher.local(q, &cfg).map_err(|e| e.to_string())),
+            ),
         ];
         let mut f1s = Vec::new();
         let mut times = Vec::new();
@@ -90,8 +102,16 @@ pub fn run() {
             f1s.push(f1);
             times.push(stats.mean_seconds);
             sizes.push((
-                mean(outs.iter().filter_map(|o| o.value()).map(|c| c.num_vertices() as f64)),
-                mean(outs.iter().filter_map(|o| o.value()).map(|c| c.num_edges() as f64)),
+                mean(
+                    outs.iter()
+                        .filter_map(|o| o.value())
+                        .map(|c| c.num_vertices() as f64),
+                ),
+                mean(
+                    outs.iter()
+                        .filter_map(|o| o.value())
+                        .map(|c| c.num_edges() as f64),
+                ),
             ));
         }
         rows.push(NetRow {

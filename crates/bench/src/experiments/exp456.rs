@@ -27,7 +27,14 @@ pub fn fig13() {
     let mut diam_t = Table::new(["l", "Basic", "BD", "LCTC", "LB-OPT", "UB-OPT"]);
     let mut truss_t = Table::new(["l", "Basic", "BD", "LCTC"]);
     for l in 1u32..=5 {
-        let queries = sample_queries(&net, env.queries, 3, DegreeRank::top(0.8), l, env.seed + l as u64);
+        let queries = sample_queries(
+            &net,
+            env.queries,
+            3,
+            DegreeRank::top(0.8),
+            l,
+            env.seed + l as u64,
+        );
         let mut diams: Vec<Vec<f64>> = vec![Vec::new(); 3];
         let mut trusses: Vec<Vec<f64>> = vec![Vec::new(); 3];
         let mut lb: Vec<f64> = Vec::new();
@@ -64,7 +71,10 @@ pub fn fig13() {
         ]);
     }
     println!("(a) mean diameter vs optimal bounds\n{}", diam_t.render());
-    println!("(b) mean trussness of the detected community\n{}", truss_t.render());
+    println!(
+        "(b) mean trussness of the detected community\n{}",
+        truss_t.render()
+    );
 }
 
 /// Fig. 14: LCTC with a fixed maximum trussness k — diameter vs k on the
@@ -73,7 +83,10 @@ pub fn fig14() {
     let env = ExpEnv::with_default_queries(15);
     let net = network_by_name("facebook").expect("facebook preset");
     let g = &net.data.graph;
-    banner("Fig. 14 — diameter vs fixed trussness k (facebook, LCTC)", "");
+    banner(
+        "Fig. 14 — diameter vs fixed trussness k (facebook, LCTC)",
+        "",
+    );
     let searcher = CtcSearcher::new(g);
     // Tight (l = 1) queries keep a single query population feasible across
     // the whole k sweep: for k below a query's maximum, a connected k-truss
@@ -83,21 +96,32 @@ pub fn fig14() {
     let max_cfg = CtcConfig::new().max_iterations(1500);
     let mut t = Table::new(["k", "LCTC diameter", "LB-OPT"]);
     let lb = mean(queries.iter().filter_map(|q| {
-        searcher.basic(q, &max_cfg).ok().map(|c| c.query_distance as f64)
+        searcher
+            .basic(q, &max_cfg)
+            .ok()
+            .map(|c| c.query_distance as f64)
     }));
     let max_k = queries
         .iter()
         .filter_map(|q| searcher.local(q, &max_cfg).ok().map(|c| c.k))
         .min() // the largest k feasible for *every* query in the population
         .unwrap_or(4);
-    let mut ks: Vec<u32> = (2..max_k).step_by(2.max((max_k as usize - 2) / 4)).collect();
+    let mut ks: Vec<u32> = (2..max_k)
+        .step_by(2.max((max_k as usize - 2) / 4))
+        .collect();
     ks.push(max_k);
     for k in ks {
         let cfg = CtcConfig::new().fixed_k(k);
-        let d = mean(queries.iter().filter_map(|q| {
-            searcher.local(q, &cfg).ok().map(|c| c.diameter() as f64)
-        }));
-        let label = if k == max_k { format!("{k} (max)") } else { k.to_string() };
+        let d = mean(
+            queries
+                .iter()
+                .filter_map(|q| searcher.local(q, &cfg).ok().map(|c| c.diameter() as f64)),
+        );
+        let label = if k == max_k {
+            format!("{k} (max)")
+        } else {
+            k.to_string()
+        };
         t.row([label, fmt_f(d), fmt_f(lb)]);
     }
     println!("{}", t.render());
@@ -132,9 +156,14 @@ pub fn fig15_16() {
             let (outs, stats) = run_workload(&workload, env.budget, |(q, _)| {
                 searcher.local(q, &cfg).map_err(|e| e.to_string())
             });
-            let nv = mean(outs.iter().filter_map(|o| o.value()).map(|c| c.num_vertices() as f64));
+            let nv = mean(
+                outs.iter()
+                    .filter_map(|o| o.value())
+                    .map(|c| c.num_vertices() as f64),
+            );
             let f1 = mean(outs.iter().zip(&workload).filter_map(|(o, (_, ci))| {
-                o.value().map(|c| f1_score(&c.vertices, &net.data.communities[*ci]).f1)
+                o.value()
+                    .map(|c| f1_score(&c.vertices, &net.data.communities[*ci]).f1)
             }));
             t.row([label, fmt_f(nv), fmt_f(f1), fmt_secs(stats.mean_seconds)]);
         }
@@ -154,7 +183,14 @@ pub fn fig15_16() {
     // it, so Fig. 16 uses spread workloads and reports the structural
     // series (|V|, trussness, diameter) instead of F1.
     println!("Fig. 16 — varying γ (η = 1000, spread queries l = 3):");
-    let spread = sample_queries(&net, env.queries, 3, ctc_gen::DegreeRank::any(), 3, env.seed ^ 7);
+    let spread = sample_queries(
+        &net,
+        env.queries,
+        3,
+        ctc_gen::DegreeRank::any(),
+        3,
+        env.seed ^ 7,
+    );
     let mut t = Table::new(["γ", "|V|", "k", "diameter", "time"]);
     for gamma in [0.0f64, 1.0, 3.0, 5.0, 7.0, 9.0] {
         let cfg = CtcConfig::new().gamma(gamma);
@@ -163,9 +199,19 @@ pub fn fig15_16() {
         });
         t.row([
             format!("{gamma}"),
-            fmt_f(mean(outs.iter().filter_map(|o| o.value()).map(|c| c.num_vertices() as f64))),
-            fmt_f(mean(outs.iter().filter_map(|o| o.value()).map(|c| c.k as f64))),
-            fmt_f(mean(outs.iter().filter_map(|o| o.value()).map(|c| c.diameter() as f64))),
+            fmt_f(mean(
+                outs.iter()
+                    .filter_map(|o| o.value())
+                    .map(|c| c.num_vertices() as f64),
+            )),
+            fmt_f(mean(
+                outs.iter().filter_map(|o| o.value()).map(|c| c.k as f64),
+            )),
+            fmt_f(mean(
+                outs.iter()
+                    .filter_map(|o| o.value())
+                    .map(|c| c.diameter() as f64),
+            )),
             fmt_secs(stats.mean_seconds),
         ]);
     }

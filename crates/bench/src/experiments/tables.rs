@@ -8,8 +8,19 @@ use std::time::Instant;
 
 /// Table 2: `|V|, |E|, d_max, τ̄(∅)` for the six preset networks.
 pub fn table2() {
-    banner("Table 2 — network statistics (synthetic analogues)", "paper sizes in parentheses");
-    let mut t = Table::new(["network", "|V|", "|E|", "dmax", "τ̄(∅)", "paper |V|/|E|", "scale"]);
+    banner(
+        "Table 2 — network statistics (synthetic analogues)",
+        "paper sizes in parentheses",
+    );
+    let mut t = Table::new([
+        "network",
+        "|V|",
+        "|E|",
+        "dmax",
+        "τ̄(∅)",
+        "paper |V|/|E|",
+        "scale",
+    ]);
     for net in all_networks() {
         let g = &net.data.graph;
         let t0 = Instant::now();

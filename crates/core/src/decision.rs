@@ -67,17 +67,26 @@ pub fn decide_ctck(
     let community = match searcher.basic(q, &cfg) {
         Ok(c) if c.k == k => c,
         // No k-truss at exactly this level containing Q: certified No.
-        _ => return Ok(CtckAnswer::No { diameter_lower_bound: 0 }),
+        _ => {
+            return Ok(CtckAnswer::No {
+                diameter_lower_bound: 0,
+            })
+        }
     };
     let lb = community.query_distance;
     if lb > d {
-        return Ok(CtckAnswer::No { diameter_lower_bound: lb });
+        return Ok(CtckAnswer::No {
+            diameter_lower_bound: lb,
+        });
     }
     let achieved = community.diameter();
     if achieved <= d {
         return Ok(CtckAnswer::Yes(Box::new(community)));
     }
-    Ok(CtckAnswer::Unknown { achieved_diameter: achieved, diameter_lower_bound: lb })
+    Ok(CtckAnswer::Unknown {
+        achieved_diameter: achieved,
+        diameter_lower_bound: lb,
+    })
 }
 
 #[cfg(test)]
@@ -114,7 +123,10 @@ mod tests {
         // the optimal query distance alone is ≥ 2.
         let ans = decide_ctck(&s, &q, 4, 1).unwrap();
         assert!(ans.is_no(), "got {ans:?}");
-        if let CtckAnswer::No { diameter_lower_bound } = ans {
+        if let CtckAnswer::No {
+            diameter_lower_bound,
+        } = ans
+        {
             assert!(diameter_lower_bound >= 2);
         }
     }
@@ -137,7 +149,10 @@ mod tests {
         // The greedy may or may not find it — Yes or Unknown are both
         // sound; No would be a soundness bug.
         let ans = decide_ctck(&s, &q, 2, 2).unwrap();
-        assert!(!ans.is_no(), "No would contradict the 5-cycle witness: {ans:?}");
+        assert!(
+            !ans.is_no(),
+            "No would contradict the 5-cycle witness: {ans:?}"
+        );
     }
 
     #[test]

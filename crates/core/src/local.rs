@@ -55,7 +55,11 @@ pub fn expand_tree(_g: &CsrGraph, idx: &TrussIndex, tree: &SteinerTree, eta: usi
     }
     // The tree's own edges are τ ≥ kt by definition of kt, so they are
     // already included; Q is therefore connected inside Gt.
-    Subgraph { graph: b.build(), to_parent, from_parent }
+    Subgraph {
+        graph: b.build(),
+        to_parent,
+        from_parent,
+    }
 }
 
 #[cfg(test)]

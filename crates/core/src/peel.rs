@@ -8,9 +8,7 @@
 //! is reconstructed afterwards without storing any intermediate graph —
 //! the paper's `O(m')` space argument (§4.4).
 
-use ctc_graph::{
-    query_connected, BfsScratch, CsrGraph, DynGraph, VertexId, INF,
-};
+use ctc_graph::{query_connected, BfsScratch, CsrGraph, DynGraph, VertexId, INF};
 use ctc_truss::TrussMaintainer;
 
 /// Victim-selection policy for one peeling iteration.
@@ -129,7 +127,8 @@ pub fn peel(
             DeletePolicy::BulkAtLeast => {
                 let threshold = best_dist.saturating_sub(1).max(1);
                 victims.extend(
-                    live.alive_vertices().filter(|&v| dist_max[v.index()] >= threshold),
+                    live.alive_vertices()
+                        .filter(|&v| dist_max[v.index()] >= threshold),
                 );
             }
             DeletePolicy::LocalGreedy => {
@@ -168,7 +167,12 @@ pub fn peel(
         .filter(|&(e, _, _)| edge_removed_at[e.index()] >= best_iter)
         .map(|(_, u, v)| (u, v))
         .collect();
-    PeelOutcome { vertices, edges, query_distance: best_dist, iterations: iter as usize }
+    PeelOutcome {
+        vertices,
+        edges,
+        query_distance: best_dist,
+        iterations: iter as usize,
+    }
 }
 
 #[cfg(test)]
@@ -254,11 +258,17 @@ mod tests {
             }
             let rg = b.build();
             let mut scratch = BfsScratch::new(rg.num_vertices());
-            assert!(query_connected(&rg, &q, &mut scratch), "{policy:?}: Q disconnected");
+            assert!(
+                query_connected(&rg, &q, &mut scratch),
+                "{policy:?}: Q disconnected"
+            );
             let sup = ctc_graph::edge_supports(&rg);
             for (e, u, v) in rg.edges() {
                 if out.vertices.contains(&u) && out.vertices.contains(&v) {
-                    assert!(sup[e.index()] + 2 >= 4, "{policy:?}: edge ({u},{v}) below 4-truss");
+                    assert!(
+                        sup[e.index()] + 2 >= 4,
+                        "{policy:?}: edge ({u},{v}) below 4-truss"
+                    );
                 }
             }
         }

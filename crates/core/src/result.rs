@@ -82,7 +82,11 @@ impl Community {
         for &(u, v) in &self.edges {
             b.add_edge(from_parent[&u.0], from_parent[&v.0]);
         }
-        Subgraph { graph: b.build(), to_parent, from_parent }
+        Subgraph {
+            graph: b.build(),
+            to_parent,
+            from_parent,
+        }
     }
 
     /// Exact diameter of the community (all-pairs BFS over its subgraph).
@@ -107,7 +111,10 @@ impl Community {
             return Err("community is not connected".into());
         }
         let sup = ctc_graph::edge_supports(&sub.graph);
-        if let Some((e, _, _)) = sub.graph.edges().find(|&(e, _, _)| sup[e.index()] + 2 < self.k)
+        if let Some((e, _, _)) = sub
+            .graph
+            .edges()
+            .find(|&(e, _, _)| sup[e.index()] + 2 < self.k)
         {
             return Err(format!("edge {e} violates the {}-truss condition", self.k));
         }
@@ -155,7 +162,15 @@ pub fn community_from_induced(
     let ql: Vec<VertexId> = q.iter().filter_map(|&v| sub.local(v)).collect();
     let mut scratch = BfsScratch::new(sub.num_vertices());
     let qd = ctc_graph::graph_query_distance(&sub.graph, &ql, &mut scratch);
-    Community { k, vertices, edges, query_distance: qd, iterations, g0_size, timings }
+    Community {
+        k,
+        vertices,
+        edges,
+        query_distance: qd,
+        iterations,
+        g0_size,
+        timings,
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,10 @@ impl<'g> CtcSearcher<'g> {
     /// Builds the truss index for `g` and wraps it (index construction is
     /// the offline cost reported in Table 3).
     pub fn new(g: &'g CsrGraph) -> Self {
-        CtcSearcher { g, idx: TrussIndex::build(g) }
+        CtcSearcher {
+            g,
+            idx: TrussIndex::build(g),
+        }
     }
 
     /// Adopts a prebuilt index (must belong to `g`).
@@ -90,18 +93,22 @@ impl<'g> CtcSearcher<'g> {
         let q = self.normalize_query(q)?;
         let g0 = self.locate_g0(&q, cfg)?;
         let sub = ctc_graph::edge_subgraph(self.g, &g0.edges);
-        let q_local = sub
-            .locals(&q)
-            .ok_or(GraphError::Disconnected)?;
+        let q_local = sub.locals(&q).ok_or(GraphError::Disconnected)?;
         let t_locate = t0.elapsed();
         let t1 = Instant::now();
         let out = peel(&sub.graph, &q_local, g0.k, policy, cfg.max_iterations);
         let t_peel = t1.elapsed();
-        Ok(assemble(&sub, g0.k, out, (g0.vertices.len(), g0.edges.len()), PhaseTimings {
-            locate: t_locate,
-            peel: t_peel,
-            total: t0.elapsed(),
-        }))
+        Ok(assemble(
+            &sub,
+            g0.k,
+            out,
+            (g0.vertices.len(), g0.edges.len()),
+            PhaseTimings {
+                locate: t_locate,
+                peel: t_peel,
+                total: t0.elapsed(),
+            },
+        ))
     }
 
     /// Algorithm 1 (**Basic**): greedy single-vertex peeling.
@@ -141,7 +148,11 @@ impl<'g> CtcSearcher<'g> {
             query_distance: qd,
             iterations: 0,
             g0_size: (g0.vertices.len(), g0.edges.len()),
-            timings: PhaseTimings { locate: t0.elapsed(), peel: Default::default(), total: t0.elapsed() },
+            timings: PhaseTimings {
+                locate: t0.elapsed(),
+                peel: Default::default(),
+                total: t0.elapsed(),
+            },
         })
     }
 
@@ -178,7 +189,13 @@ impl<'g> CtcSearcher<'g> {
         let t_locate = t0.elapsed();
         // Step 4: the L' bulk-deletion variant.
         let t1 = Instant::now();
-        let out = peel(&ht_sub.graph, &q_ht, ht.k, DeletePolicy::LocalGreedy, cfg.max_iterations);
+        let out = peel(
+            &ht_sub.graph,
+            &q_ht,
+            ht.k,
+            DeletePolicy::LocalGreedy,
+            cfg.max_iterations,
+        );
         let t_peel = t1.elapsed();
         // Map ht-local → gt-local → parent.
         let mut community = assemble(
@@ -186,7 +203,11 @@ impl<'g> CtcSearcher<'g> {
             ht.k,
             out,
             (ht.vertices.len(), ht.edges.len()),
-            PhaseTimings { locate: t_locate, peel: t_peel, total: t0.elapsed() },
+            PhaseTimings {
+                locate: t_locate,
+                peel: t_peel,
+                total: t0.elapsed(),
+            },
         );
         for v in &mut community.vertices {
             *v = gt.parent(*v);
@@ -336,7 +357,10 @@ mod tests {
     fn error_paths() {
         let g = figure1_graph();
         let s = searcher(&g);
-        assert_eq!(s.basic(&[], &CtcConfig::default()).unwrap_err(), GraphError::EmptyQuery);
+        assert_eq!(
+            s.basic(&[], &CtcConfig::default()).unwrap_err(),
+            GraphError::EmptyQuery
+        );
         assert!(matches!(
             s.basic(&[VertexId(99)], &CtcConfig::default()).unwrap_err(),
             GraphError::VertexOutOfRange { .. }

@@ -77,7 +77,10 @@ fn steiner_path_min(
     // least one endpoint of every pair involving that vertex; globally cap
     // at the max vertex trussness among the query set.
     let cap = q.iter().map(|&v| idx.vertex_truss(v)).max().unwrap_or(2);
-    let levels: Vec<u32> = distinct_levels(idx).into_iter().filter(|&t| t <= cap).collect();
+    let levels: Vec<u32> = distinct_levels(idx)
+        .into_iter()
+        .filter(|&t| t <= cap)
+        .collect();
     let mut scratch = BfsScratch::new(g.num_vertices());
     // Metric closure: best (cost, level) per query pair.
     let mut closure = vec![vec![(f64::INFINITY, 0u32); r]; r];
@@ -107,7 +110,11 @@ fn steiner_path_min(
             if room < 1.0 {
                 continue;
             }
-            let depth = if room.is_infinite() { u32::MAX } else { room.floor() as u32 };
+            let depth = if room.is_infinite() {
+                u32::MAX
+            } else {
+                room.floor() as u32
+            };
             scratch.run_bounded(&view, qi, depth);
             for (j, &qj) in q.iter().enumerate() {
                 if j == i {
@@ -347,7 +354,11 @@ fn prune_to_tree(
         .map(|&e| idx.edge_truss(e))
         .min()
         .unwrap_or_else(|| idx.vertex_truss(q[0]).max(2));
-    Some(SteinerTree { edges: final_edges, vertices, min_truss })
+    Some(SteinerTree {
+        edges: final_edges,
+        vertices,
+        min_truss,
+    })
 }
 
 #[cfg(test)]
@@ -376,7 +387,11 @@ mod tests {
             );
             assert_eq!(t.min_truss, 4, "{mode:?}: kt should be 4");
             // Tree spans Q with r-1 ≤ |edges| ≤ small.
-            assert!(t.edges.len() >= 3, "{mode:?}: tree too small: {:?}", t.edges);
+            assert!(
+                t.edges.len() >= 3,
+                "{mode:?}: tree too small: {:?}",
+                t.edges
+            );
         }
     }
 
@@ -386,7 +401,10 @@ mod tests {
         // shortcut (2 hops) beats any trussness-4 detour (3 hops).
         let (g, idx, f) = setup();
         let t = steiner_tree(&g, &idx, &[f.q1, f.q3], 0.0, SteinerMode::PathMinExact).unwrap();
-        assert!(t.vertices.contains(&f.t), "γ=0 should take the short bridge");
+        assert!(
+            t.vertices.contains(&f.t),
+            "γ=0 should take the short bridge"
+        );
         assert_eq!(t.min_truss, 2);
     }
 
@@ -409,7 +427,13 @@ mod tests {
     fn disconnected_query_is_none() {
         let g = ctc_graph::graph_from_edges(&[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
         let idx = TrussIndex::build(&g);
-        let t = steiner_tree(&g, &idx, &[VertexId(0), VertexId(3)], 3.0, SteinerMode::PathMinExact);
+        let t = steiner_tree(
+            &g,
+            &idx,
+            &[VertexId(0), VertexId(3)],
+            3.0,
+            SteinerMode::PathMinExact,
+        );
         assert!(t.is_none());
     }
 

@@ -16,17 +16,29 @@ fn lctc_matches_global_trussness_on_tight_queries() {
     let mut same = 0;
     let mut total = 0;
     for _ in 0..12 {
-        let Some((q, _)) = qg.sample_from_ground_truth(&gt, 3) else { continue };
-        let Ok(global) = searcher.bulk_delete(&q, &cfg) else { continue };
-        let Ok(local) = searcher.local(&q, &cfg) else { continue };
+        let Some((q, _)) = qg.sample_from_ground_truth(&gt, 3) else {
+            continue;
+        };
+        let Ok(global) = searcher.bulk_delete(&q, &cfg) else {
+            continue;
+        };
+        let Ok(local) = searcher.local(&q, &cfg) else {
+            continue;
+        };
         total += 1;
         if local.k == global.k {
             same += 1;
         }
-        assert!(local.k >= global.k.saturating_sub(2), "LCTC trussness too far off");
+        assert!(
+            local.k >= global.k.saturating_sub(2),
+            "LCTC trussness too far off"
+        );
     }
     assert!(total >= 8, "too few comparisons ran");
-    assert!(same * 10 >= total * 7, "LCTC matched global k only {same}/{total} times");
+    assert!(
+        same * 10 >= total * 7,
+        "LCTC matched global k only {same}/{total} times"
+    );
 }
 
 #[test]
@@ -38,12 +50,20 @@ fn steiner_modes_agree_on_high_truss_queries() {
     let searcher = CtcSearcher::new(g);
     let mut qg = QueryGenerator::new(g, 9);
     for _ in 0..8 {
-        let Some((q, _)) = qg.sample_from_ground_truth(&gt, 3) else { continue };
+        let Some((q, _)) = qg.sample_from_ground_truth(&gt, 3) else {
+            continue;
+        };
         let exact = searcher
-            .local(&q, &CtcConfig::new().steiner_mode(SteinerMode::PathMinExact))
+            .local(
+                &q,
+                &CtcConfig::new().steiner_mode(SteinerMode::PathMinExact),
+            )
             .unwrap();
         let additive = searcher
-            .local(&q, &CtcConfig::new().steiner_mode(SteinerMode::EdgeAdditive))
+            .local(
+                &q,
+                &CtcConfig::new().steiner_mode(SteinerMode::EdgeAdditive),
+            )
             .unwrap();
         assert_eq!(exact.k, additive.k, "modes disagree on trussness");
     }
@@ -76,10 +96,14 @@ fn eta_monotonicity_of_exploration() {
     let searcher = CtcSearcher::new(g);
     let mut qg = QueryGenerator::new(g, 21);
     for _ in 0..6 {
-        let Some(q) = qg.sample(2, DegreeRank::top(0.8), 2) else { continue };
+        let Some(q) = qg.sample(2, DegreeRank::top(0.8), 2) else {
+            continue;
+        };
         let mut prev_k = 0;
         for eta in [10usize, 100, 1000] {
-            let Ok(c) = searcher.local(&q, &CtcConfig::new().eta(eta)) else { continue };
+            let Ok(c) = searcher.local(&q, &CtcConfig::new().eta(eta)) else {
+                continue;
+            };
             assert!(
                 c.k >= prev_k,
                 "trussness dropped when η grew: {} -> {} at η={eta}",

@@ -25,7 +25,11 @@ pub fn f1_score(c: &[VertexId], truth: &[VertexId]) -> F1Score {
     let detected: std::collections::BTreeSet<u32> = c.iter().map(|v| v.0).collect();
     let gt: std::collections::BTreeSet<u32> = truth.iter().map(|v| v.0).collect();
     if detected.is_empty() || gt.is_empty() {
-        return F1Score { precision: 0.0, recall: 0.0, f1: 0.0 };
+        return F1Score {
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+        };
     }
     let inter = detected.intersection(&gt).count() as f64;
     let precision = inter / detected.len() as f64;
@@ -35,7 +39,11 @@ pub fn f1_score(c: &[VertexId], truth: &[VertexId]) -> F1Score {
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    F1Score { precision, recall, f1 }
+    F1Score {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Aggregates a sample of values into (mean, standard deviation).

@@ -5,10 +5,10 @@
 //! sets with a one-hour per-query timeout ("we treat the runtime of a query
 //! as infinite if its runtime exceeds 1 hour"). [`run_workload`] mirrors
 //! that: a wall-clock budget per *workload*, failures and timeouts recorded
-//! rather than panicking, and an optional thread pool (crossbeam scoped
+//! rather than panicking, and an optional thread pool (std scoped
 //! threads) since the queries are independent.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Result of running one algorithm over one query set.
@@ -77,7 +77,7 @@ pub fn run_workload<Q, T>(
     (out, stats)
 }
 
-/// Parallel variant: shards `queries` over `threads` crossbeam-scoped
+/// Parallel variant: shards `queries` over `threads` std-scoped
 /// workers. `f` must be `Sync` (it only borrows shared read-only state).
 pub fn run_workload_parallel<Q: Sync, T: Send>(
     queries: &[Q],
@@ -87,12 +87,11 @@ pub fn run_workload_parallel<Q: Sync, T: Send>(
 ) -> (Vec<RunOutcome<T>>, WorkloadStats) {
     let threads = threads.max(1);
     let start = Instant::now();
-    let results: Mutex<Vec<(usize, RunOutcome<T>)>> =
-        Mutex::new(Vec::with_capacity(queries.len()));
+    let results: Mutex<Vec<(usize, RunOutcome<T>)>> = Mutex::new(Vec::with_capacity(queries.len()));
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= queries.len() {
                     break;
@@ -106,12 +105,11 @@ pub fn run_workload_parallel<Q: Sync, T: Send>(
                         Err(e) => RunOutcome::Failed(e),
                     }
                 };
-                results.lock().push((i, outcome));
+                results.lock().unwrap().push((i, outcome));
             });
         }
-    })
-    .expect("worker panicked");
-    let mut indexed = results.into_inner();
+    });
+    let mut indexed = results.into_inner().unwrap();
     indexed.sort_by_key(|(i, _)| *i);
     let out: Vec<RunOutcome<T>> = indexed.into_iter().map(|(_, o)| o).collect();
     let stats = summarize(&out);
@@ -179,8 +177,9 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_results() {
         let qs: Vec<u32> = (0..32).collect();
-        let (par, pstats) =
-            run_workload_parallel(&qs, Duration::from_secs(60), 4, |&q| Ok::<u32, String>(q + 1));
+        let (par, pstats) = run_workload_parallel(&qs, Duration::from_secs(60), 4, |&q| {
+            Ok::<u32, String>(q + 1)
+        });
         assert_eq!(pstats.completed, 32);
         for (i, o) in par.iter().enumerate() {
             assert_eq!(o.value(), Some(&(i as u32 + 1)), "order must be preserved");

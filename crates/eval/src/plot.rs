@@ -15,7 +15,11 @@ pub struct BarChart {
 impl BarChart {
     /// Creates an empty chart with a title.
     pub fn new(title: impl Into<String>) -> Self {
-        BarChart { title: title.into(), rows: Vec::new(), log_scale: false }
+        BarChart {
+            title: title.into(),
+            rows: Vec::new(),
+            log_scale: false,
+        }
     }
 
     /// Switches to log10 bar lengths (for timing spreads across orders of

@@ -28,13 +28,16 @@ pub struct CollabNetwork {
 impl CollabNetwork {
     /// Vertex id of a named author.
     pub fn author(&self, name: &str) -> Option<VertexId> {
-        self.names.iter().position(|n| n == name).map(VertexId::from)
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(VertexId::from)
     }
 }
 
 const FIRST: [&str; 20] = [
-    "Astra", "Basil", "Cleo", "Dorian", "Edda", "Felix", "Greta", "Hugo", "Iris", "Jules",
-    "Kara", "Lior", "Mira", "Nils", "Odile", "Pavel", "Quinn", "Rhea", "Sven", "Talia",
+    "Astra", "Basil", "Cleo", "Dorian", "Edda", "Felix", "Greta", "Hugo", "Iris", "Jules", "Kara",
+    "Lior", "Mira", "Nils", "Odile", "Pavel", "Quinn", "Rhea", "Sven", "Talia",
 ];
 
 fn name_of(i: usize) -> String {
@@ -69,8 +72,16 @@ pub fn case_study_network(seed: u64) -> CollabNetwork {
     // pairs never touch vertices 10..14, which seed the group chain.
     let core = alloc(&mut names, 14);
     let removed: Vec<(u32, u32)> = vec![
-        (0, 1), (1, 2), (2, 3), (3, 4), (0, 4),
-        (5, 6), (6, 7), (7, 8), (8, 9), (5, 9),
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (0, 4),
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (5, 9),
     ];
     for (i, &u) in core.iter().enumerate() {
         for &v in &core[i + 1..] {
@@ -93,7 +104,11 @@ pub fn case_study_network(seed: u64) -> CollabNetwork {
     let mut prev_tail: Vec<u32> = core[9..14].to_vec();
     for _ in 0..11 {
         let fresh = alloc(&mut names, 5);
-        let block: Vec<u32> = prev_tail.iter().copied().chain(fresh.iter().copied()).collect();
+        let block: Vec<u32> = prev_tail
+            .iter()
+            .copied()
+            .chain(fresh.iter().copied())
+            .collect();
         for (i, &u) in block.iter().enumerate() {
             for &v in &block[i + 1..] {
                 b.add_edge(u, v);
@@ -171,7 +186,10 @@ mod tests {
         let sub = ctc_graph::induced_subgraph(&net.graph, &net.core);
         let density = ctc_graph::edge_density(sub.num_vertices(), sub.num_edges());
         assert!(density > 0.8, "core density {density}");
-        assert_eq!(ctc_graph::diameter_exact(&sub.graph), 2.min(ctc_graph::diameter_exact(&sub.graph)));
+        assert_eq!(
+            ctc_graph::diameter_exact(&sub.graph),
+            2.min(ctc_graph::diameter_exact(&sub.graph))
+        );
     }
 
     #[test]
@@ -185,6 +203,9 @@ mod tests {
                 low += 1;
             }
         }
-        assert!(low > 60, "periphery unexpectedly dense: {low}/80 low-degree");
+        assert!(
+            low > 60,
+            "periphery unexpectedly dense: {low}/80 low-degree"
+        );
     }
 }

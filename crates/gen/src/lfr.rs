@@ -94,9 +94,15 @@ pub fn lfr_like(cfg: &LfrConfig) -> GroundTruthGraph {
             cfg.max_community as f64,
             cfg.community_exponent,
         ) as usize;
-        let s = s.clamp(cfg.min_community, cfg.max_community).min(n - covered);
+        let s = s
+            .clamp(cfg.min_community, cfg.max_community)
+            .min(n - covered);
         // Avoid a dangling undersized final community.
-        let s = if n - covered - s < cfg.min_community { n - covered } else { s };
+        let s = if n - covered - s < cfg.min_community {
+            n - covered
+        } else {
+            s
+        };
         sizes.push(s);
         covered += s;
     }
@@ -129,13 +135,16 @@ pub fn lfr_like(cfg: &LfrConfig) -> GroundTruthGraph {
         // E[s] = ln(b/a) / (1/a − 1/b); each member of an event gains
         // E[s] − 1 neighbors per stub, so divide the stub budget by it.
         let (a, bb) = (3.0f64, max_event as f64);
-        let mean_s = if bb <= a + 0.5 { a } else { (bb / a).ln() / (1.0 / a - 1.0 / bb) };
+        let mean_s = if bb <= a + 0.5 {
+            a
+        } else {
+            (bb / a).ln() / (1.0 / a - 1.0 / bb)
+        };
         let divisor = (mean_s - 1.0).max(1.0);
         let mut stubs: Vec<u32> = Vec::new();
         for &v in comm {
             let d = degrees[v.index()];
-            let internal =
-                (((1.0 - cfg.mu) * d as f64).round() as usize).min(comm.len() - 1);
+            let internal = (((1.0 - cfg.mu) * d as f64).round() as usize).min(comm.len() - 1);
             for _ in 0..((internal as f64 / divisor).ceil() as usize) {
                 stubs.push(v.0);
             }
@@ -174,7 +183,11 @@ pub fn lfr_like(cfg: &LfrConfig) -> GroundTruthGraph {
         b.add_edge(u.0, t.0);
     }
     let graph = crate::util::stitch_connected(b.build(), &mut rng);
-    GroundTruthGraph { graph, communities, membership }
+    GroundTruthGraph {
+        graph,
+        communities,
+        membership,
+    }
 }
 
 fn shuffle(rng: &mut StdRng, xs: &mut [u32]) {
@@ -190,7 +203,10 @@ mod tests {
 
     #[test]
     fn covers_all_vertices() {
-        let g = lfr_like(&LfrConfig { n: 500, ..Default::default() });
+        let g = lfr_like(&LfrConfig {
+            n: 500,
+            ..Default::default()
+        });
         assert_eq!(g.graph.num_vertices(), 500);
         assert!(g.membership.iter().all(|&m| m != u32::MAX));
         let total: usize = g.communities.iter().map(|c| c.len()).sum();
@@ -199,10 +215,19 @@ mod tests {
 
     #[test]
     fn community_sizes_respect_bounds() {
-        let cfg = LfrConfig { n: 2000, min_community: 15, max_community: 60, ..Default::default() };
+        let cfg = LfrConfig {
+            n: 2000,
+            min_community: 15,
+            max_community: 60,
+            ..Default::default()
+        };
         let g = lfr_like(&cfg);
         for c in &g.communities {
-            assert!(c.len() >= cfg.min_community, "undersized community {}", c.len());
+            assert!(
+                c.len() >= cfg.min_community,
+                "undersized community {}",
+                c.len()
+            );
             // The final merge step can exceed max by < min_community.
             assert!(c.len() <= cfg.max_community + cfg.min_community);
         }
@@ -210,7 +235,12 @@ mod tests {
 
     #[test]
     fn low_mu_keeps_edges_internal() {
-        let g = lfr_like(&LfrConfig { n: 800, mu: 0.1, seed: 5, ..Default::default() });
+        let g = lfr_like(&LfrConfig {
+            n: 800,
+            mu: 0.1,
+            seed: 5,
+            ..Default::default()
+        });
         let mut intra = 0usize;
         let mut inter = 0usize;
         for (_, u, v) in g.graph.edges() {
@@ -226,8 +256,18 @@ mod tests {
 
     #[test]
     fn high_mu_mixes_more_than_low_mu() {
-        let lo = lfr_like(&LfrConfig { n: 800, mu: 0.05, seed: 6, ..Default::default() });
-        let hi = lfr_like(&LfrConfig { n: 800, mu: 0.5, seed: 6, ..Default::default() });
+        let lo = lfr_like(&LfrConfig {
+            n: 800,
+            mu: 0.05,
+            seed: 6,
+            ..Default::default()
+        });
+        let hi = lfr_like(&LfrConfig {
+            n: 800,
+            mu: 0.5,
+            seed: 6,
+            ..Default::default()
+        });
         let external_frac = |g: &GroundTruthGraph| {
             let mut inter = 0usize;
             for (_, u, v) in g.graph.edges() {
@@ -242,7 +282,12 @@ mod tests {
 
     #[test]
     fn degrees_are_heavy_tailed() {
-        let g = lfr_like(&LfrConfig { n: 2000, avg_degree: 8.0, max_degree: 80, ..Default::default() });
+        let g = lfr_like(&LfrConfig {
+            n: 2000,
+            avg_degree: 8.0,
+            max_degree: 80,
+            ..Default::default()
+        });
         let avg = 2.0 * g.graph.num_edges() as f64 / 2000.0;
         assert!(g.graph.max_degree() as f64 > 2.5 * avg);
         assert!(avg > 3.0, "avg degree collapsed: {avg}");
@@ -250,8 +295,16 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = lfr_like(&LfrConfig { n: 300, seed: 123, ..Default::default() });
-        let b = lfr_like(&LfrConfig { n: 300, seed: 123, ..Default::default() });
+        let a = lfr_like(&LfrConfig {
+            n: 300,
+            seed: 123,
+            ..Default::default()
+        });
+        let b = lfr_like(&LfrConfig {
+            n: 300,
+            seed: 123,
+            ..Default::default()
+        });
         assert_eq!(a.graph, b.graph);
     }
 }

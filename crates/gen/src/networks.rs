@@ -170,7 +170,13 @@ pub fn all_networks() -> Vec<Network> {
 
 /// The five ground-truth evaluation networks of Exp-3 (all but Facebook).
 pub fn ground_truth_networks() -> Vec<Network> {
-    vec![amazon_like(), dblp_like(), youtube_like(), livejournal_like(), orkut_like()]
+    vec![
+        amazon_like(),
+        dblp_like(),
+        youtube_like(),
+        livejournal_like(),
+        orkut_like(),
+    ]
 }
 
 /// A preset by name, if known.
@@ -232,7 +238,10 @@ mod tests {
         for name in ["facebook", "dblp"] {
             let g = mini_network(name, 1).unwrap();
             assert!(g.graph.num_vertices() > 100);
-            assert!(ctc_graph::is_connected(&g.graph), "{name} mini disconnected");
+            assert!(
+                ctc_graph::is_connected(&g.graph),
+                "{name} mini disconnected"
+            );
         }
     }
 

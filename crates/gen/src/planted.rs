@@ -111,7 +111,11 @@ pub fn planted_partition(cfg: &PlantedConfig) -> GroundTruthGraph {
         b.add_edge(head, t);
     }
     let graph = crate::util::stitch_connected(b.build(), &mut rng);
-    GroundTruthGraph { graph, communities, membership }
+    GroundTruthGraph {
+        graph,
+        communities,
+        membership,
+    }
 }
 
 /// Convenience: `c` communities of equal `size` with default density knobs.

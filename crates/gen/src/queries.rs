@@ -29,12 +29,18 @@ impl DegreeRank {
     /// The `i`-th of five equal buckets (`i ∈ 0..5`).
     pub fn bucket(i: usize) -> Self {
         let i = i.min(4) as f64;
-        DegreeRank { lo: i * 0.2, hi: (i + 1.0) * 0.2 }
+        DegreeRank {
+            lo: i * 0.2,
+            hi: (i + 1.0) * 0.2,
+        }
     }
 
     /// Top-`x` fraction (e.g. `top(0.8)` = the paper's default `Qd = 80%`).
     pub fn top(x: f64) -> Self {
-        DegreeRank { lo: 0.0, hi: x.clamp(0.0, 1.0) }
+        DegreeRank {
+            lo: 0.0,
+            hi: x.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -195,7 +201,11 @@ mod tests {
             for &a in &q {
                 let d = bfs_distances(&gt.graph, a);
                 for &b in &q {
-                    assert!(d[b.index()] <= 2, "pair ({a},{b}) at distance {}", d[b.index()]);
+                    assert!(
+                        d[b.index()] <= 2,
+                        "pair ({a},{b}) at distance {}",
+                        d[b.index()]
+                    );
                 }
             }
         }

@@ -44,7 +44,11 @@ pub fn erdos_renyi_np(n: usize, p: f64, seed: u64) -> CsrGraph {
     let (mut u, mut v) = (1usize, 0usize.wrapping_sub(1)); // v starts "before 0"
     loop {
         let r: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let skip = if p >= 1.0 { 1 } else { 1 + (r.ln() / log1m) as usize };
+        let skip = if p >= 1.0 {
+            1
+        } else {
+            1 + (r.ln() / log1m) as usize
+        };
         let mut vv = v.wrapping_add(skip);
         while u < n && vv >= u {
             vv -= u;
@@ -178,7 +182,11 @@ mod tests {
         assert!(g.num_edges() >= 3 * (500 - 4));
         // Preferential attachment should produce a hub well above average.
         let avg = 2.0 * g.num_edges() as f64 / 500.0;
-        assert!(g.max_degree() as f64 > 3.0 * avg, "max {} avg {avg}", g.max_degree());
+        assert!(
+            g.max_degree() as f64 > 3.0 * avg,
+            "max {} avg {avg}",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -63,7 +63,12 @@ pub fn in_largest_component(g: &CsrGraph, v: VertexId) -> bool {
             sizes[l as usize] += 1;
         }
     }
-    let main = sizes.iter().enumerate().max_by_key(|&(_, s)| s).map(|(i, _)| i).unwrap_or(0);
+    let main = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| s)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
     labels[v.index()] as usize == main
 }
 

@@ -35,7 +35,10 @@ impl GraphBuilder {
 
     /// Creates a builder with pre-reserved space for `edges` edges.
     pub fn with_capacity(edges: usize) -> Self {
-        GraphBuilder { edges: Vec::with_capacity(edges), max_vertex: None }
+        GraphBuilder {
+            edges: Vec::with_capacity(edges),
+            max_vertex: None,
+        }
     }
 
     /// Adds an undirected edge `{u, v}` by raw ids. Self-loops are ignored.

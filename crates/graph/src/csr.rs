@@ -72,7 +72,12 @@ impl CsrGraph {
                 }
             }
         }
-        CsrGraph { offsets, neighbors, arc_edge, edges }
+        CsrGraph {
+            offsets,
+            neighbors,
+            arc_edge,
+            edges,
+        }
     }
 
     /// Number of vertices `n`.
@@ -154,7 +159,11 @@ impl CsrGraph {
         if u == v || u.index() >= self.num_vertices() || v.index() >= self.num_vertices() {
             return None;
         }
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         let row = self.neighbors(a);
         let pos = row.binary_search(&b.0).ok()?;
         Some(EdgeId(self.neighbor_edge_ids(a)[pos]))
@@ -183,7 +192,10 @@ impl CsrGraph {
     #[inline(always)]
     pub fn other_endpoint(&self, e: EdgeId, x: VertexId) -> VertexId {
         let (u, v) = self.edges[e.index()];
-        debug_assert!(x.0 == u || x.0 == v, "vertex {x} not an endpoint of edge {e}");
+        debug_assert!(
+            x.0 == u || x.0 == v,
+            "vertex {x} not an endpoint of edge {e}"
+        );
         if x.0 == u {
             VertexId(v)
         } else {

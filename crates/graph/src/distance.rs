@@ -21,8 +21,10 @@ pub fn eccentricity<A: Adjacency>(adj: &A, v: VertexId, scratch: &mut BfsScratch
 /// single-vertex graphs. Cost `O(n·m)` — intended for extracted communities.
 pub fn diameter_exact<A: Adjacency>(adj: &A) -> u32 {
     let n = adj.vertex_count();
-    let active: Vec<VertexId> =
-        (0..n).map(VertexId::from).filter(|&v| adj.is_active(v)).collect();
+    let active: Vec<VertexId> = (0..n)
+        .map(VertexId::from)
+        .filter(|&v| adj.is_active(v))
+        .collect();
     if active.len() <= 1 {
         return 0;
     }
@@ -137,7 +139,10 @@ mod tests {
         let mut s = BfsScratch::new(5);
         let d = query_distances(&g, &[VertexId(0), VertexId(4)], &mut s);
         assert_eq!(d, vec![4, 3, 2, 3, 4]);
-        assert_eq!(graph_query_distance(&g, &[VertexId(0), VertexId(4)], &mut s), 4);
+        assert_eq!(
+            graph_query_distance(&g, &[VertexId(0), VertexId(4)], &mut s),
+            4
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ impl<'g> DynGraph<'g> {
     pub fn new(base: &'g CsrGraph) -> Self {
         let n = base.num_vertices();
         let m = base.num_edges();
-        let degree = (0..n).map(|v| base.degree(VertexId::from(v)) as u32).collect();
+        let degree = (0..n)
+            .map(|v| base.degree(VertexId::from(v)) as u32)
+            .collect();
         DynGraph {
             base,
             vertex_alive: vec![true; n],
@@ -106,9 +108,9 @@ impl<'g> DynGraph<'g> {
     /// An arc counts as alive when both its edge and the far endpoint are.
     #[inline]
     pub fn alive_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
-        self.base.incident(v).filter(move |(nb, e)| {
-            self.edge_alive[e.index()] && self.vertex_alive[nb.index()]
-        })
+        self.base
+            .incident(v)
+            .filter(move |(nb, e)| self.edge_alive[e.index()] && self.vertex_alive[nb.index()])
     }
 
     /// The alive edge `{u, v}`, if any.
@@ -161,7 +163,11 @@ impl<'g> DynGraph<'g> {
         if !self.vertex_alive[v.index()] {
             return false;
         }
-        debug_assert_eq!(self.degree[v.index()], 0, "marking vertex {v} dead with live edges");
+        debug_assert_eq!(
+            self.degree[v.index()],
+            0,
+            "marking vertex {v} dead with live edges"
+        );
         self.vertex_alive[v.index()] = false;
         self.alive_vertex_count -= 1;
         true
@@ -292,7 +298,10 @@ mod tests {
         let g = k4();
         let mut d = DynGraph::new(&g);
         d.remove_vertex(VertexId(3));
-        assert_eq!(d.alive_vertex_vec(), vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(
+            d.alive_vertex_vec(),
+            vec![VertexId(0), VertexId(1), VertexId(2)]
+        );
         assert_eq!(d.alive_edges().count(), 3);
         let nbrs: Vec<u32> = d.alive_neighbors(VertexId(0)).map(|(v, _)| v.0).collect();
         assert_eq!(nbrs, vec![1, 2]);

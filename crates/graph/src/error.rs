@@ -33,7 +33,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex id {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex id {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::EmptyQuery => write!(f, "query vertex set is empty"),
@@ -67,7 +70,10 @@ mod tests {
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("3"));
         assert!(GraphError::Disconnected.to_string().contains("connected"));
-        let p = GraphError::Parse { line: 4, message: "bad token".into() };
+        let p = GraphError::Parse {
+            line: 4,
+            message: "bad token".into(),
+        };
         assert!(p.to_string().contains("line 4"));
     }
 

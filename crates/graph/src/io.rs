@@ -62,7 +62,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<(CsrGraph, Vec<u64>)> {
 
 /// Writes `g` as an edge list (`u v` per line, dense ids).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> Result<()> {
-    writeln!(w, "# ctc graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# ctc graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (_, u, v) in g.edges() {
         writeln!(w, "{} {}", u.0, v.0)?;
     }
@@ -96,7 +101,9 @@ pub fn from_bytes(mut data: &[u8]) -> Result<CsrGraph> {
     }
     let version = data.get_u32_le();
     if version != VERSION {
-        return Err(GraphError::Corrupt(format!("unsupported version {version}")));
+        return Err(GraphError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
     let n = data.get_u32_le() as usize;
     let m = data.get_u32_le() as usize;
@@ -113,7 +120,9 @@ pub fn from_bytes(mut data: &[u8]) -> Result<CsrGraph> {
         let u = data.get_u32_le();
         let v = data.get_u32_le();
         if u as usize >= n || v as usize >= n {
-            return Err(GraphError::Corrupt(format!("edge ({u},{v}) out of range for n={n}")));
+            return Err(GraphError::Corrupt(format!(
+                "edge ({u},{v}) out of range for n={n}"
+            )));
         }
         builder.add_edge(u, v);
     }

@@ -23,7 +23,11 @@ pub struct PageRankOptions {
 
 impl Default for PageRankOptions {
     fn default() -> Self {
-        PageRankOptions { restart: 0.15, tolerance: 1e-9, max_iterations: 200 }
+        PageRankOptions {
+            restart: 0.15,
+            tolerance: 1e-9,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -31,11 +35,7 @@ impl Default for PageRankOptions {
 ///
 /// Returns a probability vector over all vertices (sums to 1 up to the
 /// tolerance). Empty `seeds` yields the uniform restart (classic PageRank).
-pub fn personalized_pagerank(
-    g: &CsrGraph,
-    seeds: &[VertexId],
-    opts: PageRankOptions,
-) -> Vec<f64> {
+pub fn personalized_pagerank(g: &CsrGraph, seeds: &[VertexId], opts: PageRankOptions) -> Vec<f64> {
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -55,8 +55,7 @@ pub fn personalized_pagerank(
     for _ in 0..opts.max_iterations {
         next.iter_mut().for_each(|x| *x = 0.0);
         let mut dangling = 0.0f64;
-        for v in 0..n {
-            let mass = p[v];
+        for (v, &mass) in p.iter().enumerate() {
             if mass == 0.0 {
                 continue;
             }

@@ -6,10 +6,9 @@
 use crate::csr::CsrGraph;
 use crate::ids::VertexId;
 use crate::triangles::{edge_supports, triangle_count};
-use serde::Serialize;
 
 /// Summary statistics of a network, in the shape of the paper's Table 2.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct GraphStats {
     /// Number of vertices.
     pub num_vertices: usize,
@@ -35,7 +34,11 @@ pub fn graph_stats(g: &CsrGraph) -> GraphStats {
         num_vertices: n,
         num_edges: m,
         max_degree: g.max_degree(),
-        avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        },
         density: edge_density(n, m),
         triangles: triangle_count(g),
         avg_clustering: average_clustering(g),
@@ -89,7 +92,7 @@ pub fn average_clustering(g: &CsrGraph) -> f64 {
         closed_at[v.index()] += sup[e.index()] as u64;
     }
     let mut acc = 0.0f64;
-    for v in 0..n {
+    for (v, &closed_twice) in closed_at.iter().enumerate() {
         let d = g.degree(VertexId::from(v));
         if d < 2 {
             continue;
@@ -97,7 +100,7 @@ pub fn average_clustering(g: &CsrGraph) -> f64 {
         let wedges = d as f64 * (d as f64 - 1.0) / 2.0;
         // closed_at[v] counted each triangle at v twice (once per incident
         // triangle edge at v).
-        let closed = closed_at[v] as f64 / 2.0;
+        let closed = closed_twice as f64 / 2.0;
         acc += closed / wedges;
     }
     acc / n as f64
@@ -145,7 +148,10 @@ mod tests {
             .map(|v| local_clustering(&g, VertexId(v)))
             .sum::<f64>()
             / 5.0;
-        assert!((avg - by_local).abs() < 1e-12, "avg {avg} vs local {by_local}");
+        assert!(
+            (avg - by_local).abs() < 1e-12,
+            "avg {avg} vs local {by_local}"
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> Subgraph {
             }
         }
     }
-    Subgraph { graph: b.build(), to_parent, from_parent }
+    Subgraph {
+        graph: b.build(),
+        to_parent,
+        from_parent,
+    }
 }
 
 /// Extracts the subgraph of `g` consisting of exactly the given edges
@@ -101,7 +105,11 @@ pub fn edge_subgraph(g: &CsrGraph, edges: &[EdgeId]) -> Subgraph {
         b.add_edge(lu, lv);
     }
     b.ensure_vertices(to_parent.len());
-    Subgraph { graph: b.build(), to_parent, from_parent }
+    Subgraph {
+        graph: b.build(),
+        to_parent,
+        from_parent,
+    }
 }
 
 /// Materializes the alive part of a [`DynGraph`] as a standalone subgraph.
@@ -121,7 +129,11 @@ pub fn alive_subgraph(d: &DynGraph<'_>) -> Subgraph {
         let lv = from_parent[&v.0];
         b.add_edge(lu, lv);
     }
-    Subgraph { graph: b.build(), to_parent, from_parent }
+    Subgraph {
+        graph: b.build(),
+        to_parent,
+        from_parent,
+    }
 }
 
 #[cfg(test)]

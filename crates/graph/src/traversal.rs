@@ -110,7 +110,12 @@ pub struct BfsScratch {
 impl BfsScratch {
     /// Creates a scratch sized for graphs with up to `n` vertices.
     pub fn new(n: usize) -> Self {
-        BfsScratch { stamp: vec![0; n], dist: vec![INF; n], queue: Vec::with_capacity(n), epoch: 0 }
+        BfsScratch {
+            stamp: vec![0; n],
+            dist: vec![INF; n],
+            queue: Vec::with_capacity(n),
+            epoch: 0,
+        }
     }
 
     /// Grows internal buffers to hold `n` vertices.
@@ -214,7 +219,9 @@ impl BfsScratch {
 pub fn bfs_distances<A: Adjacency>(adj: &A, src: VertexId) -> Vec<u32> {
     let mut scratch = BfsScratch::new(adj.vertex_count());
     scratch.run(adj, src);
-    (0..adj.vertex_count()).map(|v| scratch.dist(VertexId::from(v))).collect()
+    (0..adj.vertex_count())
+        .map(|v| scratch.dist(VertexId::from(v)))
+        .collect()
 }
 
 /// `true` if every vertex of `q` lies in one connected component of `adj`.
@@ -222,7 +229,9 @@ pub fn bfs_distances<A: Adjacency>(adj: &A, src: VertexId) -> Vec<u32> {
 /// This is the `connect(Q)` predicate from Algorithms 1, 2 and 4. Returns
 /// `false` for an empty `q` or if any query vertex is inactive.
 pub fn query_connected<A: Adjacency>(adj: &A, q: &[VertexId], scratch: &mut BfsScratch) -> bool {
-    let Some(&first) = q.first() else { return false };
+    let Some(&first) = q.first() else {
+        return false;
+    };
     if q.iter().any(|&v| !adj.is_active(v)) {
         return false;
     }

@@ -156,7 +156,11 @@ pub fn triangle_edges(
     b: VertexId,
     c: VertexId,
 ) -> Option<(EdgeId, EdgeId, EdgeId)> {
-    Some((g.edge_between(a, b)?, g.edge_between(b, c)?, g.edge_between(a, c)?))
+    Some((
+        g.edge_between(a, b)?,
+        g.edge_between(b, c)?,
+        g.edge_between(a, c)?,
+    ))
 }
 
 #[cfg(test)]

@@ -1,0 +1,111 @@
+//! Property tests for the CSR substrate: round-trip from arbitrary edge
+//! lists (sorted, deduplicated, symmetric adjacency) and triangle counting
+//! against brute force on small random graphs from `ctc_gen::random`.
+
+use ctc_gen::random::{barabasi_albert, erdos_renyi_nm, erdos_renyi_np, watts_strogatz};
+use ctc_graph::{graph_from_edges, triangle_count, CsrGraph, VertexId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The model a CSR built from `edges` must match: self-loops dropped and
+/// duplicates merged, with each undirected edge stored once per direction.
+fn normalized_edge_set(edges: &[(u32, u32)]) -> BTreeSet<(u32, u32)> {
+    edges
+        .iter()
+        .filter(|(u, v)| u != v)
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect()
+}
+
+/// O(n^3) reference triangle counter.
+fn brute_force_triangles(g: &CsrGraph) -> u64 {
+    let n = g.num_vertices() as u32;
+    let mut count = 0u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !g.has_edge(VertexId(a), VertexId(b)) {
+                continue;
+            }
+            for c in (b + 1)..n {
+                if g.has_edge(VertexId(a), VertexId(c)) && g.has_edge(VertexId(b), VertexId(c)) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn check_csr_invariants(g: &CsrGraph) -> Result<(), TestCaseError> {
+    for v in g.vertices() {
+        let row = g.neighbors(v);
+        // Rows are strictly sorted (sorted + deduplicated, no self-loops).
+        prop_assert!(
+            row.windows(2).all(|w| w[0] < w[1]),
+            "row of {v:?} not strictly sorted"
+        );
+        prop_assert!(!row.contains(&v.0), "self-loop survived at {v:?}");
+        // Symmetry: u in N(v) <=> v in N(u), and both directions agree on
+        // the edge id.
+        for &u in row {
+            let u = VertexId(u);
+            prop_assert!(
+                g.neighbors(u).contains(&v.0),
+                "asymmetric edge ({v:?},{u:?})"
+            );
+            prop_assert_eq!(g.edge_between(v, u), g.edge_between(u, v));
+        }
+    }
+    // Degrees sum to 2m.
+    let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+    prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn csr_round_trips_arbitrary_edge_lists(
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 1..80),
+    ) {
+        let g = graph_from_edges(&edges);
+        let model = normalized_edge_set(&edges);
+        prop_assert_eq!(g.num_edges(), model.len());
+        let stored: BTreeSet<(u32, u32)> = g
+            .edges()
+            .map(|(_, u, v)| (u.0.min(v.0), u.0.max(v.0)))
+            .collect();
+        prop_assert_eq!(stored, model);
+        check_csr_invariants(&g)?;
+    }
+
+    #[test]
+    fn triangle_count_matches_brute_force_on_arbitrary_graphs(
+        edges in proptest::collection::vec((0u32..12, 0u32..12), 1..50),
+    ) {
+        let g = graph_from_edges(&edges);
+        prop_assert_eq!(triangle_count(&g), brute_force_triangles(&g));
+    }
+
+    #[test]
+    fn random_generators_produce_valid_csr(seed in 0u64..1000) {
+        for g in [
+            erdos_renyi_nm(24, 60, seed),
+            erdos_renyi_np(24, 0.2, seed),
+            barabasi_albert(24, 3, seed),
+            watts_strogatz(24, 4, 0.2, seed),
+        ] {
+            check_csr_invariants(&g)?;
+            prop_assert_eq!(triangle_count(&g), brute_force_triangles(&g));
+        }
+    }
+
+    #[test]
+    fn support_sum_is_three_times_triangles(seed in 0u64..1000) {
+        // Each triangle contributes support 1 to each of its three edges.
+        let g = erdos_renyi_np(20, 0.25, seed);
+        let total: u64 = ctc_graph::edge_supports(&g).iter().map(|&s| s as u64).sum();
+        prop_assert_eq!(total, 3 * triangle_count(&g));
+    }
+}

@@ -79,9 +79,7 @@ pub fn prob_truss_decomposition(pg: &ProbGraph, gamma: f64) -> ProbTrussDecompos
         loop {
             let doomed: Vec<EdgeId> = live
                 .alive_edges()
-                .filter(|&(e, _, _)| {
-                    tail_for_edge(pg, &live, e, (k - 2) as usize) < gamma
-                })
+                .filter(|&(e, _, _)| tail_for_edge(pg, &live, e, (k - 2) as usize) < gamma)
                 .map(|(e, _, _)| e)
                 .collect();
             if doomed.is_empty() {
@@ -104,25 +102,25 @@ pub fn prob_truss_decomposition(pg: &ProbGraph, gamma: f64) -> ProbTrussDecompos
             max_truss = max_truss.max(k - 1);
         }
     }
-    ProbTrussDecomposition { edge_truss, gamma, max_truss }
+    ProbTrussDecomposition {
+        edge_truss,
+        gamma,
+        max_truss,
+    }
 }
 
 /// Monte-Carlo estimate of `P[e sits in a k-truss of the sampled world]` —
 /// the validation oracle for tests.
-pub fn mc_ktruss_membership(
-    pg: &ProbGraph,
-    e: EdgeId,
-    k: u32,
-    worlds: usize,
-    seed: u64,
-) -> f64 {
+pub fn mc_ktruss_membership(pg: &ProbGraph, e: EdgeId, k: u32, worlds: usize, seed: u64) -> f64 {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let (u, v) = pg.topology().edge_endpoints(e);
     let mut hits = 0usize;
     for _ in 0..worlds {
         let w = pg.sample_world(&mut rng);
-        let Some(we) = w.edge_between(u, v) else { continue };
+        let Some(we) = w.edge_between(u, v) else {
+            continue;
+        };
         let d = ctc_truss::truss_decomposition(&w);
         if d.truss(we) >= k {
             hits += 1;
@@ -196,9 +194,15 @@ mod tests {
         // P[sup ≥ 2] = 0.81² ≈ 0.656; P[sup ≥ 1] = 1 − 0.19² ≈ 0.964.
         let pg = k4();
         let loose = prob_truss_decomposition(&pg, 0.6);
-        assert!(loose.edge_truss.iter().all(|&t| t == 4), "γ=0.6 keeps the (4,γ)-truss");
+        assert!(
+            loose.edge_truss.iter().all(|&t| t == 4),
+            "γ=0.6 keeps the (4,γ)-truss"
+        );
         let tight = prob_truss_decomposition(&pg, 0.7);
-        assert!(tight.edge_truss.iter().all(|&t| t == 3), "γ=0.7 drops to 3: {tight:?}");
+        assert!(
+            tight.edge_truss.iter().all(|&t| t == 3),
+            "γ=0.7 drops to 3: {tight:?}"
+        );
         let very_tight = prob_truss_decomposition(&pg, 0.97);
         assert!(very_tight.edge_truss.iter().all(|&t| t == 2));
     }

@@ -30,7 +30,10 @@ impl ProbGraph {
                 prob.len()
             )));
         }
-        if prob.iter().any(|&p| !(0.0..=1.0).contains(&p) || p.is_nan()) {
+        if prob
+            .iter()
+            .any(|&p| !(0.0..=1.0).contains(&p) || p.is_nan())
+        {
             return Err(GraphError::Corrupt("edge probability outside [0,1]".into()));
         }
         Ok(ProbGraph { topology, prob })
@@ -111,7 +114,9 @@ mod tests {
         let pg = ProbGraph::uniform(k4(), 0.3).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let trials = 2000;
-        let total: usize = (0..trials).map(|_| pg.sample_world(&mut rng).num_edges()).sum();
+        let total: usize = (0..trials)
+            .map(|_| pg.sample_world(&mut rng).num_edges())
+            .sum();
         let mean = total as f64 / trials as f64;
         assert!((mean - 1.8).abs() < 0.15, "mean edges {mean}, expected 1.8");
         assert!((pg.expected_edges() - 1.8).abs() < 1e-12);

@@ -83,7 +83,10 @@ pub fn monte_carlo_ctc(
     if successes == 0 {
         return Err(GraphError::Disconnected);
     }
-    let inclusion = counts.iter().map(|&c| c as f64 / successes as f64).collect();
+    let inclusion = counts
+        .iter()
+        .map(|&c| c as f64 / successes as f64)
+        .collect();
     Ok(McCommunity {
         inclusion,
         expected_k: k_total / successes as f64,
@@ -106,7 +109,9 @@ mod tests {
         let mc = monte_carlo_ctc(&pg, &q, &CtcConfig::default(), 5, 3).unwrap();
         assert_eq!(mc.successful_worlds, 5);
         assert_eq!(mc.query_reliability(), 1.0);
-        let det = CtcSearcher::new(&g).bulk_delete(&q, &CtcConfig::default()).unwrap();
+        let det = CtcSearcher::new(&g)
+            .bulk_delete(&q, &CtcConfig::default())
+            .unwrap();
         assert_eq!(mc.at_confidence(1.0), det.vertices);
         assert!((mc.expected_k - det.k as f64).abs() < 1e-12);
     }

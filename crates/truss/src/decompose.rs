@@ -79,7 +79,12 @@ impl SupportBuckets {
             pos[e] = p;
             cursor[s as usize] += 1;
         }
-        SupportBuckets { sorted, pos, bin_start, sup }
+        SupportBuckets {
+            sorted,
+            pos,
+            bin_start,
+            sup,
+        }
     }
 
     /// Decrements `e`'s support by one, keeping buckets valid. Must only be
@@ -104,7 +109,10 @@ pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
     let m = g.num_edges();
     let mut edge_truss = vec![0u32; m];
     if m == 0 {
-        return TrussDecomposition { edge_truss, max_truss: 0 };
+        return TrussDecomposition {
+            edge_truss,
+            max_truss: 0,
+        };
     }
     let sup = edge_supports(g);
     let mut buckets = SupportBuckets::new(sup);
@@ -138,7 +146,10 @@ pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
         }
         live.remove_edge(e);
     }
-    TrussDecomposition { edge_truss, max_truss }
+    TrussDecomposition {
+        edge_truss,
+        max_truss,
+    }
 }
 
 /// Trussness of a *standalone* graph: `2 + min edge support` (Def. 2),
@@ -164,7 +175,10 @@ pub fn naive_truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
     let m = g.num_edges();
     let mut edge_truss = vec![0u32; m];
     if m == 0 {
-        return TrussDecomposition { edge_truss, max_truss: 0 };
+        return TrussDecomposition {
+            edge_truss,
+            max_truss: 0,
+        };
     }
     let mut live = DynGraph::new(g);
     let mut k = 2u32;
@@ -193,7 +207,10 @@ pub fn naive_truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
         }
         k += 1;
     }
-    TrussDecomposition { edge_truss, max_truss }
+    TrussDecomposition {
+        edge_truss,
+        max_truss,
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,11 @@ pub fn find_g0(g: &CsrGraph, idx: &TrussIndex, q: &[VertexId]) -> Result<G0> {
         }
     }
     // Lemma 1: k ≤ min_q τ(q).
-    let k_start = q.iter().map(|&v| idx.vertex_truss(v)).min().expect("q nonempty");
+    let k_start = q
+        .iter()
+        .map(|&v| idx.vertex_truss(v))
+        .min()
+        .expect("q nonempty");
     debug_assert!(k_start >= 2);
 
     let mut cursor = vec![0u32; n];
@@ -186,7 +190,8 @@ pub fn find_ktruss_containing(
     // Drop vertices that have no qualifying incident edge (can only be the
     // root itself in degenerate cases).
     vertices.retain(|&v| {
-        g.incident(v).any(|(nb, e)| idx.edge_truss(e) >= k && scratch.dist(nb) != ctc_graph::INF)
+        g.incident(v)
+            .any(|(nb, e)| idx.edge_truss(e) >= k && scratch.dist(nb) != ctc_graph::INF)
     });
     Some(G0 { k, edges, vertices })
 }
@@ -286,7 +291,10 @@ mod tests {
         b.ensure_vertices(4);
         let g = b.build();
         let idx = TrussIndex::build(&g);
-        assert_eq!(find_g0(&g, &idx, &[VertexId(3)]).unwrap_err(), GraphError::Disconnected);
+        assert_eq!(
+            find_g0(&g, &idx, &[VertexId(3)]).unwrap_err(),
+            GraphError::Disconnected
+        );
     }
 
     #[test]

@@ -118,7 +118,9 @@ pub fn figure1b_vertices() -> Vec<VertexId> {
 /// Vertices of the grey region of Figure 1 (the 4-truss `G0`).
 pub fn figure1_grey_vertices() -> Vec<VertexId> {
     let f = Figure1Ids::default();
-    vec![f.q1, f.q2, f.q3, f.v1, f.v2, f.v3, f.v4, f.v5, f.p1, f.p2, f.p3]
+    vec![
+        f.q1, f.q2, f.q3, f.v1, f.v2, f.v3, f.v4, f.v5, f.p1, f.p2, f.p3,
+    ]
 }
 
 /// Named vertices of the Figure 4 graph.
@@ -244,7 +246,13 @@ mod tests {
     fn figure1_five_cycle_exists() {
         let g = figure1_graph();
         let f = Figure1Ids::default();
-        for (a, b) in [(f.q1, f.t), (f.t, f.q3), (f.q3, f.v4), (f.v4, f.q2), (f.q2, f.q1)] {
+        for (a, b) in [
+            (f.q1, f.t),
+            (f.t, f.q3),
+            (f.q3, f.v4),
+            (f.v4, f.q2),
+            (f.q2, f.q1),
+        ] {
             assert!(g.has_edge(a, b), "missing cycle edge ({a:?},{b:?})");
         }
         // Example 2 relies on q2–q3 and q1–q3 NOT being edges.

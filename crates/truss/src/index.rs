@@ -119,7 +119,9 @@ impl TrussIndex {
     /// Trussness of the edge `{u, v}` via the hashtable (`None` if absent).
     pub fn truss_of_pair(&self, u: VertexId, v: VertexId) -> Option<u32> {
         let key = if u.0 < v.0 { (u.0, v.0) } else { (v.0, u.0) };
-        self.edge_map.get(&key).map(|&e| self.edge_truss[e as usize])
+        self.edge_map
+            .get(&key)
+            .map(|&e| self.edge_truss[e as usize])
     }
 
     /// Edge id of `{u, v}` via the hashtable.
@@ -176,7 +178,10 @@ mod tests {
         for v in g.vertices() {
             let (_, edges) = idx.sorted_row(v);
             let ts: Vec<u32> = edges.iter().map(|&e| idx.edge_truss(EdgeId(e))).collect();
-            assert!(ts.windows(2).all(|w| w[0] >= w[1]), "row of {v} not sorted: {ts:?}");
+            assert!(
+                ts.windows(2).all(|w| w[0] >= w[1]),
+                "row of {v} not sorted: {ts:?}"
+            );
         }
     }
 
@@ -189,7 +194,10 @@ mod tests {
         assert_eq!(idx.vertex_truss(f.t), 2);
         for v in g.vertices() {
             let (_, edges) = idx.sorted_row(v);
-            let first = edges.first().map(|&e| idx.edge_truss(EdgeId(e))).unwrap_or(0);
+            let first = edges
+                .first()
+                .map(|&e| idx.edge_truss(EdgeId(e)))
+                .unwrap_or(0);
             assert_eq!(idx.vertex_truss(v), first);
         }
     }

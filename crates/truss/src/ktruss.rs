@@ -18,11 +18,7 @@ pub fn ktruss_edges(idx: &TrussIndex, k: u32) -> Vec<EdgeId> {
 ///
 /// These are the paper's "maximal connected k-trusses"; `FindG0` returns the
 /// one covering the query set.
-pub fn connected_ktruss_components(
-    g: &CsrGraph,
-    idx: &TrussIndex,
-    k: u32,
-) -> Vec<Vec<EdgeId>> {
+pub fn connected_ktruss_components(g: &CsrGraph, idx: &TrussIndex, k: u32) -> Vec<Vec<EdgeId>> {
     let edges = ktruss_edges(idx, k);
     let mut uf = UnionFind::new(g.num_vertices());
     for &e in &edges {

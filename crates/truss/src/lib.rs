@@ -29,8 +29,7 @@ pub mod maintain;
 pub mod tcp;
 
 pub use decompose::{
-    graph_trussness, is_k_truss, naive_truss_decomposition, truss_decomposition,
-    TrussDecomposition,
+    graph_trussness, is_k_truss, naive_truss_decomposition, truss_decomposition, TrussDecomposition,
 };
 pub use find_g0::{find_g0, find_ktruss_containing, g0_subgraph, G0};
 pub use index::TrussIndex;

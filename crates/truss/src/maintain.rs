@@ -35,7 +35,11 @@ impl TrussMaintainer {
     /// (line 15 of Algorithm 2) and enforcing level `k`.
     pub fn new(live: &DynGraph<'_>, k: u32) -> Self {
         let support = edge_supports_dyn(live);
-        TrussMaintainer { support, k, in_queue: vec![false; live.base().num_edges()] }
+        TrussMaintainer {
+            support,
+            k,
+            in_queue: vec![false; live.base().num_edges()],
+        }
     }
 
     /// The enforced trussness level.
@@ -95,7 +99,12 @@ impl TrussMaintainer {
     }
 
     /// Lines 4–9: process the deletion queue, unwinding triangles.
-    fn cascade(&mut self, live: &mut DynGraph<'_>, mut queue: Vec<EdgeId>, report: &mut CascadeReport) {
+    fn cascade(
+        &mut self,
+        live: &mut DynGraph<'_>,
+        mut queue: Vec<EdgeId>,
+        report: &mut CascadeReport,
+    ) {
         let mut head = 0usize;
         let mut touched: Vec<(EdgeId, EdgeId)> = Vec::new();
         while head < queue.len() {
@@ -128,8 +137,10 @@ impl TrussMaintainer {
 
     /// Removes alive vertices of live-degree zero.
     fn sweep_isolated(&mut self, live: &mut DynGraph<'_>, report: &mut CascadeReport) {
-        let orphans: Vec<VertexId> =
-            live.alive_vertices().filter(|&v| live.degree(v) == 0).collect();
+        let orphans: Vec<VertexId> = live
+            .alive_vertices()
+            .filter(|&v| live.degree(v) == 0)
+            .collect();
         for &v in &orphans {
             live.mark_vertex_dead(v);
             report.vertices.push(v);
@@ -250,8 +261,7 @@ mod tests {
         let incremental = ctc_graph::alive_subgraph(&live);
 
         // From scratch: remove p1, take the 4-truss.
-        let rest: Vec<VertexId> =
-            grey.graph.vertices().filter(|&v| v != p1).collect();
+        let rest: Vec<VertexId> = grey.graph.vertices().filter(|&v| v != p1).collect();
         let minus = induced_subgraph(&grey.graph, &rest);
         let d = crate::decompose::truss_decomposition(&minus.graph);
         let surviving: Vec<EdgeId> = minus

@@ -30,12 +30,7 @@ impl TcpCommunity {
 
 /// All k-truss communities containing the query vertex `q` at level `k`
 /// (possibly several — the model finds overlapping communities).
-pub fn tcp_communities(
-    g: &CsrGraph,
-    idx: &TrussIndex,
-    q: VertexId,
-    k: u32,
-) -> Vec<TcpCommunity> {
+pub fn tcp_communities(g: &CsrGraph, idx: &TrussIndex, q: VertexId, k: u32) -> Vec<TcpCommunity> {
     let mut visited = vec![false; g.num_edges()];
     let mut out = Vec::new();
     for (_, e, t) in idx.incident_at_least(q, k) {
@@ -75,7 +70,9 @@ pub fn tcp_communities(
 /// vertex of `q`, for some `k ≥ 3` — the feasibility question the paper's
 /// introduction answers negatively for `Q = {v4, q3, p1}`.
 pub fn tcp_feasible(g: &CsrGraph, idx: &TrussIndex, q: &[VertexId]) -> bool {
-    let Some(&first) = q.first() else { return false };
+    let Some(&first) = q.first() else {
+        return false;
+    };
     let k_hi = q.iter().map(|&v| idx.vertex_truss(v)).min().unwrap_or(0);
     for k in (3..=k_hi).rev() {
         for comm in tcp_communities(g, idx, first, k) {

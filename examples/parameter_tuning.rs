@@ -15,13 +15,19 @@ fn main() {
     // hierarchy, so the fixed-k sweep has room to show the tradeoff.
     let gt = planted_equal(40, 60, 0.5, 1.2, 0x7E57);
     let g = &gt.graph;
-    println!("planted network: {} vertices, {} edges\n", g.num_vertices(), g.num_edges());
+    println!(
+        "planted network: {} vertices, {} edges\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
     let searcher = CtcSearcher::new(g);
     let mut qgen = QueryGenerator::new(g, 3);
     // Two workloads: a *spread* query (members in different circles) where
     // the exploration knobs bite, and a *tight* in-circle query where the
     // paper's "parameter-free is safe" story shows.
-    let spread = qgen.sample(3, DegreeRank::top(0.8), 2).expect("spread query");
+    let spread = qgen
+        .sample(3, DegreeRank::top(0.8), 2)
+        .expect("spread query");
     let (tight, _) = qgen.sample_from_ground_truth(&gt, 3).expect("tight query");
     println!(
         "spread query: {:?}   tight query: {:?}\n",
@@ -45,7 +51,13 @@ fn main() {
                 ]);
             }
             Err(e) => {
-                t.row([eta.to_string(), "-".into(), "-".into(), "-".into(), e.to_string()]);
+                t.row([
+                    eta.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    e.to_string(),
+                ]);
             }
         }
     }
@@ -83,7 +95,11 @@ fn main() {
         let cfg = CtcConfig::new().fixed_k(k);
         match searcher.local(&q, &cfg) {
             Ok(c) => {
-                t.row([k.to_string(), c.num_vertices().to_string(), c.diameter().to_string()]);
+                t.row([
+                    k.to_string(),
+                    c.num_vertices().to_string(),
+                    c.diameter().to_string(),
+                ]);
             }
             Err(e) => {
                 t.row([k.to_string(), "-".into(), e.to_string()]);

@@ -21,14 +21,31 @@ fn main() {
     );
 
     let searcher = CtcSearcher::new(&g);
-    println!("max edge trussness τ̄(∅) = {}\n", searcher.index().max_truss());
+    println!(
+        "max edge trussness τ̄(∅) = {}\n",
+        searcher.index().max_truss()
+    );
 
     let cfg = CtcConfig::default();
-    let mut table = Table::new(["algorithm", "k", "|V|", "|E|", "diameter", "density", "free riders removed"]);
+    let mut table = Table::new([
+        "algorithm",
+        "k",
+        "|V|",
+        "|E|",
+        "diameter",
+        "density",
+        "free riders removed",
+    ]);
     for (name, community) in [
-        ("Truss (FindG0 only)", searcher.truss_only(&q, &cfg).unwrap()),
+        (
+            "Truss (FindG0 only)",
+            searcher.truss_only(&q, &cfg).unwrap(),
+        ),
         ("Basic (Alg. 1)", searcher.basic(&q, &cfg).unwrap()),
-        ("BulkDelete (Alg. 4)", searcher.bulk_delete(&q, &cfg).unwrap()),
+        (
+            "BulkDelete (Alg. 4)",
+            searcher.bulk_delete(&q, &cfg).unwrap(),
+        ),
         ("LCTC (Alg. 5)", searcher.local(&q, &cfg).unwrap()),
     ] {
         let riders_removed = [f.p1, f.p2, f.p3]
@@ -44,7 +61,9 @@ fn main() {
             format!("{:.2}", community.density()),
             format!("{riders_removed}/3"),
         ]);
-        community.validate(&q).expect("every result is a connected k-truss containing Q");
+        community
+            .validate(&q)
+            .expect("every result is a connected k-truss containing Q");
     }
     println!("{}", table.render());
 

@@ -35,7 +35,9 @@ fn main() {
         let (q, ci) = qgen.sample_from_ground_truth(&gt, 3).expect("sampling");
         let truth = &gt.communities[ci];
         let mut record = |name: &'static str, result: Result<Community, String>, secs: f64| {
-            let f1 = result.map(|c| f1_score(&c.vertices, truth).f1).unwrap_or(0.0);
+            let f1 = result
+                .map(|c| f1_score(&c.vertices, truth).f1)
+                .unwrap_or(0.0);
             scores.entry(name).or_default().push(f1);
             times.entry(name).or_default().push(secs);
         };

@@ -18,8 +18,14 @@ fn main() {
     let g = figure1_graph();
     let f = Figure1Ids::default();
     let mut probs = vec![0.95; g.num_edges()];
-    for pair in [(f.q3, f.p1), (f.q3, f.p2), (f.q3, f.p3), (f.p1, f.p2), (f.p1, f.p3), (f.p2, f.p3)]
-    {
+    for pair in [
+        (f.q3, f.p1),
+        (f.q3, f.p2),
+        (f.q3, f.p3),
+        (f.p1, f.p2),
+        (f.p1, f.p3),
+        (f.p2, f.p3),
+    ] {
         probs[g.edge_between(pair.0, pair.1).unwrap().index()] = 0.7;
     }
     for pair in [(f.q1, f.t), (f.t, f.q3)] {
@@ -39,7 +45,11 @@ fn main() {
     for gamma in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let d = prob_truss_decomposition(&pg, gamma);
         let at_max = d.edge_truss.iter().filter(|&&t| t == d.max_truss).count();
-        t.row([format!("{gamma}"), d.max_truss.to_string(), at_max.to_string()]);
+        t.row([
+            format!("{gamma}"),
+            d.max_truss.to_string(),
+            at_max.to_string(),
+        ]);
     }
     println!("{}", t.render());
 
@@ -52,7 +62,9 @@ fn main() {
         100.0 * mc.query_reliability(),
         mc.expected_k
     );
-    let names = ["q1", "q2", "q3", "v1", "v2", "v3", "v4", "v5", "p1", "p2", "p3", "t"];
+    let names = [
+        "q1", "q2", "q3", "v1", "v2", "v3", "v4", "v5", "p1", "p2", "p3", "t",
+    ];
     let mut t = Table::new(["vertex", "inclusion", "verdict"]);
     for v in g.vertices() {
         let inc = mc.inclusion[v.index()];
@@ -66,11 +78,18 @@ fn main() {
         } else {
             "unlikely"
         };
-        t.row([names[v.index()].to_string(), format!("{:.2}", inc), verdict.to_string()]);
+        t.row([
+            names[v.index()].to_string(),
+            format!("{:.2}", inc),
+            verdict.to_string(),
+        ]);
     }
     println!("{}", t.render());
     println!(
         "community at 90% confidence: {:?}",
-        mc.at_confidence(0.9).iter().map(|v| names[v.index()]).collect::<Vec<_>>()
+        mc.at_confidence(0.9)
+            .iter()
+            .map(|v| names[v.index()])
+            .collect::<Vec<_>>()
     );
 }

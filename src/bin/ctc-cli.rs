@@ -46,7 +46,10 @@ fn main() -> ExitCode {
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn load(args: &[String]) -> Result<(ctc_graph::CsrGraph, Vec<u64>), String> {
@@ -64,8 +67,14 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     t.row(["max degree".to_string(), s.max_degree.to_string()]);
     t.row(["avg degree".to_string(), format!("{:.2}", s.avg_degree)]);
     t.row(["triangles".to_string(), s.triangles.to_string()]);
-    t.row(["avg clustering".to_string(), format!("{:.4}", s.avg_clustering)]);
-    t.row(["max trussness τ̄(∅)".to_string(), idx.max_truss().to_string()]);
+    t.row([
+        "avg clustering".to_string(),
+        format!("{:.4}", s.avg_clustering),
+    ]);
+    t.row([
+        "max trussness τ̄(∅)".to_string(),
+        idx.max_truss().to_string(),
+    ]);
     println!("{}", t.render());
     Ok(())
 }
@@ -91,7 +100,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     // Map original labels to dense ids.
     let mut q = Vec::new();
     for tok in query_raw.split(',') {
-        let label: u64 = tok.trim().parse().map_err(|_| format!("bad query label {tok:?}"))?;
+        let label: u64 = tok
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad query label {tok:?}"))?;
         let dense = labels
             .iter()
             .position(|&l| l == label)
@@ -129,8 +141,11 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         c.query_distance,
         c.timings.total.as_secs_f64() * 1e3
     );
-    let members: Vec<String> =
-        c.vertices.iter().map(|v| labels[v.index()].to_string()).collect();
+    let members: Vec<String> = c
+        .vertices
+        .iter()
+        .map(|v| labels[v.index()].to_string())
+        .collect();
     println!("members: {}", members.join(" "));
     Ok(())
 }

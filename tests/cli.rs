@@ -17,8 +17,15 @@ fn stats_subcommand() {
     std::fs::create_dir_all(&dir).unwrap();
     let file = dir.join("fig1.txt");
     write_figure1(&file);
-    let out = cli().args(["stats", file.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["stats", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("12"), "vertex count missing: {text}");
     assert!(text.contains("25"), "edge count missing: {text}");
@@ -30,7 +37,10 @@ fn decompose_subcommand() {
     std::fs::create_dir_all(&dir).unwrap();
     let file = dir.join("fig1.txt");
     write_figure1(&file);
-    let out = cli().args(["decompose", file.to_str().unwrap()]).output().unwrap();
+    let out = cli()
+        .args(["decompose", file.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     // Figure 1: 23 trussness-4 edges and 2 trussness-2 edges.
@@ -46,10 +56,21 @@ fn search_subcommand_finds_figure1b() {
     write_figure1(&file);
     // Labels equal dense ids here (the writer emits dense ids): q1=0,q2=1,q3=2.
     let out = cli()
-        .args(["search", file.to_str().unwrap(), "--query", "0,1,2", "--algo", "basic"])
+        .args([
+            "search",
+            file.to_str().unwrap(),
+            "--query",
+            "0,1,2",
+            "--algo",
+            "basic",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("k = 4"), "wrong trussness: {text}");
     assert!(text.contains("8 vertices"), "wrong size: {text}");
@@ -68,7 +89,14 @@ fn search_rejects_unknown_label_and_algo() {
         .unwrap();
     assert!(!out.status.success());
     let out = cli()
-        .args(["search", file.to_str().unwrap(), "--query", "0", "--algo", "nope"])
+        .args([
+            "search",
+            file.to_str().unwrap(),
+            "--query",
+            "0",
+            "--algo",
+            "nope",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

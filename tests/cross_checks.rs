@@ -4,8 +4,8 @@
 
 use ctc_graph::{graph_from_edges, DynGraph, EdgeId, VertexId};
 use ctc_truss::{
-    find_g0, find_ktruss_containing, naive_truss_decomposition, truss_decomposition,
-    TrussIndex, TrussMaintainer,
+    find_g0, find_ktruss_containing, naive_truss_decomposition, truss_decomposition, TrussIndex,
+    TrussMaintainer,
 };
 use proptest::prelude::*;
 
@@ -68,7 +68,7 @@ proptest! {
             .map(|&v| VertexId(v % g.num_vertices() as u32))
             .collect();
         m.delete_vertices(&mut live, &vs);
-        m.check_invariants(&live).map_err(|e| TestCaseError::fail(e))?;
+        m.check_invariants(&live).map_err(TestCaseError::fail)?;
 
         // From scratch: remove victims from G, decompose, keep τ ≥ k edges.
         let keep: Vec<VertexId> = g.vertices().filter(|v| !vs.contains(v)).collect();
@@ -115,6 +115,53 @@ proptest! {
             }
         }
     }
+}
+
+#[test]
+fn searchers_agree_with_find_g0_on_planted_graphs() {
+    // Basic, BulkDelete and LCTC must all return a community that (a)
+    // contains the query and (b) certifies the same trussness k that
+    // FindG0 reports for that query — peeling only shrinks G0, never its
+    // trussness level, and LCTC's expansion stops at the same global bound.
+    use ctc_core::{CtcConfig, CtcSearcher};
+    use ctc_gen::planted_equal;
+
+    let cfg = CtcConfig::default();
+    let mut checked = 0;
+    for seed in 0..6u64 {
+        let gt = planted_equal(4, 16, 0.6, 1.0, seed);
+        let g = &gt.graph;
+        let searcher = CtcSearcher::new(g);
+        let mut qg = ctc_gen::QueryGenerator::new(g, seed ^ 0xc0ffee);
+        for qsize in [1usize, 2, 3] {
+            let Some((q, _)) = qg.sample_from_ground_truth(&gt, qsize) else {
+                continue;
+            };
+            let Ok(g0) = find_g0(g, searcher.index(), &q) else {
+                continue;
+            };
+            let methods: [(&str, Result<ctc_core::Community, _>); 3] = [
+                ("basic", searcher.basic(&q, &cfg)),
+                ("bulk_delete", searcher.bulk_delete(&q, &cfg)),
+                ("local", searcher.local(&q, &cfg)),
+            ];
+            for (name, res) in methods {
+                let c = res.unwrap_or_else(|e| panic!("{name} failed on feasible query: {e}"));
+                assert!(c.contains_query(&q), "{name} dropped a query vertex");
+                assert_eq!(
+                    c.k, g0.k,
+                    "{name} certified k != FindG0's k (seed {seed}, |Q|={qsize})"
+                );
+                c.validate(&q)
+                    .unwrap_or_else(|e| panic!("{name} invalid: {e}"));
+            }
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 10,
+        "only {checked} feasible planted queries — generator drifted?"
+    );
 }
 
 #[test]

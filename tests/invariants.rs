@@ -3,8 +3,8 @@
 
 use ctc_core::{steiner_tree, SteinerMode};
 use ctc_graph::{
-    bfs_distances, connected_components, diameter_double_sweep, diameter_exact,
-    graph_from_edges, personalized_pagerank, PageRankOptions, UnionFind, VertexId, INF,
+    bfs_distances, connected_components, diameter_double_sweep, diameter_exact, graph_from_edges,
+    personalized_pagerank, PageRankOptions, UnionFind, VertexId, INF,
 };
 use ctc_truss::TrussIndex;
 use proptest::prelude::*;

@@ -24,10 +24,14 @@ fn full_pipeline_on_mini_facebook() {
             ("truss", searcher.truss_only(&q, &cfg)),
         ] {
             let c = c.unwrap_or_else(|e| panic!("{name} failed on {q:?}: {e}"));
-            c.validate(&q).unwrap_or_else(|e| panic!("{name} invalid on {q:?}: {e}"));
+            c.validate(&q)
+                .unwrap_or_else(|e| panic!("{name} invalid on {q:?}: {e}"));
             assert!(c.k >= 2);
             assert!(c.query_distance <= c.diameter());
-            assert!(c.diameter() <= 2 * c.query_distance.max(1), "Lemma 2 violated for {name}");
+            assert!(
+                c.diameter() <= 2 * c.query_distance.max(1),
+                "Lemma 2 violated for {name}"
+            );
         }
     }
 }
@@ -40,8 +44,12 @@ fn peeled_algorithms_never_exceed_truss_size() {
     let cfg = CtcConfig::default();
     let mut qgen = QueryGenerator::new(g, 3);
     for _ in 0..8 {
-        let Some(q) = qgen.sample(3, DegreeRank::top(0.8), 2) else { continue };
-        let Ok(g0) = searcher.truss_only(&q, &cfg) else { continue };
+        let Some(q) = qgen.sample(3, DegreeRank::top(0.8), 2) else {
+            continue;
+        };
+        let Ok(g0) = searcher.truss_only(&q, &cfg) else {
+            continue;
+        };
         for c in [
             searcher.basic(&q, &cfg).unwrap(),
             searcher.bulk_delete(&q, &cfg).unwrap(),
@@ -61,7 +69,9 @@ fn baselines_cover_query_on_planted_graph() {
     let g = &gt.graph;
     let mut qgen = QueryGenerator::new(g, 23);
     for _ in 0..6 {
-        let Some((q, _)) = qgen.sample_from_ground_truth(&gt, 2) else { continue };
+        let Some((q, _)) = qgen.sample_from_ground_truth(&gt, 2) else {
+            continue;
+        };
         let m = mdc(g, &q, &MdcConfig::default()).expect("mdc");
         assert!(m.contains_query(&q));
         let kc = kcore_community(g, &q).expect("kcore");
@@ -69,7 +79,10 @@ fn baselines_cover_query_on_planted_graph() {
         let qd = qdc(
             g,
             &q,
-            &QdcConfig { enforce_query_connectivity: true, ..Default::default() },
+            &QdcConfig {
+                enforce_query_connectivity: true,
+                ..Default::default()
+            },
         )
         .expect("qdc safe mode");
         assert!(qd.contains_query(&q));
@@ -90,10 +103,16 @@ fn truss_methods_beat_degree_methods_on_planted_truth() {
     let mut mdc_total = 0.0;
     let mut n = 0;
     for _ in 0..15 {
-        let Some((q, ci)) = qgen.sample_from_ground_truth(&gt, 3) else { continue };
+        let Some((q, ci)) = qgen.sample_from_ground_truth(&gt, 3) else {
+            continue;
+        };
         let truth = &gt.communities[ci];
-        let Ok(l) = searcher.local(&q, &cfg) else { continue };
-        let Ok(m) = mdc(g, &q, &MdcConfig::default()) else { continue };
+        let Ok(l) = searcher.local(&q, &cfg) else {
+            continue;
+        };
+        let Ok(m) = mdc(g, &q, &MdcConfig::default()) else {
+            continue;
+        };
         lctc_total += f1_score(&l.vertices, truth).f1;
         mdc_total += f1_score(&m.vertices, truth).f1;
         n += 1;
@@ -143,7 +162,10 @@ fn tcp_model_contrast_from_intro() {
     let f = Figure1Ids::default();
     let q = [f.v4, f.q3, f.p1];
     let idx = TrussIndex::build(&g);
-    assert!(!tcp_feasible(&g, &idx, &q), "TCP should fail on the intro query");
+    assert!(
+        !tcp_feasible(&g, &idx, &q),
+        "TCP should fail on the intro query"
+    );
     let searcher = CtcSearcher::new(&g);
     let c = searcher.basic(&q, &CtcConfig::default()).unwrap();
     c.validate(&q).unwrap();
@@ -159,8 +181,12 @@ fn serialization_roundtrip_preserves_search_results() {
     assert_eq!(g, &g2);
     let mut qgen = QueryGenerator::new(g, 29);
     let q = qgen.sample(2, DegreeRank::top(0.5), 2).unwrap();
-    let c1 = CtcSearcher::new(g).basic(&q, &CtcConfig::default()).unwrap();
-    let c2 = CtcSearcher::new(&g2).basic(&q, &CtcConfig::default()).unwrap();
+    let c1 = CtcSearcher::new(g)
+        .basic(&q, &CtcConfig::default())
+        .unwrap();
+    let c2 = CtcSearcher::new(&g2)
+        .basic(&q, &CtcConfig::default())
+        .unwrap();
     assert_eq!(c1.vertices, c2.vertices);
     assert_eq!(c1.k, c2.k);
 }

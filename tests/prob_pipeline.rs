@@ -1,8 +1,8 @@
 //! Integration of the probabilistic extension with the generator stack:
 //! uncertain planted networks end to end.
 
-use ctc::prob::{monte_carlo_ctc, prob_truss_decomposition, ProbGraph};
 use ctc::prelude::*;
+use ctc::prob::{monte_carlo_ctc, prob_truss_decomposition, ProbGraph};
 use ctc_gen::planted_equal;
 
 #[test]
@@ -15,10 +15,17 @@ fn mc_ctc_recovers_planted_circle_under_uncertainty() {
     // High but not certain edge reliability.
     let pg = ProbGraph::uniform(g, 0.9).unwrap();
     let mc = monte_carlo_ctc(&pg, &q, &CtcConfig::default(), 25, 5).expect("mc search");
-    assert!(mc.query_reliability() > 0.5, "query too fragile: {}", mc.query_reliability());
+    assert!(
+        mc.query_reliability() > 0.5,
+        "query too fragile: {}",
+        mc.query_reliability()
+    );
     let confident = mc.at_confidence(0.6);
     let f1 = f1_score(&confident, truth).f1;
-    assert!(f1 > 0.3, "confident community misses the planted circle: F1 = {f1}");
+    assert!(
+        f1 > 0.3,
+        "confident community misses the planted circle: F1 = {f1}"
+    );
     // All query vertices are certain members.
     for &v in &q {
         assert!(mc.inclusion[v.index()] > 0.99);

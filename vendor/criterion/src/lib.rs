@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the benchmark-group API subset this workspace's benches use
+//! and reports simple wall-clock statistics (min/mean over a fixed, small
+//! number of iterations) to stdout. No statistical analysis, plots or
+//! report directories — but the bench binaries compile, run fast and give
+//! usable relative numbers. When invoked with `--test` (as `cargo test`
+//! does for `harness = false` bench targets) each benchmark body runs
+//! exactly once as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives benchmark iterations inside a benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, running it `iters` times (once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.elapsed.clear();
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            self.elapsed.push(t0.elapsed());
+        }
+    }
+}
+
+/// The top-level harness handle passed to every bench function.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one("", sample_size, test_mode, &id.into(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in iterates a fixed
+    /// number of times instead of filling a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (no warm-up phase here).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            &self.name,
+            sample_size,
+            self.criterion.test_mode,
+            &id.into(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            &self.name,
+            sample_size,
+            self.criterion.test_mode,
+            &id.into(),
+            f,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    sample_size: usize,
+    test_mode: bool,
+    id: &BenchmarkId,
+    mut f: F,
+) {
+    let label = if group.is_empty() {
+        id.id.clone()
+    } else {
+        format!("{}/{}", group, id.id)
+    };
+    let iters = if test_mode {
+        1
+    } else {
+        sample_size.max(1) as u64
+    };
+    let mut b = Bencher {
+        iters,
+        elapsed: Vec::new(),
+    };
+    f(&mut b);
+    if b.elapsed.is_empty() {
+        println!("bench {label:<40} (no iterations recorded)");
+        return;
+    }
+    let min = b.elapsed.iter().min().copied().unwrap_or_default();
+    let total: Duration = b.elapsed.iter().sum();
+    let mean = total / b.elapsed.len() as u32;
+    if test_mode {
+        println!("test bench {label:<40} ... ok ({mean:.2?})");
+    } else {
+        println!("bench {label:<40} min {min:>12.2?}   mean {mean:>12.2?}   ({iters} iters)");
+    }
+}
+
+/// Declares a group of bench functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", "p").id, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}
