@@ -1,9 +1,11 @@
 //! Microbench: truss decomposition and truss-index construction — the
-//! offline cost behind Table 3.
+//! offline cost behind Table 3 — plus serial-vs-parallel comparisons of
+//! the frontier-peeling decomposition at 1/2/4/8 threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ctc_gen::mini_network;
-use ctc_truss::{truss_decomposition, TrussIndex};
+use ctc_gen::{mini_network, network_by_name};
+use ctc_graph::Parallelism;
+use ctc_truss::{truss_decomposition, truss_decomposition_par, TrussIndex};
 use std::time::Duration;
 
 fn bench_decomposition(c: &mut Criterion) {
@@ -23,6 +25,28 @@ fn bench_decomposition(c: &mut Criterion) {
             BenchmarkId::new("index_build", format!("{name}-mini/m={}", g.num_edges())),
             &g,
             |b, g| b.iter(|| TrussIndex::build(g)),
+        );
+    }
+    group.finish();
+
+    // Serial vs parallel on the largest generated graph (the full facebook
+    // preset — the densest of the Table 2 analogues). threads=1 routes
+    // through the serial bucket peeling and is the baseline; speedups at
+    // ≥2 threads require real cores, so run this on multi-core hardware.
+    let net = network_by_name("facebook").expect("full preset");
+    let g = net.data.graph;
+    let mut group = c.benchmark_group("truss_decomposition_parallel");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("facebook/m={}", g.num_edges()),
+                format!("t={threads}"),
+            ),
+            &g,
+            |b, g| b.iter(|| truss_decomposition_par(g, Parallelism::threads(threads))),
         );
     }
     group.finish();

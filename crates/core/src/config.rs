@@ -1,5 +1,7 @@
 //! Search configuration shared by all CTC algorithms.
 
+use ctc_graph::Parallelism;
+
 /// How Steiner-tree truss distances (Def. 7) are evaluated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SteinerMode {
@@ -32,6 +34,10 @@ pub struct CtcConfig {
     pub max_iterations: Option<usize>,
     /// Truss-distance evaluation mode for the LCTC Steiner stage.
     pub steiner_mode: SteinerMode,
+    /// Worker threads for the parallel phases (support computation and
+    /// truss decomposition — LCTC's local decomposition honors this).
+    /// Defaults to serial, which is the reference code path.
+    pub parallelism: Parallelism,
 }
 
 impl Default for CtcConfig {
@@ -42,6 +48,7 @@ impl Default for CtcConfig {
             fixed_k: None,
             max_iterations: None,
             steiner_mode: SteinerMode::PathMinExact,
+            parallelism: Parallelism::serial(),
         }
     }
 }
@@ -81,6 +88,19 @@ impl CtcConfig {
         self.steiner_mode = mode;
         self
     }
+
+    /// Sets the worker-thread count for the parallel phases (`0` = all
+    /// available cores, `1` = serial).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.parallelism = Parallelism::threads(n);
+        self
+    }
+
+    /// Sets the parallelism policy directly.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +114,7 @@ mod tests {
         assert_eq!(c.eta, 1000);
         assert_eq!(c.fixed_k, None);
         assert_eq!(c.steiner_mode, SteinerMode::PathMinExact);
+        assert!(c.parallelism.is_serial(), "parallelism is opt-in");
     }
 
     #[test]
@@ -103,11 +124,18 @@ mod tests {
             .eta(0)
             .fixed_k(1)
             .max_iterations(10)
-            .steiner_mode(SteinerMode::EdgeAdditive);
+            .steiner_mode(SteinerMode::EdgeAdditive)
+            .threads(4);
         assert_eq!(c.gamma, 5.0);
         assert_eq!(c.eta, 1, "eta clamps to ≥ 1");
         assert_eq!(c.fixed_k, Some(2), "k clamps to ≥ 2");
         assert_eq!(c.max_iterations, Some(10));
         assert_eq!(c.steiner_mode, SteinerMode::EdgeAdditive);
+        assert_eq!(c.parallelism.get(), 4);
+        assert!(CtcConfig::new().threads(0).parallelism.get() >= 1);
+        assert!(CtcConfig::new()
+            .parallelism(Parallelism::serial())
+            .parallelism
+            .is_serial());
     }
 }

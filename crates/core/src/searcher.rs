@@ -11,7 +11,7 @@ use crate::peel::{peel, DeletePolicy, PeelOutcome};
 use crate::result::{Community, PhaseTimings};
 use crate::steiner::steiner_tree;
 use ctc_graph::error::{GraphError, Result};
-use ctc_graph::{BfsScratch, CsrGraph, Subgraph, VertexId};
+use ctc_graph::{BfsScratch, CsrGraph, Parallelism, Subgraph, VertexId};
 use ctc_truss::{find_g0, find_ktruss_containing, TrussIndex, G0};
 use std::time::Instant;
 
@@ -23,11 +23,19 @@ pub struct CtcSearcher<'g> {
 
 impl<'g> CtcSearcher<'g> {
     /// Builds the truss index for `g` and wraps it (index construction is
-    /// the offline cost reported in Table 3).
+    /// the offline cost reported in Table 3). Serial; see
+    /// [`CtcSearcher::with_parallelism`] for the multi-core build.
     pub fn new(g: &'g CsrGraph) -> Self {
+        Self::with_parallelism(g, Parallelism::serial())
+    }
+
+    /// Builds the truss index across `par` worker threads and wraps it.
+    /// The resulting searcher is identical to [`CtcSearcher::new`]'s for
+    /// every thread count — only the offline build is spread over cores.
+    pub fn with_parallelism(g: &'g CsrGraph, par: Parallelism) -> Self {
         CtcSearcher {
             g,
-            idx: TrussIndex::build(g),
+            idx: TrussIndex::build_par(g, par),
         }
     }
 
@@ -167,8 +175,10 @@ impl<'g> CtcSearcher<'g> {
         // Step 2: expand to Gt (≤ η vertices).
         let gt = expand_tree(self.g, &self.idx, &tree, cfg.eta);
         let q_gt = gt.locals(&q).ok_or(GraphError::Disconnected)?;
-        // Step 3: local truss decomposition + maximal connected k-truss.
-        let idx_t = TrussIndex::build(&gt.graph);
+        // Step 3: local truss decomposition + maximal connected k-truss
+        // (the online decomposition LCTC pays per query — honors the
+        // configured thread count).
+        let idx_t = TrussIndex::build_par(&gt.graph, cfg.parallelism);
         let ht = match cfg.fixed_k {
             None => find_g0(&gt.graph, &idx_t, &q_gt)?,
             Some(kf) => {
@@ -365,6 +375,35 @@ mod tests {
             s.basic(&[VertexId(99)], &CtcConfig::default()).unwrap_err(),
             GraphError::VertexOutOfRange { .. }
         ));
+    }
+
+    #[test]
+    fn parallel_searcher_matches_serial_end_to_end() {
+        let g = figure1_graph();
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q2, f.q3];
+        let serial = CtcSearcher::new(&g);
+        let parallel = CtcSearcher::with_parallelism(&g, Parallelism::threads(4));
+        assert_eq!(
+            serial.index().edge_truss_slice(),
+            parallel.index().edge_truss_slice(),
+            "index must not depend on thread count"
+        );
+        let cfg_par = CtcConfig::new().threads(4);
+        for (a, b) in [
+            (
+                serial.basic(&q, &CtcConfig::default()).unwrap(),
+                parallel.basic(&q, &cfg_par).unwrap(),
+            ),
+            (
+                serial.local(&q, &CtcConfig::default()).unwrap(),
+                parallel.local(&q, &cfg_par).unwrap(),
+            ),
+        ] {
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.vertices, b.vertices);
+            assert_eq!(a.edges, b.edges);
+        }
     }
 
     #[test]

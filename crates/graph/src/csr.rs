@@ -10,6 +10,20 @@
 use crate::ids::{EdgeId, VertexId};
 
 /// An immutable undirected simple graph in CSR form.
+///
+/// Build one from any edge list (duplicates, self-loops and either endpoint
+/// order are tolerated by the builder) and query it through typed ids:
+///
+/// ```
+/// use ctc_graph::{graph_from_edges, CsrGraph, VertexId};
+///
+/// let g: CsrGraph = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.neighbors(VertexId(2)), &[0, 1, 3]); // rows stay sorted
+/// assert_eq!(g.degree(VertexId(2)), 3);
+/// assert!(g.edge_between(VertexId(0), VertexId(3)).is_none());
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` is vertex `v`'s slice in `neighbors`.

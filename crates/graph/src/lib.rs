@@ -5,7 +5,9 @@
 //! with strongly-typed ids, a deletion overlay for the paper's peeling
 //! algorithms, BFS/traversal machinery, triangle & support computation,
 //! distances/diameters, induced subgraphs, personalized PageRank, summary
-//! statistics and IO.
+//! statistics, IO, and the [`Parallelism`] substrate that spreads the hot
+//! phases (triangle counting, support computation, truss decomposition in
+//! `ctc-truss`) across threads.
 //!
 //! ## Quick tour
 //!
@@ -19,6 +21,19 @@
 //! assert_eq!(diameter_exact(&g), 1);
 //! assert_eq!(g.neighbors(VertexId(0)), &[1, 2, 3]);
 //! ```
+//!
+//! ## Parallel hot paths
+//!
+//! Every parallel entry point takes an explicit [`Parallelism`] and yields
+//! results byte-identical to its serial counterpart, which stays around as
+//! the `threads = 1` correctness oracle:
+//!
+//! ```
+//! use ctc_graph::{graph_from_edges, edge_supports, edge_supports_par, Parallelism};
+//!
+//! let g = graph_from_edges(&[(0, 1), (0, 2), (1, 2), (2, 3)]);
+//! assert_eq!(edge_supports_par(&g, Parallelism::threads(4)), edge_supports(&g));
+//! ```
 
 #![warn(missing_docs)]
 
@@ -31,6 +46,7 @@ pub mod fx;
 pub mod ids;
 pub mod io;
 pub mod pagerank;
+pub mod parallel;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
@@ -47,6 +63,7 @@ pub use error::{GraphError, Result};
 pub use fx::{FxHashMap, FxHashSet};
 pub use ids::{EdgeId, VertexId};
 pub use pagerank::{personalized_pagerank, PageRankOptions};
+pub use parallel::Parallelism;
 pub use stats::{edge_density, graph_stats, vertices_by_degree_desc, GraphStats};
 pub use subgraph::{alive_subgraph, edge_subgraph, induced_subgraph, Subgraph};
 pub use traversal::{
@@ -54,7 +71,7 @@ pub use traversal::{
     FilteredGraph, INF,
 };
 pub use triangles::{
-    common_neighbors, edge_supports, edge_supports_dyn, for_each_triangle, support_of,
-    triangle_count,
+    common_neighbors, edge_supports, edge_supports_dyn, edge_supports_par, for_each_triangle,
+    support_of, triangle_count, triangle_count_par,
 };
 pub use union_find::UnionFind;

@@ -1,6 +1,6 @@
 //! Personalized PageRank (random walk with restart).
 //!
-//! Substrate for the QDC baseline (Wu et al. [32]): query-biased node
+//! Substrate for the QDC baseline (Wu et al. \[32\]): query-biased node
 //! weights come from the stationary distribution of a random walk that
 //! restarts at the query vertices. Power iteration over the CSR image; no
 //! dangling-node special cases are needed because the workspace only feeds

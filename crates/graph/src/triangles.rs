@@ -9,16 +9,40 @@
 use crate::csr::CsrGraph;
 use crate::dynamic::DynGraph;
 use crate::ids::{EdgeId, VertexId};
+use crate::parallel::Parallelism;
 
 /// Computes `sup(e)` for every edge of `g`.
 ///
 /// Cost is `O(Σ_e (d(u) + d(v)))`, i.e. bounded by `O(m · d_max)` but far
-/// lower on the skewed degree distributions of real networks.
+/// lower on the skewed degree distributions of real networks. This is the
+/// serial reference path; [`edge_supports_par`] spreads the same per-edge
+/// merges over threads and produces an identical array.
 pub fn edge_supports(g: &CsrGraph) -> Vec<u32> {
     let mut sup = vec![0u32; g.num_edges()];
     for (e, u, v) in g.edges() {
         sup[e.index()] = sorted_intersection_count(g.neighbors(u), g.neighbors(v));
     }
+    sup
+}
+
+/// Computes `sup(e)` for every edge of `g`, spreading the per-edge
+/// neighbor-row merges over `par` worker threads.
+///
+/// Each edge's support depends only on the immutable CSR rows of its
+/// endpoints, so workers fill disjoint chunks of the output with no
+/// synchronization and the result is byte-identical to [`edge_supports`]
+/// for every thread count.
+pub fn edge_supports_par(g: &CsrGraph, par: Parallelism) -> Vec<u32> {
+    if par.is_serial() {
+        return edge_supports(g);
+    }
+    let mut sup = vec![0u32; g.num_edges()];
+    par.fill_chunks(&mut sup, |start, chunk| {
+        for (i, s) in chunk.iter_mut().enumerate() {
+            let (u, v) = g.edge_endpoints(EdgeId((start + i) as u32));
+            *s = sorted_intersection_count(g.neighbors(u), g.neighbors(v));
+        }
+    });
     sup
 }
 
@@ -101,9 +125,33 @@ pub fn for_each_triangle<F: FnMut(VertexId, VertexId, VertexId)>(g: &CsrGraph, m
 }
 
 /// Total number of triangles in `g`.
+///
+/// ```
+/// use ctc_graph::{graph_from_edges, triangle_count};
+///
+/// // K4 contains one triangle per vertex triple: C(4,3) = 4.
+/// let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+/// assert_eq!(triangle_count(&g), 4);
+/// ```
 pub fn triangle_count(g: &CsrGraph) -> u64 {
     // Sum of supports counts each triangle three times.
     edge_supports(g).iter().map(|&s| s as u64).sum::<u64>() / 3
+}
+
+/// Total number of triangles in `g`, computed over `par` worker threads.
+///
+/// Per-chunk support sums are reduced in chunk order, so the count equals
+/// [`triangle_count`] exactly for every thread count.
+pub fn triangle_count_par(g: &CsrGraph, par: Parallelism) -> u64 {
+    let partial = par.map_chunks(g.num_edges(), |range| {
+        range
+            .map(|e| {
+                let (u, v) = g.edge_endpoints(EdgeId(e as u32));
+                sorted_intersection_count(g.neighbors(u), g.neighbors(v)) as u64
+            })
+            .sum::<u64>()
+    });
+    partial.into_iter().sum::<u64>() / 3
 }
 
 /// Support of a single edge `{u, v}` in `g` (`None` if not an edge).
@@ -252,6 +300,47 @@ mod tests {
         assert!(t.is_some());
         let g2 = graph_from_edges(&[(0, 1), (1, 2)]);
         assert!(triangle_edges(&g2, VertexId(0), VertexId(1), VertexId(2)).is_none());
+    }
+
+    #[test]
+    fn parallel_supports_match_serial() {
+        let mut edges = vec![];
+        // Two overlapping K4s plus a tail: mixed supports.
+        for &(u, v) in &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+        ] {
+            edges.push((u, v));
+        }
+        let g = graph_from_edges(&edges);
+        let serial = edge_supports(&g);
+        for threads in [1usize, 2, 3, 8] {
+            let par = edge_supports_par(&g, Parallelism::threads(threads));
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(
+                triangle_count_par(&g, Parallelism::threads(threads)),
+                triangle_count(&g),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_supports_empty_graph() {
+        let g = graph_from_edges(&[]);
+        assert!(edge_supports_par(&g, Parallelism::threads(4)).is_empty());
+        assert_eq!(triangle_count_par(&g, Parallelism::threads(4)), 0);
     }
 
     /// The forward algorithm's per-vertex `seen` rows must stay sorted for

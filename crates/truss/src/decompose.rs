@@ -1,12 +1,23 @@
 //! Truss decomposition: compute the trussness of every edge.
 //!
 //! Implements the in-memory peeling algorithm of Wang & Cheng (PVLDB'12,
-//! the paper's [29]): repeatedly remove the edge of minimum support,
+//! the paper's \[29\]): repeatedly remove the edge of minimum support,
 //! assigning it trussness `sup + 2`, and decrement the supports of the two
 //! other edges of each triangle it closed. A bucket queue keyed by support
 //! gives `O(1)` re-prioritization, for `O(m^{1.5})` total time.
+//!
+//! [`truss_decomposition_par`] is the multi-core variant: instead of one
+//! edge at a time, it peels whole same-trussness *frontiers* — every live
+//! edge whose support has fallen to `k − 2` — concurrently, in the style of
+//! the PKT algorithm (Kabir & Madduri, HPEC'17). Trussness is a
+//! well-defined function of the graph, so both paths produce byte-identical
+//! arrays; the serial path remains the correctness oracle for the parallel
+//! one.
 
-use ctc_graph::{edge_supports, CsrGraph, DynGraph, EdgeId, VertexId};
+use ctc_graph::{
+    edge_supports, edge_supports_par, CsrGraph, DynGraph, EdgeId, Parallelism, VertexId,
+};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// The result of a truss decomposition.
 #[derive(Clone, Debug)]
@@ -145,6 +156,152 @@ pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
             }
         }
         live.remove_edge(e);
+    }
+    TrussDecomposition {
+        edge_truss,
+        max_truss,
+    }
+}
+
+// Edge lifecycle states of the parallel peeling. Transitions are
+// LIVE → NEXT (support fell to the frontier threshold mid-cascade),
+// NEXT → CURR (promoted when its sub-round starts), CURR → DEAD (peeled);
+// the initial per-level scan promotes LIVE → CURR directly.
+const LIVE: u32 = 0;
+const CURR: u32 = 1;
+const NEXT: u32 = 2;
+const DEAD: u32 = 3;
+
+/// Runs the truss decomposition on `g` across `par` worker threads,
+/// peeling same-trussness frontiers concurrently.
+///
+/// For each level `k` the frontier is the set of live edges with support
+/// `≤ k − 2`; every frontier edge is assigned trussness `k`, its surviving
+/// triangles are unwound with atomic support decrements, and edges whose
+/// support drops to the threshold join the next sub-round's frontier.
+/// A triangle shared by two frontier edges is unwound exactly once (the
+/// smaller edge id wins), mirroring the serial algorithm where the second
+/// removal finds the triangle already broken.
+///
+/// `threads = 1` delegates to the serial [`truss_decomposition`]; any
+/// thread count produces a byte-identical `edge_truss` array.
+///
+/// ```
+/// use ctc_graph::{graph_from_edges, Parallelism};
+/// use ctc_truss::{truss_decomposition, truss_decomposition_par};
+///
+/// let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
+/// let serial = truss_decomposition(&g);
+/// let parallel = truss_decomposition_par(&g, Parallelism::threads(4));
+/// assert_eq!(serial.edge_truss, parallel.edge_truss);
+/// ```
+pub fn truss_decomposition_par(g: &CsrGraph, par: Parallelism) -> TrussDecomposition {
+    if par.is_serial() {
+        return truss_decomposition(g);
+    }
+    let m = g.num_edges();
+    let mut edge_truss = vec![0u32; m];
+    if m == 0 {
+        return TrussDecomposition {
+            edge_truss,
+            max_truss: 0,
+        };
+    }
+    let sup: Vec<AtomicU32> = edge_supports_par(g, par)
+        .into_iter()
+        .map(AtomicU32::new)
+        .collect();
+    let state: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(LIVE)).collect();
+    let mut live: Vec<u32> = (0..m as u32).collect();
+    let mut remaining = m;
+    let mut max_truss = 2u32;
+    let mut k = 2u32;
+    while remaining > 0 {
+        live.retain(|&e| state[e as usize].load(Ordering::Relaxed) != DEAD);
+        let mut frontier: Vec<u32> = Vec::new();
+        for &e in &live {
+            if sup[e as usize].load(Ordering::Relaxed) + 2 <= k {
+                state[e as usize].store(CURR, Ordering::Relaxed);
+                frontier.push(e);
+            }
+        }
+        while !frontier.is_empty() {
+            remaining -= frontier.len();
+            max_truss = max_truss.max(k);
+            for &e in &frontier {
+                edge_truss[e as usize] = k;
+            }
+            // Unwind the frontier's triangles in parallel. Workers only
+            // read CURR/DEAD states (both frozen for the whole sub-round),
+            // so the racy LIVE → NEXT transitions never change a decrement
+            // decision — only which worker first schedules an edge.
+            let scheduled: Vec<Vec<u32>> = par.map_chunks(frontier.len(), |range| {
+                let mut local_next: Vec<u32> = Vec::new();
+                let decrement = |f: u32, out: &mut Vec<u32>| {
+                    let prev = sup[f as usize].fetch_sub(1, Ordering::Relaxed);
+                    debug_assert!(prev > 0, "support underflow on edge {f}");
+                    if prev - 1 + 2 <= k
+                        && state[f as usize]
+                            .compare_exchange(LIVE, NEXT, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                    {
+                        out.push(f);
+                    }
+                };
+                for &e in &frontier[range] {
+                    let (u, v) = g.edge_endpoints(EdgeId(e));
+                    let (ru, eu) = (g.neighbors(u), g.neighbor_edge_ids(u));
+                    let (rv, ev) = (g.neighbors(v), g.neighbor_edge_ids(v));
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < ru.len() && j < rv.len() {
+                        if ru[i] < rv[j] {
+                            i += 1;
+                        } else if rv[j] < ru[i] {
+                            j += 1;
+                        } else {
+                            let (e1, e2) = (eu[i], ev[j]);
+                            let s1 = state[e1 as usize].load(Ordering::Relaxed);
+                            let s2 = state[e2 as usize].load(Ordering::Relaxed);
+                            if s1 != DEAD && s2 != DEAD {
+                                match (s1 == CURR, s2 == CURR) {
+                                    // Both peers outlive this sub-round:
+                                    // the triangle dies with e alone.
+                                    (false, false) => {
+                                        decrement(e1, &mut local_next);
+                                        decrement(e2, &mut local_next);
+                                    }
+                                    // A frontier peer shares the triangle:
+                                    // exactly one of the two unwinds it.
+                                    (true, false) => {
+                                        if e < e1 {
+                                            decrement(e2, &mut local_next);
+                                        }
+                                    }
+                                    (false, true) => {
+                                        if e < e2 {
+                                            decrement(e1, &mut local_next);
+                                        }
+                                    }
+                                    // Whole triangle is being peeled now.
+                                    (true, true) => {}
+                                }
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                local_next
+            });
+            for &e in &frontier {
+                state[e as usize].store(DEAD, Ordering::Relaxed);
+            }
+            frontier = scheduled.concat();
+            for &e in &frontier {
+                state[e as usize].store(CURR, Ordering::Relaxed);
+            }
+        }
+        k += 1;
     }
     TrussDecomposition {
         edge_truss,
@@ -306,6 +463,61 @@ mod tests {
         assert_eq!(d.max_truss, 0);
         assert_eq!(graph_trussness(&g), 0);
         assert!(is_k_truss(&g, 99));
+    }
+
+    /// The parallel frontier peeling must agree with the serial bucket
+    /// peeling byte for byte on every fixture, at several thread counts.
+    #[test]
+    fn parallel_matches_serial_on_all_fixtures() {
+        let graphs: Vec<(&str, CsrGraph)> = vec![
+            ("figure1", crate::fixtures::figure1_graph()),
+            ("figure4", crate::fixtures::figure4_graph()),
+            ("k4", crate::fixtures::clique(4)),
+            ("k7", crate::fixtures::clique(7)),
+            ("c4", graph_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 0)])),
+            ("single_edge", graph_from_edges(&[(0, 1)])),
+            ("empty", graph_from_edges(&[])),
+            (
+                "mixed",
+                graph_from_edges(&[
+                    (0, 1),
+                    (0, 2),
+                    (0, 3),
+                    (0, 4),
+                    (1, 2),
+                    (1, 3),
+                    (1, 4),
+                    (2, 3),
+                    (2, 4),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                    (4, 6),
+                    (6, 7),
+                    (7, 8),
+                ]),
+            ),
+        ];
+        for (name, g) in &graphs {
+            let serial = truss_decomposition(g);
+            for threads in [2usize, 4, 8] {
+                let par = truss_decomposition_par(g, Parallelism::threads(threads));
+                assert_eq!(
+                    par.edge_truss, serial.edge_truss,
+                    "{name} diverged at threads={threads}"
+                );
+                assert_eq!(par.max_truss, serial.max_truss, "{name} max_truss");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_with_one_thread_is_the_serial_path() {
+        let g = crate::fixtures::figure1_graph();
+        let serial = truss_decomposition(&g);
+        let one = truss_decomposition_par(&g, Parallelism::serial());
+        assert_eq!(one.edge_truss, serial.edge_truss);
+        assert_eq!(one.max_truss, serial.max_truss);
     }
 
     #[test]

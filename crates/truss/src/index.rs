@@ -33,8 +33,26 @@ pub struct TrussIndex {
 
 impl TrussIndex {
     /// Builds the index for `g` (runs a truss decomposition).
+    ///
+    /// ```
+    /// use ctc_truss::{fixtures, TrussIndex};
+    ///
+    /// let g = fixtures::figure1_graph();
+    /// let idx = TrussIndex::build(&g);
+    /// assert_eq!(idx.max_truss(), 4);
+    /// assert_eq!(idx.num_edges(), g.num_edges());
+    /// ```
     pub fn build(g: &CsrGraph) -> Self {
         let decomp = truss_decomposition(g);
+        Self::from_decomposition(g, &decomp)
+    }
+
+    /// Builds the index for `g`, running the truss decomposition across
+    /// `par` worker threads. Produces the same index as [`TrussIndex::build`]
+    /// for every thread count (only the decomposition is parallel; row
+    /// sorting is cheap by comparison and stays serial).
+    pub fn build_par(g: &CsrGraph, par: ctc_graph::Parallelism) -> Self {
+        let decomp = crate::decompose::truss_decomposition_par(g, par);
         Self::from_decomposition(g, &decomp)
     }
 

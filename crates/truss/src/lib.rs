@@ -17,6 +17,21 @@
 //! assert_eq!(g0.k, 4);           // the largest k covering the query
 //! assert_eq!(g0.vertices.len(), 11); // the grey region of Figure 1
 //! ```
+//!
+//! The decomposition behind the index — the offline cost of Table 3 — has
+//! a multi-core variant ([`truss_decomposition_par`] /
+//! [`TrussIndex::build_par`]) that peels same-trussness frontiers
+//! concurrently and matches the serial path byte for byte:
+//!
+//! ```
+//! use ctc_graph::Parallelism;
+//! use ctc_truss::{fixtures, truss_decomposition, truss_decomposition_par};
+//!
+//! let g = fixtures::figure1_graph();
+//! let serial = truss_decomposition(&g);
+//! let parallel = truss_decomposition_par(&g, Parallelism::threads(4));
+//! assert_eq!(serial.edge_truss, parallel.edge_truss);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -29,7 +44,8 @@ pub mod maintain;
 pub mod tcp;
 
 pub use decompose::{
-    graph_trussness, is_k_truss, naive_truss_decomposition, truss_decomposition, TrussDecomposition,
+    graph_trussness, is_k_truss, naive_truss_decomposition, truss_decomposition,
+    truss_decomposition_par, TrussDecomposition,
 };
 pub use find_g0::{find_g0, find_ktruss_containing, g0_subgraph, G0};
 pub use index::TrussIndex;

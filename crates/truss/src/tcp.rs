@@ -1,5 +1,5 @@
 //! Triangle-connected k-truss communities — the model of Huang et al.
-//! SIGMOD'14 (the paper's reference [17]) that CTC is contrasted against.
+//! SIGMOD'14 (the paper's reference \[17\]) that CTC is contrasted against.
 //!
 //! A k-truss community of a query vertex `q` is a maximal set of k-truss
 //! edges reachable from an edge incident to `q` through *triangle

@@ -1,15 +1,18 @@
 //! Command-line front end for closest truss community search.
 //!
 //! ```text
-//! ctc-cli stats <edge-list>
-//! ctc-cli decompose <edge-list>
+//! ctc-cli stats <edge-list> [--threads N]
+//! ctc-cli decompose <edge-list> [--threads N]
 //! ctc-cli search <edge-list> --query 3,17,42 [--algo basic|bd|lctc|truss]
-//!                            [--gamma 3] [--eta 1000] [--k K]
+//!                            [--gamma 3] [--eta 1000] [--k K] [--threads N]
 //! ctc-cli generate <preset> <out-path>    # facebook|amazon|dblp|youtube|...
 //! ```
 //!
 //! Edge lists are SNAP format: `u v` per line, `#` comments. Vertex labels
-//! in `--query` refer to the file's original labels.
+//! in `--query` refer to the file's original labels. `--threads N` spreads
+//! the truss decomposition (and LCTC's local decompositions) over `N`
+//! worker threads; `0` means all available cores, `1` (the default) is the
+//! serial reference path.
 
 use ctc::prelude::*;
 use ctc_graph::io::{load_edge_list_path, save_edge_list_path};
@@ -26,12 +29,16 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: ctc-cli <stats|decompose|search|generate> ...\n\
                  \n\
-                 stats <edge-list>                     graph summary + truss levels\n\
-                 decompose <edge-list>                 trussness histogram\n\
+                 stats <edge-list> [--threads N]       graph summary + truss levels\n\
+                 decompose <edge-list> [--threads N]   trussness histogram\n\
                  search <edge-list> --query a,b,c      find the closest truss community\n\
                         [--algo basic|bd|lctc|truss] [--gamma G] [--eta N] [--k K]\n\
+                        [--threads N]\n\
                  generate <preset> <out>               write a synthetic network\n\
-                        presets: facebook amazon dblp youtube livejournal orkut"
+                        presets: facebook amazon dblp youtube livejournal orkut\n\
+                 \n\
+                 --threads N: worker threads for truss decomposition\n\
+                        (0 = all cores, 1 = serial; default 1)"
             );
             return ExitCode::from(2);
         }
@@ -57,10 +64,22 @@ fn load(args: &[String]) -> Result<(ctc_graph::CsrGraph, Vec<u64>), String> {
     load_edge_list_path(path).map_err(|e| format!("loading {path}: {e}"))
 }
 
+/// Parses `--threads N` (0 = all cores; absent = serial).
+fn flag_parallelism(args: &[String]) -> Result<Parallelism, String> {
+    match flag_value(args, "--threads") {
+        None => Ok(Parallelism::serial()),
+        Some(raw) => {
+            let n: usize = raw.parse().map_err(|_| format!("bad --threads {raw:?}"))?;
+            Ok(Parallelism::threads(n))
+        }
+    }
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let (g, _) = load(args)?;
+    let par = flag_parallelism(args)?;
     let s = ctc_graph::graph_stats(&g);
-    let idx = TrussIndex::build(&g);
+    let idx = TrussIndex::build_par(&g, par);
     let mut t = Table::new(["metric", "value"]);
     t.row(["vertices".to_string(), s.num_vertices.to_string()]);
     t.row(["edges".to_string(), s.num_edges.to_string()]);
@@ -81,7 +100,8 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 
 fn cmd_decompose(args: &[String]) -> Result<(), String> {
     let (g, _) = load(args)?;
-    let d = ctc::truss::truss_decomposition(&g);
+    let par = flag_parallelism(args)?;
+    let d = ctc::truss::truss_decomposition_par(&g, par);
     let mut hist: std::collections::BTreeMap<u32, usize> = Default::default();
     for &t in &d.edge_truss {
         *hist.entry(t).or_default() += 1;
@@ -120,8 +140,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     if let Some(k) = flag_value(args, "--k") {
         cfg.fixed_k = Some(k.parse().map_err(|_| "bad --k")?);
     }
+    let par = flag_parallelism(args)?;
+    cfg.parallelism = par;
     let algo = flag_value(args, "--algo").unwrap_or("lctc");
-    let searcher = CtcSearcher::new(&g);
+    let searcher = CtcSearcher::with_parallelism(&g, par);
     let c = match algo {
         "basic" => searcher.basic(&q, &cfg),
         "bd" => searcher.bulk_delete(&q, &cfg),

@@ -39,6 +39,6 @@ pub mod prelude {
     pub use ctc_core::{Community, CtcConfig, CtcSearcher, SteinerMode};
     pub use ctc_eval::{f1_score, Table};
     pub use ctc_gen::{DegreeRank, QueryGenerator};
-    pub use ctc_graph::{CsrGraph, GraphBuilder, VertexId};
+    pub use ctc_graph::{CsrGraph, GraphBuilder, Parallelism, VertexId};
     pub use ctc_truss::{find_g0, TrussIndex};
 }

@@ -78,6 +78,50 @@ fn search_subcommand_finds_figure1b() {
 }
 
 #[test]
+fn search_with_threads_matches_serial_output() {
+    let dir = std::env::temp_dir().join("ctc_cli_test_threads");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("fig1.txt");
+    write_figure1(&file);
+    let run = |extra: &[&str]| {
+        let mut args = vec!["search", file.to_str().unwrap(), "--query", "0,1,2"];
+        args.extend_from_slice(extra);
+        let out = cli().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "args {args:?} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The members line is timing-free and fully determined.
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("members:"))
+            .expect("members line")
+            .to_string()
+    };
+    let serial = run(&[]);
+    for t in ["2", "4", "0"] {
+        assert_eq!(run(&["--threads", t]), serial, "--threads {t} diverged");
+    }
+    // decompose with threads: identical histogram.
+    let hist = |extra: &[&str]| {
+        let mut args = vec!["decompose", file.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = cli().args(&args).output().unwrap();
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    assert_eq!(hist(&[]), hist(&["--threads", "4"]));
+    // Malformed thread counts are a clean error, not a panic.
+    let out = cli()
+        .args(["stats", file.to_str().unwrap(), "--threads", "lots"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+}
+
+#[test]
 fn search_rejects_unknown_label_and_algo() {
     let dir = std::env::temp_dir().join("ctc_cli_test_err");
     std::fs::create_dir_all(&dir).unwrap();
