@@ -12,6 +12,18 @@ use ctc_graph::{query_connected, BfsScratch, CsrGraph, FilteredGraph, VertexId};
 use std::time::Instant;
 
 /// Finds the max-k core community containing `q`.
+///
+/// ```
+/// use ctc_baselines::kcore_community;
+/// use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+///
+/// let g = figure1_graph();
+/// let f = Figure1Ids::default();
+/// let c = kcore_community(&g, &[f.q1, f.q2]).unwrap();
+/// // Figure 1's dense region keeps the query in a non-trivial core.
+/// assert!(c.k >= 2);
+/// assert!(c.vertices.contains(&f.q1) && c.vertices.contains(&f.q2));
+/// ```
 pub fn kcore_community(g: &CsrGraph, q: &[VertexId]) -> Result<Community> {
     let t0 = Instant::now();
     if q.is_empty() {

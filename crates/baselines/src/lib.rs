@@ -9,7 +9,20 @@
 //! * [`kcore_community`] — plain maximum-k-core community.
 //!
 //! All return the same [`ctc_core::Community`] type as the truss
-//! algorithms, so the evaluation harness treats every model uniformly.
+//! algorithms, so the evaluation harness treats every model uniformly:
+//!
+//! ```
+//! use ctc_baselines::{kcore_community, mdc, MdcConfig};
+//! use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+//!
+//! let g = figure1_graph();
+//! let f = Figure1Ids::default();
+//! let q = [f.q1, f.q2];
+//! let by_degree = mdc(&g, &q, &MdcConfig::default()).unwrap();
+//! let by_core = kcore_community(&g, &q).unwrap();
+//! assert!(by_degree.vertices.contains(&f.q1));
+//! assert!(by_core.vertices.contains(&f.q1));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -41,6 +41,17 @@ impl Default for MdcConfig {
 }
 
 /// Runs MDC for query `q` on `g`.
+///
+/// ```
+/// use ctc_baselines::{mdc, MdcConfig};
+/// use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+///
+/// let g = figure1_graph();
+/// let f = Figure1Ids::default();
+/// let c = mdc(&g, &[f.q1, f.q2], &MdcConfig::default()).unwrap();
+/// assert!(c.vertices.contains(&f.q1) && c.vertices.contains(&f.q2));
+/// assert!(!c.edges.is_empty());
+/// ```
 pub fn mdc(g: &CsrGraph, q: &[VertexId], cfg: &MdcConfig) -> Result<Community> {
     let t0 = Instant::now();
     if q.is_empty() {

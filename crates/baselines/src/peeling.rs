@@ -86,6 +86,15 @@ impl DegreeBuckets {
 
 /// Core decomposition: `core[v]` = the largest k such that `v` belongs to
 /// the k-core (Batagelj–Zaversnik, O(n + m)).
+///
+/// ```
+/// use ctc_baselines::core_decomposition;
+/// use ctc_graph::graph_from_edges;
+///
+/// // A K4 with a pendant vertex: the clique is a 3-core, the pendant is not.
+/// let g = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
+/// assert_eq!(core_decomposition(&g), vec![3, 3, 3, 3, 1]);
+/// ```
 pub fn core_decomposition(g: &CsrGraph) -> Vec<u32> {
     let n = g.num_vertices();
     let mut buckets = DegreeBuckets::new(g);

@@ -46,6 +46,18 @@ impl Default for QdcConfig {
 }
 
 /// Runs QDC for query `q` on `g`.
+///
+/// ```
+/// use ctc_baselines::{qdc, QdcConfig};
+/// use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+///
+/// let g = figure1_graph();
+/// let f = Figure1Ids::default();
+/// let cfg = QdcConfig { enforce_query_connectivity: true, ..QdcConfig::default() };
+/// let c = qdc(&g, &[f.q1], &cfg).unwrap();
+/// assert!(c.vertices.contains(&f.q1));
+/// assert!(c.density() > 0.0);
+/// ```
 pub fn qdc(g: &CsrGraph, q: &[VertexId], cfg: &QdcConfig) -> Result<Community> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;

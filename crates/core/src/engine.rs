@@ -1,0 +1,353 @@
+//! The warm-start query engine: load a snapshot once, answer many queries.
+//!
+//! [`CommunityEngine`] is the serving-side counterpart of the offline
+//! pipeline. It holds a graph and its truss index behind [`Arc`]s, so the
+//! expensive state is built (or loaded from a `.ctci` [`Snapshot`]) exactly
+//! once per process and then shared freely: cloning the engine is two
+//! reference bumps, every [`CommunityEngine::searcher`] borrows rather than
+//! rebuilds, and [`CommunityEngine::search_batch`] fans a query batch out
+//! across the [`Parallelism`] substrate with no per-query setup cost.
+//!
+//! ```
+//! use ctc_core::{CommunityEngine, EngineQuery, SearchAlgo};
+//! use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+//!
+//! let engine = CommunityEngine::build(figure1_graph());
+//! let f = Figure1Ids::default();
+//! let queries = vec![
+//!     EngineQuery::new(vec![f.q1, f.q2, f.q3]).algo(SearchAlgo::Basic),
+//!     EngineQuery::new(vec![f.q3]),
+//! ];
+//! let answers = engine.search_batch(&queries);
+//! assert_eq!(answers.len(), 2);
+//! assert_eq!(answers[0].as_ref().unwrap().k, 4);
+//! ```
+
+use crate::config::CtcConfig;
+use crate::result::Community;
+use crate::searcher::CtcSearcher;
+use ctc_graph::error::Result;
+use ctc_graph::{CsrGraph, Parallelism, VertexId};
+use ctc_truss::snapshot::snapshot_to_bytes;
+use ctc_truss::{Snapshot, TrussIndex};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Which of the paper's algorithms answers a query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SearchAlgo {
+    /// Algorithm 1 (**Basic**): 2-approximation, single-vertex peeling.
+    Basic,
+    /// Algorithm 4 (**BulkDelete**): (2+ε)-approximation, batch peeling.
+    BulkDelete,
+    /// Algorithm 5 (**LCTC**): the local heuristic — the fast default.
+    #[default]
+    Local,
+    /// The **Truss** baseline: bare `FindG0`, no diameter minimization.
+    TrussOnly,
+}
+
+impl std::str::FromStr for SearchAlgo {
+    type Err = String;
+
+    /// Parses the CLI spellings: `basic`, `bd`, `lctc`, `truss`.
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "basic" => Ok(SearchAlgo::Basic),
+            "bd" => Ok(SearchAlgo::BulkDelete),
+            "lctc" => Ok(SearchAlgo::Local),
+            "truss" => Ok(SearchAlgo::TrussOnly),
+            other => Err(format!("unknown algorithm {other:?}")),
+        }
+    }
+}
+
+/// One query of a batch: the query vertices plus the algorithm to run.
+#[derive(Clone, Debug)]
+pub struct EngineQuery {
+    /// Query vertices (dense ids).
+    pub vertices: Vec<VertexId>,
+    /// Algorithm answering this query.
+    pub algo: SearchAlgo,
+}
+
+impl EngineQuery {
+    /// A query answered by the default algorithm (LCTC).
+    pub fn new(vertices: Vec<VertexId>) -> Self {
+        EngineQuery {
+            vertices,
+            algo: SearchAlgo::default(),
+        }
+    }
+
+    /// Overrides the algorithm.
+    pub fn algo(mut self, algo: SearchAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+}
+
+/// A loaded-once, query-many CTC engine.
+///
+/// Cheap to clone (all heavy state is behind [`Arc`]) and safe to share
+/// across threads — batch workers borrow the same graph and index.
+#[derive(Clone)]
+pub struct CommunityEngine {
+    graph: Arc<CsrGraph>,
+    index: Arc<TrussIndex>,
+    labels: Arc<Vec<u64>>,
+    cfg: CtcConfig,
+    batch_par: Parallelism,
+}
+
+impl CommunityEngine {
+    /// Builds graph + index cold, serially (the offline cost a snapshot
+    /// avoids).
+    pub fn build(graph: CsrGraph) -> Self {
+        Self::build_par(graph, Parallelism::serial())
+    }
+
+    /// Builds cold with the decomposition spread over `par` threads.
+    pub fn build_par(graph: CsrGraph, par: Parallelism) -> Self {
+        Self::from_snapshot(Snapshot::build_par(graph, par))
+    }
+
+    /// Adopts a built or loaded [`Snapshot`] — the warm path: no
+    /// decomposition runs.
+    pub fn from_snapshot(snap: Snapshot) -> Self {
+        CommunityEngine {
+            graph: Arc::new(snap.graph),
+            index: Arc::new(snap.index),
+            labels: Arc::new(snap.labels),
+            cfg: CtcConfig::default(),
+            batch_par: Parallelism::serial(),
+        }
+    }
+
+    /// Loads a `.ctci` snapshot file and warm-starts from it.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Ok(Self::from_snapshot(Snapshot::load(path)?))
+    }
+
+    /// Persists the engine's graph + index + labels as a `.ctci` snapshot.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let bytes = snapshot_to_bytes(&self.graph, &self.index, &self.labels);
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    /// Replaces the per-query configuration (γ, η, fixed k, ...).
+    pub fn with_config(mut self, cfg: CtcConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets how many worker threads a [`CommunityEngine::search_batch`]
+    /// call spreads its queries over (default: serial).
+    pub fn with_batch_parallelism(mut self, par: Parallelism) -> Self {
+        self.batch_par = par;
+        self
+    }
+
+    /// The served graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The shared truss index.
+    pub fn index(&self) -> &TrussIndex {
+        &self.index
+    }
+
+    /// Dense id → original label table (empty ⇒ identity).
+    pub fn labels(&self) -> &[u64] {
+        &self.labels
+    }
+
+    /// The per-query configuration.
+    pub fn config(&self) -> &CtcConfig {
+        &self.cfg
+    }
+
+    /// The original label of dense vertex `v`.
+    pub fn label_of(&self, v: VertexId) -> u64 {
+        ctc_truss::snapshot::label_of(&self.labels, v)
+    }
+
+    /// The dense id carrying original label `label`, if any.
+    pub fn vertex_of_label(&self, label: u64) -> Option<VertexId> {
+        ctc_truss::snapshot::vertex_of_label(&self.labels, self.graph.num_vertices(), label)
+    }
+
+    /// A zero-cost searcher borrowing the engine's graph and index.
+    pub fn searcher(&self) -> CtcSearcher<'_> {
+        CtcSearcher::with_borrowed_index(&self.graph, &self.index)
+    }
+
+    /// Answers one query with `algo` under the engine's configuration.
+    pub fn search(&self, q: &[VertexId], algo: SearchAlgo) -> Result<Community> {
+        let searcher = self.searcher();
+        match algo {
+            SearchAlgo::Basic => searcher.basic(q, &self.cfg),
+            SearchAlgo::BulkDelete => searcher.bulk_delete(q, &self.cfg),
+            SearchAlgo::Local => searcher.local(q, &self.cfg),
+            SearchAlgo::TrussOnly => searcher.truss_only(q, &self.cfg),
+        }
+    }
+
+    /// Answers a batch of queries, spread over the engine's batch
+    /// [`Parallelism`]; results come back in input order, each query
+    /// failing or succeeding independently.
+    ///
+    /// Queries share the read-only graph and index, so the fan-out is
+    /// contention-free; per-query inner parallelism (LCTC's local
+    /// decomposition) stays whatever the engine config says, which for
+    /// batch serving should normally remain serial.
+    pub fn search_batch(&self, queries: &[EngineQuery]) -> Vec<Result<Community>> {
+        self.batch_par
+            .map_chunks(queries.len(), |range| {
+                range
+                    .map(|i| self.search(&queries[i].vertices, queries[i].algo))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_graph::error::GraphError;
+    use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+
+    fn engine() -> CommunityEngine {
+        CommunityEngine::build(figure1_graph())
+    }
+
+    #[test]
+    fn engine_answers_match_cold_searcher() {
+        let g = figure1_graph();
+        let cold = CtcSearcher::new(&g);
+        let eng = engine();
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q2, f.q3];
+        let cfg = CtcConfig::default();
+        for (algo, cold_answer) in [
+            (SearchAlgo::Basic, cold.basic(&q, &cfg).unwrap()),
+            (SearchAlgo::BulkDelete, cold.bulk_delete(&q, &cfg).unwrap()),
+            (SearchAlgo::Local, cold.local(&q, &cfg).unwrap()),
+            (SearchAlgo::TrussOnly, cold.truss_only(&q, &cfg).unwrap()),
+        ] {
+            let warm = eng.search(&q, algo).unwrap();
+            assert_eq!(warm.k, cold_answer.k, "{algo:?}");
+            assert_eq!(warm.vertices, cold_answer.vertices, "{algo:?}");
+            assert_eq!(warm.edges, cold_answer.edges, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_isolates_failures() {
+        let eng = engine();
+        let f = Figure1Ids::default();
+        let queries = vec![
+            EngineQuery::new(vec![f.q1, f.q2]).algo(SearchAlgo::Basic),
+            EngineQuery::new(vec![]), // empty query must fail alone
+            EngineQuery::new(vec![f.t]).algo(SearchAlgo::TrussOnly),
+        ];
+        let answers = eng.search_batch(&queries);
+        assert_eq!(answers.len(), 3);
+        assert_eq!(answers[0].as_ref().unwrap().k, 4);
+        assert_eq!(*answers[1].as_ref().unwrap_err(), GraphError::EmptyQuery);
+        assert!(answers[2].is_ok());
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_batch() {
+        let eng = engine();
+        let f = Figure1Ids::default();
+        let queries: Vec<EngineQuery> = [
+            vec![f.q1],
+            vec![f.q2, f.q3],
+            vec![f.q1, f.q2, f.q3],
+            vec![f.t],
+            vec![f.p1, f.q1],
+        ]
+        .into_iter()
+        .flat_map(|q| {
+            [
+                EngineQuery::new(q.clone()).algo(SearchAlgo::Basic),
+                EngineQuery::new(q).algo(SearchAlgo::Local),
+            ]
+        })
+        .collect();
+        let serial = eng.search_batch(&queries);
+        let par = eng
+            .clone()
+            .with_batch_parallelism(Parallelism::threads(4))
+            .search_batch(&queries);
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.k, y.k);
+                    assert_eq!(x.vertices, y.vertices);
+                    assert_eq!(x.edges, y.edges);
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                other => panic!("serial/parallel disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_save_load_roundtrips_through_engine() {
+        let dir = std::env::temp_dir().join("ctc_engine_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.ctci");
+        let eng = engine();
+        eng.save(&path).unwrap();
+        let loaded = CommunityEngine::load(&path).unwrap();
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q2, f.q3];
+        let a = eng.search(&q, SearchAlgo::Basic).unwrap();
+        let b = loaded.search(&q, SearchAlgo::Basic).unwrap();
+        assert_eq!(a.vertices, b.vertices);
+        assert_eq!(
+            loaded.index().edge_truss_slice(),
+            eng.index().edge_truss_slice()
+        );
+    }
+
+    #[test]
+    fn engine_clone_is_shared_not_copied() {
+        let eng = engine();
+        let clone = eng.clone();
+        assert!(Arc::ptr_eq(&eng.graph, &clone.graph));
+        assert!(Arc::ptr_eq(&eng.index, &clone.index));
+    }
+
+    #[test]
+    fn label_mapping_identity_and_table() {
+        let eng = engine();
+        assert_eq!(eng.label_of(VertexId(3)), 3);
+        assert_eq!(eng.vertex_of_label(3), Some(VertexId(3)));
+        assert_eq!(eng.vertex_of_label(999), None);
+        let snap = Snapshot::build(figure1_graph())
+            .with_labels((0..12).map(|i| 100 - i as u64).collect())
+            .unwrap();
+        let eng = CommunityEngine::from_snapshot(snap);
+        assert_eq!(eng.label_of(VertexId(0)), 100);
+        assert_eq!(eng.vertex_of_label(100), Some(VertexId(0)));
+    }
+
+    #[test]
+    fn algo_parses_cli_spellings() {
+        assert_eq!("basic".parse(), Ok(SearchAlgo::Basic));
+        assert_eq!("bd".parse(), Ok(SearchAlgo::BulkDelete));
+        assert_eq!("lctc".parse(), Ok(SearchAlgo::Local));
+        assert_eq!("truss".parse(), Ok(SearchAlgo::TrussOnly));
+        assert!("nope".parse::<SearchAlgo>().is_err());
+    }
+}

@@ -26,11 +26,26 @@
 //! assert_eq!(community.k, 4);        // largest trussness covering Q
 //! assert_eq!(community.diameter(), 3); // the optimum for Figure 1
 //! ```
+//!
+//! For serving, [`CommunityEngine`] separates the offline index build from
+//! the online queries: build (or [load](CommunityEngine::load) from a
+//! `.ctci` snapshot) once, then answer singles and batches warm:
+//!
+//! ```
+//! use ctc_core::{CommunityEngine, EngineQuery, SearchAlgo};
+//! use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+//!
+//! let engine = CommunityEngine::build(figure1_graph());
+//! let f = Figure1Ids::default();
+//! let batch = vec![EngineQuery::new(vec![f.q1, f.q2, f.q3]).algo(SearchAlgo::Basic)];
+//! assert_eq!(engine.search_batch(&batch)[0].as_ref().unwrap().k, 4);
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod decision;
+pub mod engine;
 pub mod local;
 pub mod peel;
 pub mod result;
@@ -39,6 +54,7 @@ pub mod steiner;
 
 pub use config::{CtcConfig, SteinerMode};
 pub use decision::{decide_ctck, CtckAnswer};
+pub use engine::{CommunityEngine, EngineQuery, SearchAlgo};
 pub use peel::{peel, DeletePolicy, PeelOutcome};
 pub use result::{community_from_induced, Community, PhaseTimings};
 pub use searcher::CtcSearcher;

@@ -12,13 +12,32 @@ use crate::result::{Community, PhaseTimings};
 use crate::steiner::steiner_tree;
 use ctc_graph::error::{GraphError, Result};
 use ctc_graph::{BfsScratch, CsrGraph, Parallelism, Subgraph, VertexId};
-use ctc_truss::{find_g0, find_ktruss_containing, TrussIndex, G0};
+use ctc_truss::{find_g0, find_ktruss_containing, Snapshot, TrussIndex, G0};
 use std::time::Instant;
+
+/// How a searcher holds its truss index: built fresh (owned) or borrowed
+/// from a longer-lived holder such as a [`Snapshot`] or the warm-start
+/// [`CommunityEngine`](crate::CommunityEngine). Borrowing is what makes
+/// per-query searcher construction free on the warm path.
+enum IndexHandle<'g> {
+    Owned(TrussIndex),
+    Borrowed(&'g TrussIndex),
+}
+
+impl IndexHandle<'_> {
+    #[inline(always)]
+    fn get(&self) -> &TrussIndex {
+        match self {
+            IndexHandle::Owned(idx) => idx,
+            IndexHandle::Borrowed(idx) => idx,
+        }
+    }
+}
 
 /// Closest-truss-community searcher over a fixed graph.
 pub struct CtcSearcher<'g> {
     g: &'g CsrGraph,
-    idx: TrussIndex,
+    idx: IndexHandle<'g>,
 }
 
 impl<'g> CtcSearcher<'g> {
@@ -35,19 +54,50 @@ impl<'g> CtcSearcher<'g> {
     pub fn with_parallelism(g: &'g CsrGraph, par: Parallelism) -> Self {
         CtcSearcher {
             g,
-            idx: TrussIndex::build_par(g, par),
+            idx: IndexHandle::Owned(TrussIndex::build_par(g, par)),
         }
     }
 
     /// Adopts a prebuilt index (must belong to `g`).
     pub fn with_index(g: &'g CsrGraph, idx: TrussIndex) -> Self {
         assert_eq!(idx.num_edges(), g.num_edges(), "index does not match graph");
-        CtcSearcher { g, idx }
+        CtcSearcher {
+            g,
+            idx: IndexHandle::Owned(idx),
+        }
+    }
+
+    /// Borrows a prebuilt index (must belong to `g`) without taking
+    /// ownership — the warm path: constructing the searcher costs two
+    /// pointer copies, no decomposition.
+    pub fn with_borrowed_index(g: &'g CsrGraph, idx: &'g TrussIndex) -> Self {
+        assert_eq!(idx.num_edges(), g.num_edges(), "index does not match graph");
+        CtcSearcher {
+            g,
+            idx: IndexHandle::Borrowed(idx),
+        }
+    }
+
+    /// Warm-starts from a loaded [`Snapshot`]: borrows its graph and index,
+    /// paying none of the offline construction cost.
+    ///
+    /// ```
+    /// use ctc_core::{CtcConfig, CtcSearcher};
+    /// use ctc_truss::{fixtures, Snapshot};
+    ///
+    /// let snap = Snapshot::build(fixtures::figure1_graph());
+    /// let f = fixtures::Figure1Ids::default();
+    /// let searcher = CtcSearcher::from_snapshot(&snap);
+    /// let c = searcher.basic(&[f.q1, f.q2, f.q3], &CtcConfig::default()).unwrap();
+    /// assert_eq!((c.k, c.diameter()), (4, 3));
+    /// ```
+    pub fn from_snapshot(snap: &'g Snapshot) -> Self {
+        Self::with_borrowed_index(&snap.graph, &snap.index)
     }
 
     /// The underlying truss index.
     pub fn index(&self) -> &TrussIndex {
-        &self.idx
+        self.idx.get()
     }
 
     /// The graph being searched.
@@ -75,11 +125,11 @@ impl<'g> CtcSearcher<'g> {
     /// Locates the starting community `G0` (max-k or fixed-k).
     fn locate_g0(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<G0> {
         match cfg.fixed_k {
-            None => find_g0(self.g, &self.idx, q),
+            None => find_g0(self.g, self.idx.get(), q),
             Some(kf) => {
                 // Largest feasible level not exceeding the requested k.
                 for k in (2..=kf).rev() {
-                    if let Some(g0) = find_ktruss_containing(self.g, &self.idx, q, k) {
+                    if let Some(g0) = find_ktruss_containing(self.g, self.idx.get(), q, k) {
                         if !g0.edges.is_empty() {
                             return Ok(g0);
                         }
@@ -170,10 +220,10 @@ impl<'g> CtcSearcher<'g> {
         let t0 = Instant::now();
         let q = self.normalize_query(q)?;
         // Step 1: truss-distance Steiner tree.
-        let tree = steiner_tree(self.g, &self.idx, &q, cfg.gamma, cfg.steiner_mode)
+        let tree = steiner_tree(self.g, self.idx.get(), &q, cfg.gamma, cfg.steiner_mode)
             .ok_or(GraphError::Disconnected)?;
         // Step 2: expand to Gt (≤ η vertices).
-        let gt = expand_tree(self.g, &self.idx, &tree, cfg.eta);
+        let gt = expand_tree(self.g, self.idx.get(), &tree, cfg.eta);
         let q_gt = gt.locals(&q).ok_or(GraphError::Disconnected)?;
         // Step 3: local truss decomposition + maximal connected k-truss
         // (the online decomposition LCTC pays per query — honors the

@@ -21,6 +21,17 @@ pub struct F1Score {
 ///
 /// Both inputs are treated as sets; duplicates are ignored. Degenerate
 /// cases (either side empty) score zero.
+///
+/// ```
+/// use ctc_eval::f1_score;
+/// use ctc_graph::VertexId;
+///
+/// let detected = [VertexId(0), VertexId(1)];
+/// let truth = [VertexId(1), VertexId(2)];
+/// let s = f1_score(&detected, &truth);
+/// assert_eq!((s.precision, s.recall, s.f1), (0.5, 0.5, 0.5));
+/// assert_eq!(f1_score(&detected, &[]).f1, 0.0);
+/// ```
 pub fn f1_score(c: &[VertexId], truth: &[VertexId]) -> F1Score {
     let detected: std::collections::BTreeSet<u32> = c.iter().map(|v| v.0).collect();
     let gt: std::collections::BTreeSet<u32> = truth.iter().map(|v| v.0).collect();

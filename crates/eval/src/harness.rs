@@ -55,6 +55,17 @@ pub struct WorkloadStats {
 
 /// Runs `f` over every query in `queries` sequentially, respecting a total
 /// wall-clock `budget` (queries after exhaustion are [`RunOutcome::OverBudget`]).
+///
+/// ```
+/// use ctc_eval::run_workload;
+/// use std::time::Duration;
+///
+/// let queries = [1u32, 2, 3];
+/// let (outcomes, stats) =
+///     run_workload(&queries, Duration::from_secs(60), |&q| Ok::<_, String>(q * 2));
+/// assert_eq!((stats.completed, stats.failed, stats.skipped), (3, 0, 0));
+/// assert_eq!(outcomes[1].value(), Some(&4));
+/// ```
 pub fn run_workload<Q, T>(
     queries: &[Q],
     budget: Duration,

@@ -1,8 +1,19 @@
 //! # ctc-eval — evaluation harness
 //!
 //! Metrics (F1 vs ground truth, density, free-rider percentages), a timed
-//! workload runner with per-workload budgets (sequential and crossbeam-
+//! workload runner with per-workload budgets (sequential and std-thread
 //! parallel), and paper-style table rendering used by every `exp_*` binary.
+//!
+//! ```
+//! use ctc_eval::{f1_score, Table};
+//! use ctc_graph::VertexId;
+//!
+//! let s = f1_score(&[VertexId(0), VertexId(1)], &[VertexId(1)]);
+//! let mut t = Table::new(["metric", "value"]);
+//! t.row(["precision", &format!("{:.2}", s.precision)]);
+//! t.row(["recall", &format!("{:.2}", s.recall)]);
+//! assert!(t.render().contains("precision"));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -4,6 +4,16 @@
 //! and figure series; this keeps the formatting in one place.
 
 /// A simple right-padded text table.
+///
+/// ```
+/// use ctc_eval::Table;
+///
+/// let mut t = Table::new(["algorithm", "k"]);
+/// t.row(["basic", "4"]).row(["lctc", "4"]);
+/// let text = t.render();
+/// assert!(text.contains("algorithm"));
+/// assert!(text.lines().count() >= 4); // header + rule + 2 rows
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct Table {
     header: Vec<String>,

@@ -180,6 +180,16 @@ pub fn ground_truth_networks() -> Vec<Network> {
 }
 
 /// A preset by name, if known.
+///
+/// ```
+/// use ctc_gen::network_by_name;
+///
+/// let net = network_by_name("facebook").unwrap();
+/// assert_eq!(net.name, "facebook");
+/// assert!(net.data.graph.num_edges() > 0);
+/// assert!(!net.data.communities.is_empty());
+/// assert!(network_by_name("unknown").is_none());
+/// ```
 pub fn network_by_name(name: &str) -> Option<Network> {
     match name {
         "facebook" => Some(facebook_like()),

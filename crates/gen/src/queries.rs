@@ -79,6 +79,15 @@ impl<'g> QueryGenerator<'g> {
     ///
     /// Returns `None` if no qualifying set is found within the attempt
     /// budget (e.g. tiny graphs or over-constrained parameters).
+    ///
+    /// ```
+    /// use ctc_gen::{barabasi_albert, DegreeRank, QueryGenerator};
+    ///
+    /// let g = barabasi_albert(200, 3, 5);
+    /// let mut qg = QueryGenerator::new(&g, 42);
+    /// let q = qg.sample(3, DegreeRank::top(0.8), 2).unwrap();
+    /// assert_eq!(q.len(), 3);
+    /// ```
     pub fn sample(
         &mut self,
         size: usize,

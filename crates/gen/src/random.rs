@@ -9,6 +9,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Erdős–Rényi `G(n, m)`: exactly `m` distinct uniform random edges.
+///
+/// ```
+/// use ctc_gen::erdos_renyi_nm;
+///
+/// let g = erdos_renyi_nm(50, 120, 7);
+/// assert_eq!((g.num_vertices(), g.num_edges()), (50, 120));
+/// // Deterministic in the seed.
+/// assert_eq!(g, erdos_renyi_nm(50, 120, 7));
+/// assert_ne!(g, erdos_renyi_nm(50, 120, 8));
+/// ```
 pub fn erdos_renyi_nm(n: usize, m: usize, seed: u64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let max_edges = n * n.saturating_sub(1) / 2;
@@ -66,6 +76,17 @@ pub fn erdos_renyi_np(n: usize, p: f64, seed: u64) -> CsrGraph {
 /// Barabási–Albert preferential attachment: start from a small clique,
 /// attach each new vertex to `m_per_node` existing vertices chosen
 /// proportionally to degree (repeat-endpoint sampling).
+///
+/// ```
+/// use ctc_gen::barabasi_albert;
+///
+/// let g = barabasi_albert(100, 3, 11);
+/// assert_eq!(g.num_vertices(), 100);
+/// // Preferential attachment yields a heavy-tailed degree distribution:
+/// // the busiest hub far exceeds the attachment parameter.
+/// assert!(g.max_degree() > 6);
+/// assert_eq!(g, barabasi_albert(100, 3, 11)); // deterministic in the seed
+/// ```
 pub fn barabasi_albert(n: usize, m_per_node: usize, seed: u64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let m0 = (m_per_node + 1).min(n);

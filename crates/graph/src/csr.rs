@@ -7,6 +7,7 @@
 //! `O(log d)` edge lookup without hashing, cache-friendly sequential
 //! neighborhood scans, and dense per-edge side arrays for the truss engine.
 
+use crate::error::{GraphError, Result};
 use crate::ids::{EdgeId, VertexId};
 
 /// An immutable undirected simple graph in CSR form.
@@ -92,6 +93,112 @@ impl CsrGraph {
             arc_edge,
             edges,
         }
+    }
+
+    /// Reassembles a graph from its four raw CSR arrays, validating every
+    /// structural invariant (used by the snapshot loader, where the arrays
+    /// come from an untrusted file).
+    ///
+    /// The arrays must be exactly what [`CsrGraph::offsets_raw`],
+    /// [`CsrGraph::neighbors_raw`], [`CsrGraph::arc_edges_raw`] and
+    /// [`CsrGraph::edges`] would report for a well-formed graph: offsets
+    /// monotone from `0` to `2m`, rows strictly sorted, edges canonical
+    /// (`u < v`) in strictly ascending order, and every arc's edge id
+    /// consistent with its endpoints. Any violation yields
+    /// [`GraphError::Corrupt`], never a panic — validation runs in
+    /// `O(n + m)`.
+    pub fn from_raw_parts(
+        offsets: Vec<u32>,
+        neighbors: Vec<u32>,
+        arc_edge: Vec<u32>,
+        edges: Vec<(u32, u32)>,
+    ) -> Result<Self> {
+        let corrupt = |msg: String| GraphError::Corrupt(msg);
+        if offsets.is_empty() {
+            return Err(corrupt("offsets array is empty".into()));
+        }
+        let n = offsets.len() - 1;
+        let m = edges.len();
+        if neighbors.len() != 2 * m || arc_edge.len() != 2 * m {
+            return Err(corrupt(format!(
+                "arc arrays have {} / {} entries, want 2m = {}",
+                neighbors.len(),
+                arc_edge.len(),
+                2 * m
+            )));
+        }
+        if offsets[0] != 0 || offsets[n] as usize != 2 * m {
+            return Err(corrupt(format!(
+                "offsets span {}..{}, want 0..{}",
+                offsets[0],
+                offsets[n],
+                2 * m
+            )));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(corrupt("offsets not monotone".into()));
+        }
+        let mut prev: Option<(u32, u32)> = None;
+        for &(u, v) in &edges {
+            if u >= v {
+                return Err(corrupt(format!("edge ({u},{v}) not canonical (u < v)")));
+            }
+            if v as usize >= n {
+                return Err(corrupt(format!("edge ({u},{v}) out of range for n={n}")));
+            }
+            if prev.is_some_and(|p| p >= (u, v)) {
+                return Err(corrupt(format!(
+                    "edge list not strictly ascending at ({u},{v})"
+                )));
+            }
+            prev = Some((u, v));
+        }
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let row = &neighbors[lo..hi];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(corrupt(format!("neighbor row of {v} not strictly sorted")));
+            }
+            for (&nb, &ae) in row.iter().zip(&arc_edge[lo..hi]) {
+                if nb as usize >= n {
+                    return Err(corrupt(format!("neighbor {nb} out of range for n={n}")));
+                }
+                let (v, nb) = (v as u32, nb);
+                let want = if v < nb { (v, nb) } else { (nb, v) };
+                if edges.get(ae as usize) != Some(&want) {
+                    return Err(corrupt(format!(
+                        "arc ({v},{nb}) maps to edge id {ae}, which is {:?}",
+                        edges.get(ae as usize)
+                    )));
+                }
+            }
+        }
+        Ok(CsrGraph {
+            offsets,
+            neighbors,
+            arc_edge,
+            edges,
+        })
+    }
+
+    /// The raw CSR offset array (`n + 1` entries, see the struct docs).
+    #[inline]
+    pub fn offsets_raw(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbor rows (`2m` entries).
+    #[inline]
+    pub fn neighbors_raw(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// The raw arc → undirected-edge-id array, parallel to
+    /// [`CsrGraph::neighbors_raw`].
+    #[inline]
+    pub fn arc_edges_raw(&self) -> &[u32] {
+        &self.arc_edge
     }
 
     /// Number of vertices `n`.
@@ -291,6 +398,68 @@ mod tests {
             assert!(u < v);
         }
         assert_eq!(g.edges().count(), 2);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3), (1, 4)]);
+        let rebuilt = CsrGraph::from_raw_parts(
+            g.offsets_raw().to_vec(),
+            g.neighbors_raw().to_vec(),
+            g.arc_edges_raw().to_vec(),
+            g.edges().map(|(_, u, v)| (u.0, v.0)).collect(),
+        )
+        .unwrap();
+        assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    fn raw_parts_reject_inconsistencies() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2)]);
+        let offsets = g.offsets_raw().to_vec();
+        let neighbors = g.neighbors_raw().to_vec();
+        let arcs = g.arc_edges_raw().to_vec();
+        let edges: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        // Empty offsets.
+        assert!(CsrGraph::from_raw_parts(vec![], vec![], vec![], vec![]).is_err());
+        // Arc arrays not 2m long.
+        assert!(CsrGraph::from_raw_parts(
+            offsets.clone(),
+            neighbors[1..].to_vec(),
+            arcs.clone(),
+            edges.clone()
+        )
+        .is_err());
+        // Non-monotone offsets.
+        let mut bad = offsets.clone();
+        bad[1] = 6;
+        assert!(
+            CsrGraph::from_raw_parts(bad, neighbors.clone(), arcs.clone(), edges.clone()).is_err()
+        );
+        // Non-canonical edge.
+        let mut bad_edges = edges.clone();
+        bad_edges[0] = (1, 0);
+        assert!(CsrGraph::from_raw_parts(
+            offsets.clone(),
+            neighbors.clone(),
+            arcs.clone(),
+            bad_edges
+        )
+        .is_err());
+        // Arc pointing at the wrong edge id.
+        let mut bad_arcs = arcs.clone();
+        bad_arcs.swap(0, 1);
+        assert!(CsrGraph::from_raw_parts(
+            offsets.clone(),
+            neighbors.clone(),
+            bad_arcs,
+            edges.clone()
+        )
+        .is_err());
+        // Unsorted row.
+        let mut bad_nbrs = neighbors.clone();
+        bad_nbrs.swap(0, 1);
+        assert!(CsrGraph::from_raw_parts(offsets, bad_nbrs, arcs, edges).is_err());
     }
 
     #[test]

@@ -25,8 +25,18 @@ pub enum GraphError {
     },
     /// An I/O failure, carried as a string so the error stays `Clone + Eq`.
     Io(String),
-    /// A malformed binary graph image.
+    /// A malformed binary graph image or snapshot (bad magic, truncated
+    /// section, checksum mismatch, inconsistent arrays).
     Corrupt(String),
+    /// A binary image or snapshot written by a newer, forward-incompatible
+    /// format version. Distinct from [`GraphError::Corrupt`]: the file is
+    /// intact, this build is just too old to read it.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Newest version this build can read.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -45,6 +55,10 @@ impl fmt::Display for GraphError {
             }
             GraphError::Io(msg) => write!(f, "io error: {msg}"),
             GraphError::Corrupt(msg) => write!(f, "corrupt graph image: {msg}"),
+            GraphError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build reads up to {supported})"
+            ),
         }
     }
 }
@@ -75,6 +89,16 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(p.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn unsupported_version_names_both_versions() {
+        let e = GraphError::UnsupportedVersion {
+            found: 7,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("1"));
     }
 
     #[test]

@@ -1,9 +1,18 @@
-//! Graph serialization: SNAP-style edge lists and a compact binary image.
+//! Graph serialization: SNAP-style edge lists, a compact binary image, and
+//! the building blocks of the `.ctci` snapshot format.
 //!
 //! The paper's datasets ship as whitespace-separated edge lists with `#`
 //! comments (SNAP format); [`read_edge_list`] accepts exactly that. The
 //! binary image is a little-endian `u32` dump framed with a magic header,
 //! assembled through the `bytes` crate.
+//!
+//! The snapshot layer (consumed by `ctc_truss::snapshot`, specified
+//! byte-for-byte in `docs/INDEX_FORMAT.md`) builds on three primitives
+//! defined here: length-prefixed little-endian word sections
+//! ([`put_u32_section`] / [`get_u32_section`] and the `u64` variants), the
+//! [`fnv1a64`] checksum that seals a snapshot against corruption, and the
+//! graph section ([`put_graph_section`] / [`get_graph_section`]) that dumps
+//! the CSR arrays verbatim so loading skips the `O(m log m)` rebuild.
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
@@ -101,9 +110,10 @@ pub fn from_bytes(mut data: &[u8]) -> Result<CsrGraph> {
     }
     let version = data.get_u32_le();
     if version != VERSION {
-        return Err(GraphError::Corrupt(format!(
-            "unsupported version {version}"
-        )));
+        return Err(GraphError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
     }
     let n = data.get_u32_le() as usize;
     let m = data.get_u32_le() as usize;
@@ -127,6 +137,136 @@ pub fn from_bytes(mut data: &[u8]) -> Result<CsrGraph> {
         builder.add_edge(u, v);
     }
     Ok(builder.build())
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot primitives (`.ctci` building blocks; see docs/INDEX_FORMAT.md).
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash, the `.ctci` snapshot checksum.
+///
+/// Chosen over a table-driven CRC for being 6 lines of dependency-free code
+/// while still detecting every single-byte corruption: each step
+/// `h ← (h ⊕ b) × p` is a bijection of the running state, so two byte
+/// streams differing in one position can never re-converge.
+///
+/// ```
+/// use ctc_graph::io::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325); // the FNV offset basis
+/// assert_ne!(fnv1a64(b"ctci"), fnv1a64(b"ctcj"));
+/// ```
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends a length-prefixed little-endian `u32` section: the word count as
+/// a `u32`, then the words.
+pub fn put_u32_section(buf: &mut BytesMut, words: &[u32]) {
+    buf.put_u32_le(words.len() as u32);
+    for &w in words {
+        buf.put_u32_le(w);
+    }
+}
+
+/// Reads a section written by [`put_u32_section`], advancing `data` past
+/// it. `what` names the section in the [`GraphError::Corrupt`] message.
+pub fn get_u32_section(data: &mut &[u8], what: &str) -> Result<Vec<u32>> {
+    if data.remaining() < 4 {
+        return Err(GraphError::Corrupt(format!(
+            "truncated before {what} section length"
+        )));
+    }
+    let len = data.get_u32_le() as usize;
+    // Divide instead of multiplying so a crafted length can't overflow
+    // usize (32-bit targets) and sneak past the bound into a Buf panic.
+    if data.remaining() / 4 < len {
+        return Err(GraphError::Corrupt(format!(
+            "truncated {what} section: want {len} words, have {} bytes",
+            data.remaining()
+        )));
+    }
+    Ok((0..len).map(|_| data.get_u32_le()).collect())
+}
+
+/// Appends a length-prefixed little-endian `u64` section (count as `u32`,
+/// then the words) — used for the snapshot's vertex-label table.
+pub fn put_u64_section(buf: &mut BytesMut, words: &[u64]) {
+    buf.put_u32_le(words.len() as u32);
+    for &w in words {
+        buf.put_u64_le(w);
+    }
+}
+
+/// Reads a section written by [`put_u64_section`].
+pub fn get_u64_section(data: &mut &[u8], what: &str) -> Result<Vec<u64>> {
+    if data.remaining() < 4 {
+        return Err(GraphError::Corrupt(format!(
+            "truncated before {what} section length"
+        )));
+    }
+    let len = data.get_u32_le() as usize;
+    if data.remaining() / 8 < len {
+        return Err(GraphError::Corrupt(format!(
+            "truncated {what} section: want {len} words, have {} bytes",
+            data.remaining()
+        )));
+    }
+    Ok((0..len).map(|_| data.get_u64_le()).collect())
+}
+
+/// Appends the snapshot graph section: `n`, `m`, then the four raw CSR
+/// arrays (offsets, neighbors, arc edge ids, canonical endpoint pairs) as
+/// `u32` sections. Dumping the arrays verbatim is what makes snapshot loads
+/// cheap — [`get_graph_section`] revalidates instead of rebuilding.
+pub fn put_graph_section(buf: &mut BytesMut, g: &CsrGraph) {
+    buf.put_u32_le(g.num_vertices() as u32);
+    buf.put_u32_le(g.num_edges() as u32);
+    put_u32_section(buf, g.offsets_raw());
+    put_u32_section(buf, g.neighbors_raw());
+    put_u32_section(buf, g.arc_edges_raw());
+    let mut flat = Vec::with_capacity(2 * g.num_edges());
+    for (_, u, v) in g.edges() {
+        flat.push(u.0);
+        flat.push(v.0);
+    }
+    put_u32_section(buf, &flat);
+}
+
+/// Reads a graph section written by [`put_graph_section`], fully
+/// revalidating the CSR invariants via [`CsrGraph::from_raw_parts`] so a
+/// corrupt file can never yield a structurally broken graph.
+pub fn get_graph_section(data: &mut &[u8]) -> Result<CsrGraph> {
+    if data.remaining() < 8 {
+        return Err(GraphError::Corrupt("truncated graph header".into()));
+    }
+    let n = data.get_u32_le() as usize;
+    let m = data.get_u32_le() as usize;
+    let offsets = get_u32_section(data, "offsets")?;
+    let neighbors = get_u32_section(data, "neighbors")?;
+    let arc_edge = get_u32_section(data, "arc edge ids")?;
+    let flat = get_u32_section(data, "edge endpoints")?;
+    if offsets.len() != n + 1 {
+        return Err(GraphError::Corrupt(format!(
+            "offsets section has {} entries, want n+1 = {}",
+            offsets.len(),
+            n + 1
+        )));
+    }
+    if flat.len() != 2 * m {
+        return Err(GraphError::Corrupt(format!(
+            "edge section has {} words, want 2m = {}",
+            flat.len(),
+            2 * m
+        )));
+    }
+    let edges: Vec<(u32, u32)> = flat.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+    CsrGraph::from_raw_parts(offsets, neighbors, arc_edge, edges)
 }
 
 /// Loads an edge-list file from disk.
@@ -204,6 +344,98 @@ mod tests {
         img.put_u32_le(2);
         img.put_u32_le(5);
         assert!(from_bytes(&img).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let g = graph_from_edges(&[(0, 1)]);
+        let mut img = BytesMut::new();
+        img.put_slice(&to_bytes(&g));
+        let mut raw = img.to_vec();
+        raw[4] = 99; // bump the version field
+        assert_eq!(
+            from_bytes(&raw).unwrap_err(),
+            GraphError::UnsupportedVersion {
+                found: 99,
+                supported: VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn u32_sections_roundtrip_and_reject_truncation() {
+        let mut buf = BytesMut::new();
+        put_u32_section(&mut buf, &[7, 8, 9]);
+        put_u32_section(&mut buf, &[]);
+        let raw = buf.to_vec();
+        let mut data = &raw[..];
+        assert_eq!(get_u32_section(&mut data, "a").unwrap(), vec![7, 8, 9]);
+        assert_eq!(get_u32_section(&mut data, "b").unwrap(), Vec::<u32>::new());
+        assert!(data.is_empty());
+        let mut short = &raw[..raw.len() - 2];
+        assert!(get_u32_section(&mut short, "a").is_ok());
+        assert!(matches!(
+            get_u32_section(&mut short, "b").unwrap_err(),
+            GraphError::Corrupt(_)
+        ));
+        let mut empty: &[u8] = &[];
+        assert!(get_u32_section(&mut empty, "c").is_err());
+    }
+
+    #[test]
+    fn huge_section_length_is_rejected_not_panicking() {
+        // A length word near u32::MAX must fail the bound check cleanly on
+        // every target width, never reach the Buf reads.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0x4000_0002);
+        buf.put_u32_le(7);
+        let raw = buf.to_vec();
+        let mut data = &raw[..];
+        assert!(get_u32_section(&mut data, "huge").is_err());
+        let mut data = &raw[..];
+        assert!(get_u64_section(&mut data, "huge").is_err());
+    }
+
+    #[test]
+    fn u64_sections_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_u64_section(&mut buf, &[u64::MAX, 0, 42]);
+        let raw = buf.to_vec();
+        let mut data = &raw[..];
+        assert_eq!(
+            get_u64_section(&mut data, "labels").unwrap(),
+            vec![u64::MAX, 0, 42]
+        );
+        let mut short = &raw[..raw.len() - 1];
+        assert!(get_u64_section(&mut short, "labels").is_err());
+    }
+
+    #[test]
+    fn graph_section_roundtrip() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3), (1, 4)]);
+        let mut buf = BytesMut::new();
+        put_graph_section(&mut buf, &g);
+        let raw = buf.to_vec();
+        let mut data = &raw[..];
+        let g2 = get_graph_section(&mut data).unwrap();
+        assert_eq!(g, g2);
+        assert!(data.is_empty());
+        // Any truncation point fails cleanly.
+        for cut in [0, 4, 9, raw.len() - 1] {
+            let mut short = &raw[..cut];
+            assert!(get_graph_section(&mut short).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn fnv_checksum_is_stable_and_sensitive() {
+        let a = fnv1a64(b"closest truss community");
+        assert_eq!(a, fnv1a64(b"closest truss community"));
+        for i in 0..23 {
+            let mut flipped = b"closest truss community".to_vec();
+            flipped[i] ^= 0x10;
+            assert_ne!(a, fnv1a64(&flipped), "flip at byte {i} undetected");
+        }
     }
 
     #[test]

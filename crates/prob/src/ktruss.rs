@@ -15,6 +15,15 @@ use ctc_graph::{DynGraph, EdgeId};
 /// Bernoulli variables with the given success probabilities.
 ///
 /// DP over counts capped at `t` (everything ≥ t is absorbed), O(|probs|·t).
+///
+/// ```
+/// use ctc_prob::support_tail_probability;
+///
+/// // Two independent coin flips: P[at least one head] = 1 − 0.25 = 0.75.
+/// let p = support_tail_probability(&[0.5, 0.5], 1);
+/// assert!((p - 0.75).abs() < 1e-12);
+/// assert_eq!(support_tail_probability(&[0.5], 0), 1.0); // P[X ≥ 0] = 1
+/// ```
 pub fn support_tail_probability(probs: &[f64], t: usize) -> f64 {
     if t == 0 {
         return 1.0;
@@ -63,6 +72,20 @@ fn tail_for_edge(pg: &ProbGraph, live: &DynGraph<'_>, e: EdgeId, t: usize) -> f6
 
 /// Runs the (k, γ)-truss decomposition, assigning every edge its largest
 /// surviving level.
+///
+/// ```
+/// use ctc_graph::graph_from_edges;
+/// use ctc_prob::{prob_truss_decomposition, ProbGraph};
+///
+/// // A certain triangle (p = 1) is a (3, γ)-truss at any confidence.
+/// let triangle = graph_from_edges(&[(0, 1), (1, 2), (0, 2)]);
+/// let certain = ProbGraph::uniform(triangle.clone(), 1.0).unwrap();
+/// assert_eq!(prob_truss_decomposition(&certain, 0.95).max_truss, 3);
+///
+/// // With p = 0.5 each side edge, P[support ≥ 1] = 0.25 < 0.95: level 3 fails.
+/// let shaky = ProbGraph::uniform(triangle, 0.5).unwrap();
+/// assert_eq!(prob_truss_decomposition(&shaky, 0.95).max_truss, 2);
+/// ```
 pub fn prob_truss_decomposition(pg: &ProbGraph, gamma: f64) -> ProbTrussDecomposition {
     // γ ≤ 0 would make every level vacuously satisfiable; clamp to a
     // meaningful confidence so the peel terminates.

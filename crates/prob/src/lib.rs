@@ -10,6 +10,17 @@
 //!   ≥ k−2 triangles with probability ≥ γ (Poisson-binomial DP tail);
 //! * [`monte_carlo_ctc`] — sampling-based closest community search with
 //!   per-vertex inclusion confidence.
+//!
+//! ```
+//! use ctc_graph::graph_from_edges;
+//! use ctc_prob::{prob_truss_decomposition, ProbGraph};
+//!
+//! let triangle = graph_from_edges(&[(0, 1), (1, 2), (0, 2)]);
+//! let pg = ProbGraph::uniform(triangle, 0.9).unwrap();
+//! // Each edge keeps its triangle iff both side edges survive: 0.81 ≥ γ.
+//! assert_eq!(prob_truss_decomposition(&pg, 0.8).max_truss, 3);
+//! assert_eq!(prob_truss_decomposition(&pg, 0.9).max_truss, 2);
+//! ```
 
 #![warn(missing_docs)]
 

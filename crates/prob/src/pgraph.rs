@@ -13,6 +13,21 @@ use rand::Rng;
 
 /// An undirected graph whose edges exist independently with per-edge
 /// probabilities.
+///
+/// ```
+/// use ctc_graph::graph_from_edges;
+/// use ctc_prob::ProbGraph;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let triangle = graph_from_edges(&[(0, 1), (1, 2), (0, 2)]);
+/// let pg = ProbGraph::uniform(triangle, 0.5).unwrap();
+/// assert_eq!(pg.expected_edges(), 1.5);
+/// // A sampled possible world keeps each edge independently with prob 0.5.
+/// let world = pg.sample_world(&mut StdRng::seed_from_u64(7));
+/// assert!(world.num_edges() <= 3);
+/// assert_eq!(world.num_vertices(), 3); // vertex set is preserved
+/// ```
 #[derive(Clone, Debug)]
 pub struct ProbGraph {
     topology: CsrGraph,

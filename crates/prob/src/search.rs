@@ -53,6 +53,20 @@ impl McCommunity {
 /// Each world uses the BulkDelete algorithm (the best quality/runtime
 /// tradeoff for repeated searches). Errors if *no* world yields a
 /// community.
+///
+/// ```
+/// use ctc_core::CtcConfig;
+/// use ctc_graph::{graph_from_edges, VertexId};
+/// use ctc_prob::{monte_carlo_ctc, ProbGraph};
+///
+/// // A certain K4: every world is the same, so the answer is deterministic.
+/// let k4 = graph_from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+/// let pg = ProbGraph::uniform(k4, 1.0).unwrap();
+/// let mc = monte_carlo_ctc(&pg, &[VertexId(0)], &CtcConfig::default(), 8, 42).unwrap();
+/// assert_eq!(mc.query_reliability(), 1.0);
+/// assert_eq!(mc.expected_k, 4.0);           // K4 is a 4-truss
+/// assert!(mc.inclusion.iter().all(|&p| p == 1.0));
+/// ```
 pub fn monte_carlo_ctc(
     pg: &ProbGraph,
     q: &[VertexId],

@@ -32,6 +32,18 @@
 //! let parallel = truss_decomposition_par(&g, Parallelism::threads(4));
 //! assert_eq!(serial.edge_truss, parallel.edge_truss);
 //! ```
+//!
+//! The offline build can be paid once and persisted: a [`Snapshot`] writes
+//! graph + index to a checksummed `.ctci` file that loads back without
+//! re-running the decomposition (see [`snapshot`]):
+//!
+//! ```
+//! use ctc_truss::{fixtures, Snapshot};
+//!
+//! let snap = Snapshot::build(fixtures::figure1_graph());
+//! let loaded = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+//! assert_eq!(loaded.index.edge_truss_slice(), snap.index.edge_truss_slice());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -41,6 +53,7 @@ pub mod fixtures;
 pub mod index;
 pub mod ktruss;
 pub mod maintain;
+pub mod snapshot;
 pub mod tcp;
 
 pub use decompose::{
@@ -51,4 +64,5 @@ pub use find_g0::{find_g0, find_ktruss_containing, g0_subgraph, G0};
 pub use index::TrussIndex;
 pub use ktruss::{connected_ktruss_components, edge_list_vertices, ktruss_edges};
 pub use maintain::{CascadeReport, TrussMaintainer};
+pub use snapshot::{snapshot_from_bytes, snapshot_to_bytes, Snapshot};
 pub use tcp::{tcp_communities, tcp_feasible, TcpCommunity};

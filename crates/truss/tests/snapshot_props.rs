@@ -1,0 +1,140 @@
+//! Property tests for the `.ctci` snapshot: round-tripping through bytes
+//! is lossless on random graphs, and any single-byte corruption or
+//! truncation is rejected with an error, never a panic.
+
+use ctc_gen::planted::planted_equal;
+use ctc_gen::random::{barabasi_albert, erdos_renyi_nm};
+use ctc_graph::error::GraphError;
+use ctc_graph::{CsrGraph, VertexId};
+use ctc_truss::{find_g0, Snapshot, TrussIndex};
+use proptest::prelude::*;
+
+/// Round-trips `g` through snapshot bytes and checks the loaded state is
+/// indistinguishable from the cold-built one — structurally and through
+/// the query path (`find_g0` for assorted query sets).
+fn assert_roundtrip_lossless(g: &CsrGraph, label: &str) {
+    let cold = TrussIndex::build(g);
+    let labels: Vec<u64> = (0..g.num_vertices()).map(|i| 10_000 + i as u64).collect();
+    let snap = Snapshot::build(g.clone())
+        .with_labels(labels.clone())
+        .unwrap();
+    let loaded = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+    assert_eq!(&loaded.graph, g, "{label}: graph changed");
+    assert_eq!(loaded.labels, labels, "{label}: labels changed");
+    assert_eq!(
+        loaded.index.edge_truss_slice(),
+        cold.edge_truss_slice(),
+        "{label}: trussness changed"
+    );
+    assert_eq!(loaded.index.max_truss(), cold.max_truss());
+    for v in g.vertices() {
+        assert_eq!(
+            loaded.index.sorted_row(v),
+            cold.sorted_row(v),
+            "{label}: truss-sorted row of {v} changed"
+        );
+        assert_eq!(loaded.index.vertex_truss(v), cold.vertex_truss(v));
+    }
+    // Query answers must be byte-identical, success or failure alike.
+    let n = g.num_vertices();
+    if n == 0 {
+        return;
+    }
+    let queries: Vec<Vec<VertexId>> = vec![
+        vec![VertexId(0)],
+        vec![VertexId((n / 2) as u32)],
+        vec![VertexId(0), VertexId((n - 1) as u32)],
+    ];
+    for q in &queries {
+        let a = find_g0(g, &cold, q);
+        let b = find_g0(&loaded.graph, &loaded.index, q);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.k, y.k, "{label}: k diverged for {q:?}");
+                assert_eq!(x.vertices, y.vertices, "{label}: G0 diverged for {q:?}");
+                assert_eq!(x.edges, y.edges, "{label}: G0 edges diverged for {q:?}");
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y, "{label}: errors diverged for {q:?}"),
+            other => panic!("{label}: cold/loaded disagree for {q:?}: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_on_random_graphs(
+        n in 4usize..60,
+        edges_per_vertex in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let g = erdos_renyi_nm(n, n * edges_per_vertex, seed);
+        assert_roundtrip_lossless(&g, "erdos_renyi_nm");
+    }
+
+    #[test]
+    fn roundtrip_on_preferential_attachment(
+        n in 10usize..80,
+        m_per_node in 2usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let g = barabasi_albert(n, m_per_node, seed);
+        assert_roundtrip_lossless(&g, "barabasi_albert");
+    }
+
+    #[test]
+    fn roundtrip_on_planted_communities(
+        communities in 2usize..5,
+        size in 5usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let gt = planted_equal(communities, size, 0.7, 1.0, seed);
+        assert_roundtrip_lossless(&gt.graph, "planted_equal");
+    }
+
+    #[test]
+    fn random_single_byte_corruption_is_always_rejected(
+        n in 4usize..40,
+        seed in 0u64..10_000,
+        flip_seed in 1u64..10_000,
+    ) {
+        let g = erdos_renyi_nm(n, 3 * n, seed);
+        let raw = Snapshot::build(g).to_bytes().to_vec();
+        // Deterministic pseudo-random positions/masks derived from the seed.
+        let pos = (flip_seed as usize * 7919) % raw.len();
+        let mask = ((flip_seed >> 3) as u8 % 255) + 1; // never 0
+        let mut bad = raw.clone();
+        bad[pos] ^= mask;
+        prop_assert!(
+            Snapshot::from_bytes(&bad).is_err(),
+            "flip {mask:#x} at byte {pos}/{} accepted", raw.len()
+        );
+        // Truncation at a random cut is also always an error.
+        let cut = (flip_seed as usize * 104729) % raw.len();
+        prop_assert!(Snapshot::from_bytes(&raw[..cut]).is_err(), "cut at {cut} accepted");
+    }
+}
+
+/// The three typed failure modes, on a fixed graph: truncation and bit
+/// flips are [`GraphError::Corrupt`] (or at least errors), a newer format
+/// version is [`GraphError::UnsupportedVersion`].
+#[test]
+fn corruption_error_taxonomy() {
+    let g = erdos_renyi_nm(20, 60, 42);
+    let raw = Snapshot::build(g).to_bytes().to_vec();
+    assert!(Snapshot::from_bytes(&[]).is_err());
+    assert!(Snapshot::from_bytes(&raw[..raw.len() / 2]).is_err());
+    let mut flipped = raw.clone();
+    *flipped.last_mut().unwrap() ^= 0xFF; // trailer byte: checksum mismatch
+    assert!(matches!(
+        Snapshot::from_bytes(&flipped).unwrap_err(),
+        GraphError::Corrupt(_)
+    ));
+    let mut newer = raw.clone();
+    newer[4] = 200;
+    assert!(matches!(
+        Snapshot::from_bytes(&newer).unwrap_err(),
+        GraphError::UnsupportedVersion { found: 200, .. }
+    ));
+}

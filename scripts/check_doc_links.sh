@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Checks that every relative markdown link in README.md and docs/*.md
+# points at a file that exists, so docs can't rot silently as the tree
+# moves. External (http*) and pure-anchor (#...) links are skipped.
+# Run from the repo root; exits non-zero listing every broken link.
+set -u
+
+status=0
+for f in README.md docs/*.md; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Extract the (target) of every [text](target) link, one per line.
+    links=$(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+    for link in $links; do
+        case "$link" in
+            http://* | https://* | \#*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "$f: broken relative link -> $link"
+            status=1
+        fi
+    done
+done
+exit $status

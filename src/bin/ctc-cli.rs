@@ -3,16 +3,25 @@
 //! ```text
 //! ctc-cli stats <edge-list> [--threads N]
 //! ctc-cli decompose <edge-list> [--threads N]
+//! ctc-cli index build <edge-list> -o graph.ctci [--threads N]
+//! ctc-cli index info graph.ctci
 //! ctc-cli search <edge-list> --query 3,17,42 [--algo basic|bd|lctc|truss]
 //!                            [--gamma 3] [--eta 1000] [--k K] [--threads N]
+//! ctc-cli search --index graph.ctci --query 3,17,42 [...same flags]
 //! ctc-cli generate <preset> <out-path>    # facebook|amazon|dblp|youtube|...
 //! ```
 //!
 //! Edge lists are SNAP format: `u v` per line, `#` comments. Vertex labels
-//! in `--query` refer to the file's original labels. `--threads N` spreads
-//! the truss decomposition (and LCTC's local decompositions) over `N`
-//! worker threads; `0` means all available cores, `1` (the default) is the
-//! serial reference path.
+//! in `--query` refer to the file's original labels (preserved inside
+//! `.ctci` snapshots, so `search --index` answers label-addressed queries
+//! identically to a cold `search`). `--threads N` spreads the truss
+//! decomposition (and LCTC's local decompositions) over `N` worker
+//! threads; `0` means all available cores, `1` (the default) is the serial
+//! reference path.
+//!
+//! `index build` pays the offline `O(ρ·m)` construction once and writes a
+//! checksummed snapshot; `search --index` then skips straight to the
+//! online query phase.
 
 use ctc::prelude::*;
 use ctc_graph::io::{load_edge_list_path, save_edge_list_path};
@@ -23,17 +32,22 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("stats") => cmd_stats(&args[1..]),
         Some("decompose") => cmd_decompose(&args[1..]),
+        Some("index") => cmd_index(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ctc-cli <stats|decompose|search|generate> ...\n\
+                "usage: ctc-cli <stats|decompose|index|search|generate> ...\n\
                  \n\
                  stats <edge-list> [--threads N]       graph summary + truss levels\n\
                  decompose <edge-list> [--threads N]   trussness histogram\n\
+                 index build <edge-list> -o g.ctci     build + persist the truss index\n\
+                        [--threads N]\n\
+                 index info g.ctci                     inspect a snapshot\n\
                  search <edge-list> --query a,b,c      find the closest truss community\n\
                         [--algo basic|bd|lctc|truss] [--gamma G] [--eta N] [--k K]\n\
                         [--threads N]\n\
+                 search --index g.ctci --query a,b,c   same, warm-started from a snapshot\n\
                  generate <preset> <out>               write a synthetic network\n\
                         presets: facebook amazon dblp youtube livejournal orkut\n\
                  \n\
@@ -114,21 +128,111 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_search(args: &[String]) -> Result<(), String> {
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_index_build(&args[1..]),
+        Some("info") => cmd_index_info(&args[1..]),
+        _ => Err("usage: index <build|info> ...".into()),
+    }
+}
+
+fn cmd_index_build(args: &[String]) -> Result<(), String> {
     let (g, labels) = load(args)?;
+    let out = flag_value(args, "-o")
+        .or_else(|| flag_value(args, "--out"))
+        .ok_or("missing -o <out.ctci>")?;
+    let par = flag_parallelism(args)?;
+    let t0 = std::time::Instant::now();
+    let snap = Snapshot::build_par(g, par)
+        .with_labels(labels)
+        .map_err(|e| e.to_string())?;
+    let built = t0.elapsed();
+    snap.save(out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "indexed {} vertices, {} edges (max trussness {}) in {:.1}ms; wrote {} ({} bytes)",
+        snap.graph.num_vertices(),
+        snap.graph.num_edges(),
+        snap.index.max_truss(),
+        built.as_secs_f64() * 1e3,
+        out,
+        std::fs::metadata(out).map(|m| m.len()).unwrap_or(0),
+    );
+    Ok(())
+}
+
+fn cmd_index_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing snapshot path")?;
+    let t0 = std::time::Instant::now();
+    let snap = Snapshot::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let loaded = t0.elapsed();
+    let mut t = Table::new(["field", "value"]);
+    t.row([
+        "vertices".to_string(),
+        snap.graph.num_vertices().to_string(),
+    ]);
+    t.row(["edges".to_string(), snap.graph.num_edges().to_string()]);
+    t.row([
+        "max trussness τ̄(∅)".to_string(),
+        snap.index.max_truss().to_string(),
+    ]);
+    t.row([
+        "label table".to_string(),
+        if snap.labels.is_empty() {
+            "identity (dense ids)".to_string()
+        } else {
+            format!("{} labels", snap.labels.len())
+        },
+    ]);
+    t.row([
+        "load time".to_string(),
+        format!("{:.1}ms", loaded.as_secs_f64() * 1e3),
+    ]);
+    println!("{}", t.render());
+    Ok(())
+}
+
+/// Loads the graph for `search`: warm from `--index <file.ctci>`, or cold
+/// from a positional edge-list path (building the index in-process).
+///
+/// Query labels are validated against the label table *before* the
+/// `O(ρ·m)` index build on the cold path, so a typo fails in milliseconds
+/// rather than after a full decomposition of a large graph.
+fn load_search_engine(
+    args: &[String],
+    par: Parallelism,
+    query_labels: &[u64],
+) -> Result<CommunityEngine, String> {
+    match flag_value(args, "--index") {
+        Some(path) => {
+            let snap = Snapshot::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+            Ok(CommunityEngine::from_snapshot(snap))
+        }
+        None => {
+            let (g, labels) = load(args)?;
+            for &label in query_labels {
+                if ctc::truss::snapshot::vertex_of_label(&labels, g.num_vertices(), label).is_none()
+                {
+                    return Err(format!("label {label} not in graph"));
+                }
+            }
+            let snap = Snapshot::build_par(g, par)
+                .with_labels(labels)
+                .map_err(|e| e.to_string())?;
+            Ok(CommunityEngine::from_snapshot(snap))
+        }
+    }
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
     let query_raw = flag_value(args, "--query").ok_or("missing --query a,b,c")?;
-    // Map original labels to dense ids.
-    let mut q = Vec::new();
+    // Parse the query labels first: syntax errors never cost a graph load.
+    let mut query_labels = Vec::new();
     for tok in query_raw.split(',') {
         let label: u64 = tok
             .trim()
             .parse()
             .map_err(|_| format!("bad query label {tok:?}"))?;
-        let dense = labels
-            .iter()
-            .position(|&l| l == label)
-            .ok_or(format!("label {label} not in graph"))?;
-        q.push(VertexId::from(dense));
+        query_labels.push(label);
     }
     let mut cfg = CtcConfig::default();
     if let Some(gm) = flag_value(args, "--gamma") {
@@ -142,16 +246,17 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     }
     let par = flag_parallelism(args)?;
     cfg.parallelism = par;
-    let algo = flag_value(args, "--algo").unwrap_or("lctc");
-    let searcher = CtcSearcher::with_parallelism(&g, par);
-    let c = match algo {
-        "basic" => searcher.basic(&q, &cfg),
-        "bd" => searcher.bulk_delete(&q, &cfg),
-        "lctc" => searcher.local(&q, &cfg),
-        "truss" => searcher.truss_only(&q, &cfg),
-        other => return Err(format!("unknown --algo {other}")),
+    let algo: SearchAlgo = flag_value(args, "--algo").unwrap_or("lctc").parse()?;
+    let engine = load_search_engine(args, par, &query_labels)?.with_config(cfg);
+    // Map original labels to dense ids.
+    let mut q = Vec::new();
+    for &label in &query_labels {
+        let dense = engine
+            .vertex_of_label(label)
+            .ok_or(format!("label {label} not in graph"))?;
+        q.push(dense);
     }
-    .map_err(|e| e.to_string())?;
+    let c = engine.search(&q, algo).map_err(|e| e.to_string())?;
     println!(
         "community: k = {}, {} vertices, {} edges, diameter {}, density {:.3}, \
          query distance {}, found in {:.1}ms",
@@ -166,7 +271,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let members: Vec<String> = c
         .vertices
         .iter()
-        .map(|v| labels[v.index()].to_string())
+        .map(|&v| engine.label_of(v).to_string())
         .collect();
     println!("members: {}", members.join(" "));
     Ok(())

@@ -36,9 +36,11 @@ pub use ctc_truss as truss;
 /// The common imports for application code.
 pub mod prelude {
     pub use ctc_baselines::{kcore_community, mdc, qdc, MdcConfig, QdcConfig};
-    pub use ctc_core::{Community, CtcConfig, CtcSearcher, SteinerMode};
+    pub use ctc_core::{
+        Community, CommunityEngine, CtcConfig, CtcSearcher, EngineQuery, SearchAlgo, SteinerMode,
+    };
     pub use ctc_eval::{f1_score, Table};
     pub use ctc_gen::{DegreeRank, QueryGenerator};
     pub use ctc_graph::{CsrGraph, GraphBuilder, Parallelism, VertexId};
-    pub use ctc_truss::{find_g0, TrussIndex};
+    pub use ctc_truss::{find_g0, Snapshot, TrussIndex};
 }

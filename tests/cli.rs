@@ -122,6 +122,158 @@ fn search_with_threads_matches_serial_output() {
 }
 
 #[test]
+fn index_build_then_search_matches_direct_search() {
+    let dir = std::env::temp_dir().join("ctc_cli_test_index");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("fig1.txt");
+    let idx = dir.join("fig1.ctci");
+    write_figure1(&file);
+    let out = cli()
+        .args([
+            "index",
+            "build",
+            file.to_str().unwrap(),
+            "-o",
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "index build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(idx.exists());
+    // `index info` reads the file back.
+    let out = cli()
+        .args(["index", "info", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("12"), "vertex count missing: {text}");
+    assert!(text.contains("25"), "edge count missing: {text}");
+    // Warm search over the snapshot must answer exactly like direct search,
+    // for every algorithm.
+    let members = |args: &[&str]| {
+        let out = cli().args(args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "args {args:?} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("members:"))
+            .expect("members line")
+            .to_string()
+    };
+    for algo in ["basic", "bd", "lctc", "truss"] {
+        let direct = members(&[
+            "search",
+            file.to_str().unwrap(),
+            "--query",
+            "0,1,2",
+            "--algo",
+            algo,
+        ]);
+        let warm = members(&[
+            "search",
+            "--index",
+            idx.to_str().unwrap(),
+            "--query",
+            "0,1,2",
+            "--algo",
+            algo,
+        ]);
+        assert_eq!(direct, warm, "--algo {algo} diverged on the warm path");
+    }
+}
+
+#[test]
+fn snapshot_preserves_original_labels() {
+    // A graph whose file labels are NOT dense ids: the snapshot must carry
+    // the label table so label-addressed queries keep working.
+    let dir = std::env::temp_dir().join("ctc_cli_test_labels");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("tri.txt");
+    let idx = dir.join("tri.ctci");
+    std::fs::write(&file, "500 700\n700 900\n500 900\n").unwrap();
+    let out = cli()
+        .args([
+            "index",
+            "build",
+            file.to_str().unwrap(),
+            "-o",
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = cli()
+        .args([
+            "search",
+            "--index",
+            idx.to_str().unwrap(),
+            "--query",
+            "500,900",
+            "--algo",
+            "basic",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("members: 500 700 900"),
+        "original labels lost: {text}"
+    );
+    // A dense id that is not an original label must be rejected.
+    let out = cli()
+        .args(["search", "--index", idx.to_str().unwrap(), "--query", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn index_subcommand_error_paths() {
+    let dir = std::env::temp_dir().join("ctc_cli_test_index_err");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("fig1.txt");
+    write_figure1(&file);
+    // Missing -o.
+    let out = cli()
+        .args(["index", "build", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("-o"));
+    // Unknown sub-subcommand.
+    let out = cli().args(["index", "rebuild"]).output().unwrap();
+    assert!(!out.status.success());
+    // Corrupt snapshot file → clean error, not a panic.
+    let bad = dir.join("bad.ctci");
+    std::fs::write(&bad, b"CTCI garbage").unwrap();
+    let out = cli()
+        .args(["index", "info", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error"), "unexpected stderr: {err}");
+    let out = cli()
+        .args(["search", "--index", bad.to_str().unwrap(), "--query", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn search_rejects_unknown_label_and_algo() {
     let dir = std::env::temp_dir().join("ctc_cli_test_err");
     std::fs::create_dir_all(&dir).unwrap();
