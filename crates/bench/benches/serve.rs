@@ -1,0 +1,106 @@
+//! Microbench: request latency through the full serving path —
+//! parse → dispatch → search/cache → encode — cached vs uncached.
+//!
+//! Drives [`AppState::respond`] directly (no socket), so the numbers are
+//! the per-request CPU cost a `ctc-cli serve` worker pays, isolated from
+//! network effects. The contrast that matters: a warm LRU hit skips the
+//! whole search path and should be orders of magnitude cheaper than an
+//! uncached request, while still paying the same HTTP + JSON cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctc_core::CommunityEngine;
+use ctc_gen::{mini_network, DegreeRank, QueryGenerator};
+use ctc_server::{AppState, ServeConfig};
+use std::time::Duration;
+
+/// A framed `/search` request for `labels` under `algo`.
+fn search_request(labels: &[u32], algo: &str) -> Vec<u8> {
+    let ids = labels
+        .iter()
+        .map(|l| l.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let body = format!(r#"{{"query":[{ids}],"algo":"{algo}"}}"#);
+    format!(
+        "POST /search HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let net = mini_network("facebook", 7).expect("mini preset");
+    let engine = CommunityEngine::build(net.graph);
+    let mut qg = QueryGenerator::new(engine.graph(), 11);
+    let queries: Vec<Vec<u32>> = (0..8)
+        .map(|_| {
+            qg.sample(2, DegreeRank::top(0.8), 2)
+                .expect("query")
+                .into_iter()
+                .map(|v| v.0)
+                .collect()
+        })
+        .collect();
+
+    let uncached = AppState::new(
+        engine.clone(),
+        &ServeConfig {
+            cache_cap: 0, // disabled: every request runs the search
+            ..ServeConfig::default()
+        },
+    );
+    let cached = AppState::new(engine, &ServeConfig::default());
+    // Prime the cache so every benched request is a hit.
+    for q in &queries {
+        for algo in ["lctc", "truss"] {
+            let response = cached.respond(&search_request(q, algo)).expect("response");
+            assert!(response.starts_with(b"HTTP/1.1 200"), "prime failed");
+        }
+    }
+
+    let mut group = c.benchmark_group("serve_request");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for algo in ["lctc", "truss"] {
+        let requests: Vec<Vec<u8>> = queries.iter().map(|q| search_request(q, algo)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("uncached", algo),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    for raw in requests {
+                        criterion::black_box(uncached.respond(raw).expect("response"));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached_warm", algo),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    for raw in requests {
+                        criterion::black_box(cached.respond(raw).expect("response"));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // The wire floor: parse + route + encode with no search at all.
+    let mut group = c.benchmark_group("serve_overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let healthz = b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n".to_vec();
+    group.bench_function("healthz", |b| {
+        b.iter(|| criterion::black_box(cached.respond(&healthz).expect("response")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -101,6 +101,49 @@ impl CtcConfig {
         self.parallelism = par;
         self
     }
+
+    /// The answer-affecting projection of this configuration.
+    ///
+    /// Two configs with equal fingerprints produce identical answers for
+    /// every query and algorithm, so the fingerprint is the correct
+    /// config component of a response-cache key. [`CtcConfig::parallelism`]
+    /// is deliberately excluded: thread count changes wall time, never
+    /// answers (the workspace-wide invariant pinned by the parallel
+    /// property tests).
+    ///
+    /// ```
+    /// use ctc_core::CtcConfig;
+    ///
+    /// let a = CtcConfig::new().threads(8);
+    /// let b = CtcConfig::new(); // serial
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// assert_ne!(a.fingerprint(), CtcConfig::new().gamma(5.0).fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> ConfigFingerprint {
+        ConfigFingerprint {
+            gamma_bits: self.gamma.to_bits(),
+            eta: self.eta,
+            fixed_k: self.fixed_k,
+            max_iterations: self.max_iterations,
+            steiner_additive: self.steiner_mode == SteinerMode::EdgeAdditive,
+        }
+    }
+}
+
+/// The hashable projection of a [`CtcConfig`] onto the knobs that can
+/// change a search answer. See [`CtcConfig::fingerprint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConfigFingerprint {
+    /// Bit pattern of γ (f64 is not `Hash`/`Eq`; bits are).
+    gamma_bits: u64,
+    /// LCTC expansion budget η.
+    eta: usize,
+    /// Fixed target trussness, if any.
+    fixed_k: Option<u32>,
+    /// Peeling iteration cap, if any.
+    max_iterations: Option<usize>,
+    /// Whether the additive Steiner surrogate replaces the exact mode.
+    steiner_additive: bool,
 }
 
 #[cfg(test)]
@@ -137,5 +180,35 @@ mod tests {
             .parallelism(Parallelism::serial())
             .parallelism
             .is_serial());
+    }
+
+    #[test]
+    fn fingerprint_tracks_answer_knobs_only() {
+        let base = CtcConfig::default();
+        // Parallelism never changes answers, so it must not change the key.
+        assert_eq!(
+            base.fingerprint(),
+            CtcConfig::new().threads(8).fingerprint()
+        );
+        // Every answer-affecting knob must change the key.
+        assert_ne!(
+            base.fingerprint(),
+            CtcConfig::new().gamma(2.5).fingerprint()
+        );
+        assert_ne!(base.fingerprint(), CtcConfig::new().eta(500).fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            CtcConfig::new().fixed_k(4).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            CtcConfig::new().max_iterations(3).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            CtcConfig::new()
+                .steiner_mode(SteinerMode::EdgeAdditive)
+                .fingerprint()
+        );
     }
 }

@@ -87,6 +87,20 @@ impl EngineQuery {
     }
 }
 
+/// A size/shape summary of a running engine — what a serving process
+/// reports from its stats endpoint without walking the graph per request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Vertices of the served graph.
+    pub num_vertices: usize,
+    /// Undirected edges of the served graph.
+    pub num_edges: usize,
+    /// Maximum trussness `τ̄(∅)` of the index.
+    pub max_truss: u32,
+    /// `true` when a non-identity label table rides along.
+    pub labeled: bool,
+}
+
 /// A loaded-once, query-many CTC engine.
 ///
 /// Cheap to clone (all heavy state is behind [`Arc`]) and safe to share
@@ -179,6 +193,35 @@ impl CommunityEngine {
         ctc_truss::snapshot::vertex_of_label(&self.labels, self.graph.num_vertices(), label)
     }
 
+    /// Resolves a whole query of original labels to dense ids, in input
+    /// order; fails with the first label the graph does not carry. The
+    /// wire-facing entry point for label-addressed queries.
+    ///
+    /// ```
+    /// use ctc_core::CommunityEngine;
+    /// use ctc_truss::fixtures::figure1_graph;
+    ///
+    /// let engine = CommunityEngine::build(figure1_graph());
+    /// assert_eq!(engine.resolve_labels(&[2, 0]).unwrap().len(), 2);
+    /// assert_eq!(engine.resolve_labels(&[2, 999]), Err(999));
+    /// ```
+    pub fn resolve_labels(&self, labels: &[u64]) -> std::result::Result<Vec<VertexId>, u64> {
+        labels
+            .iter()
+            .map(|&l| self.vertex_of_label(l).ok_or(l))
+            .collect()
+    }
+
+    /// A constant-time summary of the served graph + index.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            num_vertices: self.graph.num_vertices(),
+            num_edges: self.graph.num_edges(),
+            max_truss: self.index.max_truss(),
+            labeled: !self.labels.is_empty(),
+        }
+    }
+
     /// A zero-cost searcher borrowing the engine's graph and index.
     pub fn searcher(&self) -> CtcSearcher<'_> {
         CtcSearcher::with_borrowed_index(&self.graph, &self.index)
@@ -261,6 +304,108 @@ mod tests {
         assert_eq!(answers[0].as_ref().unwrap().k, 4);
         assert_eq!(*answers[1].as_ref().unwrap_err(), GraphError::EmptyQuery);
         assert!(answers[2].is_ok());
+    }
+
+    #[test]
+    fn batch_isolates_out_of_range_vertices_from_valid_neighbors() {
+        let eng = engine();
+        let f = Figure1Ids::default();
+        let good = [f.q1, f.q2, f.q3];
+        // Invalid queries (out-of-range vertex, empty set) interleaved
+        // between identical valid ones, on every algorithm: each failure
+        // must surface as its own error and the valid answers must be
+        // exactly what an unpolluted batch returns.
+        for algo in [
+            SearchAlgo::Basic,
+            SearchAlgo::BulkDelete,
+            SearchAlgo::Local,
+            SearchAlgo::TrussOnly,
+        ] {
+            let queries = vec![
+                EngineQuery::new(good.to_vec()).algo(algo),
+                EngineQuery::new(vec![VertexId(9999)]).algo(algo),
+                EngineQuery::new(good.to_vec()).algo(algo),
+                EngineQuery::new(vec![]).algo(algo),
+                EngineQuery::new(vec![f.q1, VertexId(u32::MAX)]).algo(algo),
+                EngineQuery::new(good.to_vec()).algo(algo),
+            ];
+            let answers = eng.search_batch(&queries);
+            assert_eq!(answers.len(), 6, "{algo:?}");
+            let clean = eng.search(&good, algo).unwrap();
+            for i in [0usize, 2, 5] {
+                let a = answers[i].as_ref().unwrap_or_else(|e| {
+                    panic!("{algo:?}: valid query {i} poisoned by neighbors: {e}")
+                });
+                assert_eq!(a.k, clean.k, "{algo:?} query {i}");
+                assert_eq!(a.vertices, clean.vertices, "{algo:?} query {i}");
+                assert_eq!(a.edges, clean.edges, "{algo:?} query {i}");
+            }
+            assert_eq!(
+                *answers[1].as_ref().unwrap_err(),
+                GraphError::VertexOutOfRange {
+                    vertex: 9999,
+                    n: 12
+                },
+                "{algo:?}"
+            );
+            assert_eq!(*answers[3].as_ref().unwrap_err(), GraphError::EmptyQuery);
+            assert_eq!(
+                *answers[4].as_ref().unwrap_err(),
+                GraphError::VertexOutOfRange {
+                    vertex: u32::MAX,
+                    n: 12
+                },
+                "{algo:?}: mixed valid+invalid vertex query must still fail"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_batch_isolates_failures_like_serial() {
+        let eng = engine().with_batch_parallelism(Parallelism::threads(4));
+        let f = Figure1Ids::default();
+        let queries: Vec<EngineQuery> = (0..16)
+            .map(|i| {
+                if i % 3 == 1 {
+                    EngineQuery::new(vec![VertexId(100 + i)])
+                } else {
+                    EngineQuery::new(vec![f.q1, f.q2])
+                }
+            })
+            .collect();
+        let answers = eng.search_batch(&queries);
+        for (i, a) in answers.iter().enumerate() {
+            if i % 3 == 1 {
+                assert!(
+                    matches!(a, Err(GraphError::VertexOutOfRange { .. })),
+                    "query {i}: {a:?}"
+                );
+            } else {
+                assert!(a.is_ok(), "query {i} poisoned: {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_labels_and_stats() {
+        let eng = engine();
+        assert_eq!(
+            eng.resolve_labels(&[3, 0]),
+            Ok(vec![VertexId(3), VertexId(0)])
+        );
+        assert_eq!(eng.resolve_labels(&[0, 777, 888]), Err(777));
+        let s = eng.stats();
+        assert_eq!(s.num_vertices, 12);
+        assert_eq!(s.num_edges, 25);
+        assert_eq!(s.max_truss, 4);
+        assert!(!s.labeled);
+        let snap = Snapshot::build(figure1_graph())
+            .with_labels((0..12).map(|i| 1000 + i as u64).collect())
+            .unwrap();
+        let eng = CommunityEngine::from_snapshot(snap);
+        assert!(eng.stats().labeled);
+        assert_eq!(eng.resolve_labels(&[1005]), Ok(vec![VertexId(5)]));
+        assert_eq!(eng.resolve_labels(&[5]), Err(5));
     }
 
     #[test]

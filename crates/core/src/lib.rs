@@ -52,9 +52,9 @@ pub mod result;
 pub mod searcher;
 pub mod steiner;
 
-pub use config::{CtcConfig, SteinerMode};
+pub use config::{ConfigFingerprint, CtcConfig, SteinerMode};
 pub use decision::{decide_ctck, CtckAnswer};
-pub use engine::{CommunityEngine, EngineQuery, SearchAlgo};
+pub use engine::{CommunityEngine, EngineQuery, EngineStats, SearchAlgo};
 pub use peel::{peel, DeletePolicy, PeelOutcome};
 pub use result::{community_from_induced, Community, PhaseTimings};
 pub use searcher::CtcSearcher;

@@ -1,0 +1,174 @@
+//! A small, deterministic LRU cache for hot query answers.
+//!
+//! Keyed on the *normalized* query (sorted, deduplicated labels), the
+//! algorithm, and the answer-affecting config fingerprint — see
+//! [`crate::wire::QueryKey`] — so a repeated hot query skips the whole
+//! search path. Recency is a monotonic logical clock, making eviction
+//! order fully deterministic: no timestamps, no hash-iteration order.
+//!
+//! ```
+//! use ctc_server::cache::LruCache;
+//!
+//! let mut cache = LruCache::new(2);
+//! cache.insert("a", 1);
+//! cache.insert("b", 2);
+//! cache.get(&"a");        // refresh "a"
+//! cache.insert("c", 3);   // evicts "b", the least recently used
+//! assert_eq!(cache.get(&"b"), None);
+//! assert_eq!(cache.get(&"a"), Some(1));
+//! assert_eq!(cache.get(&"c"), Some(3));
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A least-recently-used cache with a fixed capacity.
+///
+/// Capacity `0` disables caching entirely (every [`LruCache::insert`] is a
+/// no-op) — the switch the server's `--cache-cap 0` maps to. Eviction
+/// scans for the minimum logical stamp, which is `O(capacity)`; serving
+/// caches are small (thousands), so the scan is noise next to a search.
+#[derive(Clone, Debug)]
+pub struct LruCache<K, V> {
+    cap: usize,
+    clock: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// An empty cache holding at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        LruCache {
+            cap,
+            clock: 0,
+            map: HashMap::with_capacity(cap.min(1024)),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = clock;
+            slot.1.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the least recently
+    /// used entry when a new key would exceed capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        self.clock += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            // Evict the minimum stamp. Stamps are unique (every get and
+            // insert ticks the clock), so the victim is unambiguous.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, (self.clock, value));
+    }
+
+    /// Drops every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_refreshes_and_returns_the_stored_value() {
+        let mut c = LruCache::new(3);
+        c.insert(1, "one");
+        assert_eq!(c.get(&1), Some("one"));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_at_capacity_is_deterministic_lru() {
+        // Same operation sequence → same eviction victim, every run.
+        for _ in 0..10 {
+            let mut c = LruCache::new(3);
+            c.insert('a', 1);
+            c.insert('b', 2);
+            c.insert('c', 3);
+            c.get(&'a'); // order now: b (oldest), c, a
+            c.insert('d', 4); // evicts b
+            assert_eq!(c.get(&'b'), None);
+            assert_eq!(c.len(), 3);
+            c.insert('e', 5); // evicts c (a and d are fresher)
+            assert_eq!(c.get(&'c'), None);
+            assert_eq!(c.get(&'a'), Some(1));
+            assert_eq!(c.get(&'d'), Some(4));
+            assert_eq!(c.get(&'e'), Some(5));
+        }
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert('a', 1);
+        c.insert('b', 2);
+        c.insert('a', 10); // refresh, not a new key: no eviction
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&'a'), Some(10));
+        assert_eq!(c.get(&'b'), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn capacity_one_always_keeps_the_newest() {
+        let mut c = LruCache::new(1);
+        for i in 0..100 {
+            c.insert(i, i * 10);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(&i), Some(i * 10));
+        }
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut c = LruCache::new(4);
+        c.insert(1, 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 4);
+        c.insert(2, 2);
+        assert_eq!(c.get(&2), Some(2));
+    }
+}

@@ -1,0 +1,559 @@
+//! A minimal, std-only JSON encoder/decoder for the wire bodies.
+//!
+//! Implements exactly what the serving protocol needs: the full JSON value
+//! model with proper string escaping (including `\uXXXX` and surrogate
+//! pairs), a `u64`-exact integer variant so vertex labels survive the
+//! round trip, a recursion-depth cap so deeply nested hostile bodies
+//! cannot overflow the stack, and no panics on arbitrary input. The
+//! property tests pin `parse(encode(v)) == v` for arbitrary label strings.
+//!
+//! ```
+//! use ctc_server::json::Json;
+//!
+//! let v = Json::Object(vec![
+//!     ("query".into(), Json::Array(vec![Json::Uint(3), Json::Uint(17)])),
+//!     ("algo".into(), Json::Str("lctc".into())),
+//! ]);
+//! let text = v.encode();
+//! assert_eq!(text, r#"{"query":[3,17],"algo":"lctc"}"#);
+//! assert_eq!(Json::parse(&text).unwrap(), v);
+//! ```
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth accepted by the parser.
+pub const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+///
+/// Integers that fit `u64` parse as [`Json::Uint`] (labels stay exact);
+/// everything else numeric parses as [`Json::Float`]. Objects preserve
+/// insertion order, so encoding is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64` exactly.
+    Uint(u64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object as ordered `(key, value)` pairs.
+    Object(Vec<(String, Json)>),
+}
+
+/// A decode failure: byte offset plus description. Offsets refer to the
+/// input string, so errors are actionable for clients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Serializes to compact JSON text (no whitespace, keys in insertion
+    /// order — deterministic for identical values).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Uint(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    // JSON has no NaN/inf; encode as null rather than
+                    // emitting an unparsable token.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => encode_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON value; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the value"));
+        }
+        Ok(v)
+    }
+
+    /// The value under `key` if this is an object carrying it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as an exact `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Uint(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64` ([`Json::Uint`] coerces).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Uint(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` into `out` as a JSON string literal.
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than the server accepts"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => c - b'0',
+                Some(c @ b'a'..=b'f') => c - b'a' + 10,
+                Some(c @ b'A'..=b'F') => c - b'A' + 10,
+                _ => return Err(self.err("expected 4 hex digits after \\u")),
+            };
+            v = (v << 4) | d as u16;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp =
+                                    0x10000 + (((hi as u32 - 0xD800) << 10) | (lo as u32 - 0xDC00));
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unexpected low surrogate"));
+                            } else {
+                                char::from_u32(hi as u32)
+                                    .ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                            // hex4 already advanced past the digits; the
+                            // shared `pos += 1` below would double-advance.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(lead) => {
+                    // Multi-byte UTF-8. The input came in as a &str and
+                    // `pos` only ever advances by whole characters, so
+                    // `lead` is a valid lead byte; its value gives the
+                    // width. Validate just that one character — running
+                    // from_utf8 over the whole tail here would make
+                    // string parsing quadratic in body size.
+                    let width = match lead {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + width).min(self.bytes.len());
+                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if token.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = token.parse::<u64>() {
+                return Ok(Json::Uint(n));
+            }
+        }
+        match token.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Float(x)),
+            _ => Err(JsonError {
+                at: start,
+                message: format!("invalid number token {token:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, v) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("0", Json::Uint(0)),
+            ("18446744073709551615", Json::Uint(u64::MAX)),
+            ("-2.5", Json::Float(-2.5)),
+            (r#""""#, Json::Str(String::new())),
+            (r#""hi""#, Json::Str("hi".into())),
+        ] {
+            assert_eq!(Json::parse(text).unwrap(), v, "{text}");
+            assert_eq!(Json::parse(&v.encode()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn u64_labels_stay_exact() {
+        // 2^53 + 1 is where f64 loses integers.
+        let big = (1u64 << 53) + 1;
+        let v = Json::parse(&big.to_string()).unwrap();
+        assert_eq!(v, Json::Uint(big));
+        assert_eq!(v.encode(), big.to_string());
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        for s in [
+            "quote\" backslash\\ slash/",
+            "newline\n tab\t cr\r bs\u{8} ff\u{c}",
+            "control \u{1} \u{1f}",
+            "unicode é ∅ 🦀 ﷽",
+            "mixed \"\\\n🦀\u{0}",
+        ] {
+            let v = Json::Str(s.to_string());
+            let text = v.encode();
+            assert_eq!(Json::parse(&text).unwrap(), v, "encoded: {text}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9\ud83e\udd80""#).unwrap(),
+            Json::Str("Aé🦀".into())
+        );
+        assert!(Json::parse(r#""\ud83e""#).is_err(), "lone high surrogate");
+        assert!(Json::parse(r#""\udd80""#).is_err(), "lone low surrogate");
+        assert!(Json::parse(r#""\ud83e\u0041""#).is_err(), "bad pair");
+    }
+
+    #[test]
+    fn nested_values_round_trip() {
+        let text = r#"{"query":[1,2,3],"algo":"bd","knobs":{"gamma":2.5,"k":null},"ok":true}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.encode(), text);
+        assert_eq!(v.get("algo").and_then(Json::as_str), Some("bd"));
+        assert_eq!(
+            v.get("knobs")
+                .and_then(|k| k.get("gamma"))
+                .and_then(Json::as_f64),
+            Some(2.5)
+        );
+        assert_eq!(
+            v.get("query").and_then(Json::as_array).map(<[Json]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for text in [
+            "",
+            "{",
+            "[",
+            "[1,",
+            "{\"a\"",
+            "{\"a\":}",
+            "nul",
+            "tru",
+            "+",
+            "-",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "[1 2]",
+            "1 2",
+            "{a:1}",
+            "\"\\q\"",
+            "\u{7f}",
+            "\"raw \u{1} ctl\"",
+        ] {
+            assert!(Json::parse(text).is_err(), "accepted: {text:?}");
+        }
+    }
+
+    #[test]
+    fn depth_cap_rejects_hostile_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(8) + "1" + &"]".repeat(8);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn large_multibyte_strings_parse_in_linear_time() {
+        // Regression guard: the string parser must validate one character
+        // at a time, not re-scan the whole tail per character (which made
+        // parsing quadratic — ~10 GB of UTF-8 validation for this input).
+        let s: String = "é🦀".repeat(50_000);
+        let v = Json::Str(s);
+        assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn nonfinite_floats_encode_as_null() {
+        assert_eq!(Json::Float(f64::NAN).encode(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).encode(), "null");
+    }
+}

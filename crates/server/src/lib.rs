@@ -1,0 +1,58 @@
+//! # ctc-server — a std-only concurrent query server over [`CommunityEngine`]
+//!
+//! The deployment mode the paper motivates for its query-time algorithms:
+//! pay the offline truss-index build once (a `.ctci` snapshot), then
+//! answer closest-truss-community queries online, over a wire. The build
+//! environment is offline with vendored crates only, so the whole wire
+//! stack is hand-rolled on `std`:
+//!
+//! * [`http`] — a bounded, incremental HTTP/1.1 request parser and a
+//!   deterministic response encoder (no panics on arbitrary bytes, hard
+//!   caps on head/headers/target/body);
+//! * [`json`] — a minimal JSON codec with `u64`-exact labels, full string
+//!   escaping and a nesting-depth cap;
+//! * [`cache`] — a deterministic LRU over normalized query keys, so hot
+//!   queries skip the search path entirely;
+//! * [`wire`] — the `/search` request/response schemas and the
+//!   [`wire::QueryKey`] a request normalizes to;
+//! * [`server`] — the daemon: acceptor + fixed worker pool built on the
+//!   [`ctc_graph::Parallelism`] fork-join substrate, keep-alive
+//!   connection loops, and graceful drain-then-exit shutdown.
+//!
+//! Endpoints: `POST /search`, `GET /healthz`, `GET /stats`,
+//! `POST /shutdown` — specified in `docs/SERVING.md`.
+//!
+//! The full request path is also callable without any socket, which is
+//! how the fuzz battery and the latency bench drive it:
+//!
+//! ```
+//! use ctc_core::CommunityEngine;
+//! use ctc_server::{AppState, ServeConfig};
+//! use ctc_truss::fixtures::figure1_graph;
+//!
+//! let state = AppState::new(
+//!     CommunityEngine::build(figure1_graph()),
+//!     &ServeConfig::default(),
+//! );
+//! let response = state
+//!     .respond(b"GET /healthz HTTP/1.1\r\n\r\n")
+//!     .expect("complete request");
+//! assert!(response.starts_with(b"HTTP/1.1 200 OK"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use cache::LruCache;
+pub use json::Json;
+pub use server::{AppState, CountersSnapshot, CtcServer, ServeConfig, ServeReport, ServerHandle};
+pub use wire::{decode_search_request, encode_community, encode_error, QueryKey, SearchRequest};
+
+// Re-exported so downstreams of the server crate name the engine types
+// without an extra dependency edge.
+pub use ctc_core::CommunityEngine;

@@ -1,0 +1,860 @@
+//! The daemon: listener, worker pool, router, graceful shutdown.
+//!
+//! Architecture (all std, no async runtime):
+//!
+//! ```text
+//!                 ┌──────────────┐  accepted   ┌─────────────────────┐
+//!  TcpListener ──►│ acceptor     │────────────►│ ConnQueue           │
+//!                 │ (one thread) │   sockets   │ (Mutex + Condvar)   │
+//!                 └──────────────┘             └──────────┬──────────┘
+//!                                                         │ pop
+//!                              ┌───────────┬──────────────┼─────────────┐
+//!                              ▼           ▼              ▼             ▼
+//!                          worker 0    worker 1   ...  worker N-1   (pool sized
+//!                         (keep-alive read loop → parse → route → respond)
+//! ```
+//!
+//! The pool is built on the PR-2 [`Parallelism`] substrate:
+//! [`CtcServer::serve`] calls `pool.map_chunks(workers, ..)` with one
+//! index per worker, so worker threads are the same scoped fork-join
+//! primitive every other parallel phase of the workspace uses, and
+//! `serve` returns only once every worker has drained and joined — clean
+//! shutdown is structural, not best-effort.
+//!
+//! Shutdown ("SIGTERM-equivalent"): [`ServerHandle::shutdown`] (or a
+//! `POST /shutdown` request) sets the shared flag and pokes the listener
+//! with a loopback connection so the blocking `accept` wakes, the
+//! acceptor closes the queue, workers finish their in-flight requests,
+//! drain what was already queued, and exit.
+
+use crate::cache::LruCache;
+use crate::http::{parse_request, HttpError, Parse, Request, Response, DEFAULT_MAX_BODY};
+use crate::json::Json;
+use crate::wire::{
+    decode_search_request, encode_community, encode_error, search_error_response, QueryKey,
+};
+use ctc_core::CommunityEngine;
+use ctc_graph::Parallelism;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker-pool size (the `Parallelism` substrate; serial = 1 worker).
+    pub pool: Parallelism,
+    /// LRU answer-cache capacity; `0` disables caching.
+    pub cache_cap: usize,
+    /// Per-request body cap, bytes.
+    pub max_body: usize,
+    /// Socket read/write timeout, so a stalled client cannot pin a worker.
+    pub io_timeout: Duration,
+    /// Hard deadline for receiving one complete request. Unlike
+    /// `io_timeout` (which a slow-loris client resets with every
+    /// trickled byte), this bounds total time-to-request, so a worker
+    /// can never be pinned longer than this per request. The clock
+    /// restarts after each answered request, so healthy keep-alive
+    /// connections live indefinitely.
+    pub request_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            pool: Parallelism::serial(),
+            cache_cap: 1024,
+            max_body: DEFAULT_MAX_BODY,
+            io_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Monotonic request counters, readable while the server runs.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests routed (any endpoint, any outcome).
+    pub total: AtomicU64,
+    /// `/search` answers served (cache hits included).
+    pub search_ok: AtomicU64,
+    /// `/search` requests that failed (bad body, unknown label, no
+    /// community).
+    pub search_err: AtomicU64,
+    /// `/search` answers served from the LRU cache.
+    pub cache_hits: AtomicU64,
+    /// `/search` answers that ran the full search path.
+    pub cache_misses: AtomicU64,
+    /// `/healthz` hits.
+    pub healthz: AtomicU64,
+    /// `/stats` hits.
+    pub stats: AtomicU64,
+    /// Byte streams rejected by the HTTP parser.
+    pub http_rejects: AtomicU64,
+}
+
+/// A plain-data copy of [`Counters`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// See [`Counters::total`].
+    pub total: u64,
+    /// See [`Counters::search_ok`].
+    pub search_ok: u64,
+    /// See [`Counters::search_err`].
+    pub search_err: u64,
+    /// See [`Counters::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`Counters::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`Counters::healthz`].
+    pub healthz: u64,
+    /// See [`Counters::stats`].
+    pub stats: u64,
+    /// See [`Counters::http_rejects`].
+    pub http_rejects: u64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            total: self.total.load(Ordering::Relaxed),
+            search_ok: self.search_ok.load(Ordering::Relaxed),
+            search_err: self.search_err.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            healthz: self.healthz.load(Ordering::Relaxed),
+            stats: self.stats.load(Ordering::Relaxed),
+            http_rejects: self.http_rejects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything a request needs, shared across workers behind one [`Arc`]:
+/// the engine (itself `Arc`-backed), the answer cache, counters and the
+/// shutdown flag. Also usable standalone — without any socket — via
+/// [`AppState::respond`], which is how the fuzz battery and the serve
+/// bench drive the full parse → dispatch → encode path in-process.
+pub struct AppState {
+    engine: CommunityEngine,
+    cache: Mutex<LruCache<QueryKey, Arc<Vec<u8>>>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    max_body: usize,
+    /// Set once the listener is bound; the shutdown poke connects here.
+    wake_addr: Mutex<Option<SocketAddr>>,
+}
+
+impl AppState {
+    /// State over `engine` with the given tuning (no socket required).
+    pub fn new(engine: CommunityEngine, cfg: &ServeConfig) -> Self {
+        AppState {
+            engine,
+            cache: Mutex::new(LruCache::new(cfg.cache_cap)),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            max_body: cfg.max_body,
+            wake_addr: Mutex::new(None),
+        }
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &CommunityEngine {
+        &self.engine
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> CountersSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown: sets the flag and pokes the listener (if bound)
+    /// so the blocking accept wakes. Idempotent.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let addr = *self.wake_addr.lock().expect("wake_addr poisoned");
+        if let Some(mut addr) = addr {
+            // A listener bound to the unspecified address (0.0.0.0/[::])
+            // reports it back from local_addr(), but connecting *to* the
+            // unspecified address is invalid on some platforms — poke
+            // loopback on the same port instead.
+            if addr.ip().is_unspecified() {
+                addr.set_ip(match addr {
+                    SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            // Poke the blocking accept awake. Retried with backoff: under
+            // fd exhaustion the first connect fails, but draining workers
+            // free sockets within moments, and without a successful poke
+            // (or incoming traffic, or an accept error — both of which
+            // also observe the flag) the acceptor would stay blocked.
+            for _ in 0..10 {
+                if TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_ok() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+
+    /// Runs one buffered byte stream through the full request path:
+    /// parse → route → encode. Returns `None` when the bytes are a valid
+    /// prefix of a request (the server would keep reading; a standalone
+    /// caller treats it as a clean close), otherwise the exact response
+    /// bytes the server would write. Never panics on any input — the
+    /// property the fuzz battery pins.
+    pub fn respond(&self, raw: &[u8]) -> Option<Vec<u8>> {
+        match parse_request(raw, self.max_body) {
+            Ok(Parse::Incomplete) => None,
+            Ok(Parse::Complete(req, _)) => {
+                // Route first: a /shutdown request must see its own effect
+                // (its response, and every later one, carries
+                // `connection: close`).
+                let response = self.route(&req);
+                let close = req.wants_close() || self.is_shutting_down();
+                Some(response.encode(close))
+            }
+            Err(e) => Some(self.reject(e).encode(true)),
+        }
+    }
+
+    /// The error response for a stream the parser rejected.
+    fn reject(&self, e: HttpError) -> Response {
+        self.counters.http_rejects.fetch_add(1, Ordering::Relaxed);
+        let (status, reason) = e.status();
+        Response::error(status, reason, encode_error(e.detail()))
+    }
+
+    /// Routes one parsed request to its endpoint handler.
+    fn route(&self, req: &Request) -> Response {
+        self.counters.total.fetch_add(1, Ordering::Relaxed);
+        match (req.method.as_str(), req.target.as_str()) {
+            ("POST", "/search") => self.handle_search(req),
+            ("GET", "/healthz") => {
+                self.counters.healthz.fetch_add(1, Ordering::Relaxed);
+                Response::ok(
+                    Json::Object(vec![("status".into(), Json::Str("ok".into()))])
+                        .encode()
+                        .into_bytes(),
+                )
+            }
+            ("GET", "/stats") => {
+                self.counters.stats.fetch_add(1, Ordering::Relaxed);
+                Response::ok(self.encode_stats())
+            }
+            ("POST", "/shutdown") => {
+                self.request_shutdown();
+                Response::ok(
+                    Json::Object(vec![("status".into(), Json::Str("shutting down".into()))])
+                        .encode()
+                        .into_bytes(),
+                )
+            }
+            (_, "/search" | "/healthz" | "/stats" | "/shutdown") => Response::error(
+                405,
+                "Method Not Allowed",
+                encode_error("method not allowed for this endpoint"),
+            ),
+            _ => Response::error(404, "Not Found", encode_error("no such endpoint")),
+        }
+    }
+
+    /// `POST /search`: decode → resolve labels → cache → engine → encode.
+    fn handle_search(&self, req: &Request) -> Response {
+        let parsed = match decode_search_request(&req.body, self.engine.config()) {
+            Ok(p) => p,
+            Err(e) => {
+                self.counters.search_err.fetch_add(1, Ordering::Relaxed);
+                return Response::error(e.status, "Bad Request", encode_error(&e.message));
+            }
+        };
+        let q = match self.engine.resolve_labels(&parsed.labels) {
+            Ok(q) => q,
+            Err(label) => {
+                self.counters.search_err.fetch_add(1, Ordering::Relaxed);
+                return Response::error(
+                    404,
+                    "Not Found",
+                    encode_error(&format!("label {label} not in graph")),
+                );
+            }
+        };
+        let key = parsed.key();
+        // Bind the lookup to a statement so the cache mutex is released
+        // before the body bytes are copied into the response: under the
+        // lock a hit is only an Arc bump, so concurrent workers never
+        // serialize on a large-body memcpy.
+        let hit = self.cache.lock().expect("cache poisoned").get(&key);
+        if let Some(body) = hit {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.search_ok.fetch_add(1, Ordering::Relaxed);
+            return Response::ok(body.as_ref().clone()).with_header("x-cache", "hit");
+        }
+        // Miss: run the search under the per-request config. The engine
+        // clone is three Arc bumps; per-query inner parallelism stays
+        // whatever the base config says (serial for serving — the pool
+        // already owns the cores).
+        let engine = self.engine.clone().with_config(parsed.cfg);
+        match engine.search(&q, parsed.algo) {
+            Ok(c) => {
+                self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.counters.search_ok.fetch_add(1, Ordering::Relaxed);
+                // Cache the *encoded* body: a hit costs one memcpy, never
+                // a re-encode of the whole community (encoding dominates
+                // per-hit cost for large answers).
+                let body = Arc::new(encode_community(&self.engine, &c));
+                self.cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(key, Arc::clone(&body));
+                Response::ok(body.as_ref().clone()).with_header("x-cache", "miss")
+            }
+            Err(e) => {
+                self.counters.search_err.fetch_add(1, Ordering::Relaxed);
+                let (status, reason, body) = search_error_response(&e);
+                Response::error(status, reason, body)
+            }
+        }
+    }
+
+    /// The `/stats` body: graph/index summary + request counters.
+    fn encode_stats(&self) -> Vec<u8> {
+        let s = self.engine.stats();
+        let c = self.counters.snapshot();
+        let cache = self.cache.lock().expect("cache poisoned");
+        Json::Object(vec![
+            (
+                "graph".into(),
+                Json::Object(vec![
+                    ("num_vertices".into(), Json::Uint(s.num_vertices as u64)),
+                    ("num_edges".into(), Json::Uint(s.num_edges as u64)),
+                    ("max_truss".into(), Json::Uint(s.max_truss as u64)),
+                    ("labeled".into(), Json::Bool(s.labeled)),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Object(vec![
+                    ("capacity".into(), Json::Uint(cache.capacity() as u64)),
+                    ("entries".into(), Json::Uint(cache.len() as u64)),
+                    ("hits".into(), Json::Uint(c.cache_hits)),
+                    ("misses".into(), Json::Uint(c.cache_misses)),
+                ]),
+            ),
+            (
+                "requests".into(),
+                Json::Object(vec![
+                    ("total".into(), Json::Uint(c.total)),
+                    ("search_ok".into(), Json::Uint(c.search_ok)),
+                    ("search_err".into(), Json::Uint(c.search_err)),
+                    ("healthz".into(), Json::Uint(c.healthz)),
+                    ("stats".into(), Json::Uint(c.stats)),
+                    ("http_rejects".into(), Json::Uint(c.http_rejects)),
+                ]),
+            ),
+        ])
+        .encode()
+        .into_bytes()
+    }
+}
+
+/// The connection hand-off queue between the acceptor and the workers.
+struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+struct QueueInner {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            inner: Mutex::new(QueueInner {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, conn: TcpStream) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if !inner.closed {
+            inner.conns.push_back(conn);
+            self.ready.notify_one();
+        }
+    }
+
+    /// Blocks for the next connection; `None` once closed *and* drained,
+    /// so queued requests are still answered during shutdown.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(conn) = inner.conns.pop_front() {
+                return Some(conn);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// What [`CtcServer::serve`] reports after a graceful shutdown.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeReport {
+    /// Final counter values.
+    pub counters: CountersSnapshot,
+    /// Connections handled across all workers.
+    pub connections: u64,
+}
+
+/// A bound-but-not-yet-serving server.
+pub struct CtcServer {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    pool: Parallelism,
+    io_timeout: Duration,
+    request_deadline: Duration,
+}
+
+/// A cheap handle for stopping and observing a running server from
+/// another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<AppState>,
+}
+
+impl ServerHandle {
+    /// Triggers graceful shutdown: in-flight and already-queued requests
+    /// are answered, then `serve` returns. Idempotent.
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> CountersSnapshot {
+        self.state.counters()
+    }
+}
+
+impl CtcServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// prepares to serve `engine`.
+    pub fn bind(
+        engine: CommunityEngine,
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+    ) -> std::io::Result<CtcServer> {
+        let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(AppState::new(engine, &cfg));
+        *state.wake_addr.lock().expect("wake_addr poisoned") = Some(listener.local_addr()?);
+        Ok(CtcServer {
+            listener,
+            state,
+            pool: cfg.pool,
+            io_timeout: cfg.io_timeout,
+            request_deadline: cfg.request_deadline,
+        })
+    }
+
+    /// The bound address (the actual port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("listener has a local addr")
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Shared application state (for in-process drivers and tests).
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until shutdown is requested, then drains and returns.
+    /// Blocks the calling thread; run it in a dedicated thread when the
+    /// caller needs to keep working (see `tests/serve.rs`).
+    pub fn serve(self) -> ServeReport {
+        let CtcServer {
+            listener,
+            state,
+            pool,
+            io_timeout,
+            request_deadline,
+        } = self;
+        let queue = ConnQueue::new();
+        let connections = AtomicU64::new(0);
+        let workers = pool.get();
+        std::thread::scope(|scope| {
+            let acceptor = scope.spawn(|| {
+                loop {
+                    match listener.accept() {
+                        Ok((conn, _peer)) => {
+                            if state.is_shutting_down() {
+                                // The wake poke (or a straggler): drop it
+                                // and stop accepting.
+                                drop(conn);
+                                break;
+                            }
+                            queue.push(conn);
+                        }
+                        Err(_) => {
+                            if state.is_shutting_down() {
+                                break;
+                            }
+                            // Transient accept failure (EMFILE, aborted
+                            // handshake): keep serving, but back off so a
+                            // persistent error (fd exhaustion) cannot pin
+                            // a core in a hot accept loop.
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
+                    }
+                }
+                queue.close();
+            });
+            // The worker pool: one queue-draining loop per Parallelism
+            // worker, scheduled through the same fork-join substrate as
+            // every other parallel phase. map_chunks returns only when
+            // every worker has exited, i.e. the queue is closed and
+            // drained.
+            pool.map_chunks(workers, |_range| {
+                while let Some(conn) = queue.pop() {
+                    connections.fetch_add(1, Ordering::Relaxed);
+                    handle_connection(&state, conn, io_timeout, request_deadline);
+                }
+            });
+            acceptor.join().expect("acceptor panicked");
+        });
+        ServeReport {
+            counters: state.counters(),
+            connections: connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Read-loop for one connection: buffer, parse incrementally, respond,
+/// keep the connection alive until the client closes, errors, asks to
+/// close, exceeds the per-request deadline, or shutdown begins.
+fn handle_connection(
+    state: &AppState,
+    mut conn: TcpStream,
+    io_timeout: Duration,
+    request_deadline: Duration,
+) {
+    let _ = conn.set_write_timeout(Some(io_timeout));
+    let _ = conn.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Per-request progress deadline: a per-read timeout alone lets a
+    // slow-loris client pin this worker forever by trickling one byte
+    // per io_timeout; the deadline bounds total time-to-request and is
+    // reset whenever a request completes.
+    let mut deadline = Instant::now() + request_deadline;
+    loop {
+        // Answer every complete request already buffered (pipelining).
+        loop {
+            match parse_request(&buf, state.max_body) {
+                Ok(Parse::Incomplete) => break,
+                Ok(Parse::Complete(req, consumed)) => {
+                    buf.drain(..consumed);
+                    // Route before deciding keep-alive, so a /shutdown
+                    // request closes its own connection instead of
+                    // pinning a worker until the client hangs up.
+                    let routed = state.route(&req);
+                    let close = req.wants_close() || state.is_shutting_down();
+                    let response = routed.encode(close);
+                    if conn.write_all(&response).is_err() {
+                        return;
+                    }
+                    if close {
+                        return;
+                    }
+                    deadline = Instant::now() + request_deadline;
+                }
+                Err(e) => {
+                    let response = state.reject(e).encode(true);
+                    let _ = conn.write_all(&response);
+                    return;
+                }
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            // The client made no complete request in time: drop it.
+            return;
+        }
+        let _ = conn.set_read_timeout(Some((deadline - now).min(io_timeout)));
+        match conn.read(&mut chunk) {
+            // EOF with nothing (or only a partial request) buffered:
+            // clean close, nothing to answer.
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // Timeout or reset: drop the connection.
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_core::SearchAlgo;
+    use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+
+    fn state(cache_cap: usize) -> AppState {
+        AppState::new(
+            CommunityEngine::build(figure1_graph()),
+            &ServeConfig {
+                cache_cap,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    fn req(method: &str, target: &str, body: &str) -> Vec<u8> {
+        format!(
+            "{method} {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    }
+
+    fn split(response: &[u8]) -> (String, Vec<u8>) {
+        let pos = response
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("response has a head");
+        (
+            String::from_utf8(response[..pos].to_vec()).unwrap(),
+            response[pos + 4..].to_vec(),
+        )
+    }
+
+    #[test]
+    fn healthz_and_stats_roundtrip() {
+        let s = state(8);
+        let (head, body) = split(&s.respond(&req("GET", "/healthz", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, br#"{"status":"ok"}"#);
+        let (head, body) = split(&s.respond(&req("GET", "/stats", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains(r#""num_vertices":12"#), "{text}");
+        assert!(text.contains(r#""healthz":1"#), "{text}");
+    }
+
+    #[test]
+    fn search_matches_direct_engine_answer_and_caches() {
+        let s = state(8);
+        let f = Figure1Ids::default();
+        let body = format!(
+            r#"{{"query":[{},{},{}],"algo":"basic"}}"#,
+            f.q1.0, f.q2.0, f.q3.0
+        );
+        let first = s.respond(&req("POST", "/search", &body)).unwrap();
+        let (head, payload) = split(&first);
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("x-cache: miss"), "{head}");
+        let direct = s
+            .engine()
+            .search(&[f.q1, f.q2, f.q3], SearchAlgo::Basic)
+            .unwrap();
+        assert_eq!(payload, encode_community(s.engine(), &direct));
+        // Second identical request: byte-identical body, served by cache.
+        let second = s.respond(&req("POST", "/search", &body)).unwrap();
+        let (head2, payload2) = split(&second);
+        assert!(head2.contains("x-cache: hit"), "{head2}");
+        assert_eq!(payload2, payload, "cached body must be byte-identical");
+        let c = s.counters();
+        assert_eq!((c.cache_hits, c.cache_misses), (1, 1));
+        // A permuted query with duplicates hits the same slot.
+        let permuted = format!(
+            r#"{{"query":[{},{},{},{}]}}"#,
+            f.q3.0, f.q1.0, f.q2.0, f.q1.0
+        );
+        let algo_pinned = format!(r#"{{"query":[{},{},{}]}}"#, f.q1.0, f.q2.0, f.q3.0);
+        let a = s.respond(&req("POST", "/search", &permuted)).unwrap();
+        let b = s.respond(&req("POST", "/search", &algo_pinned)).unwrap();
+        assert_eq!(split(&a).1, split(&b).1);
+    }
+
+    #[test]
+    fn cache_key_respects_config_knobs() {
+        let s = state(8);
+        let f = Figure1Ids::default();
+        let base = format!(r#"{{"query":[{}]}}"#, f.q1.0);
+        let tuned = format!(r#"{{"query":[{}],"eta":64}}"#, f.q1.0);
+        s.respond(&req("POST", "/search", &base)).unwrap();
+        s.respond(&req("POST", "/search", &tuned)).unwrap();
+        let c = s.counters();
+        assert_eq!(
+            (c.cache_hits, c.cache_misses),
+            (0, 2),
+            "an eta override must not hit the default-config slot"
+        );
+    }
+
+    #[test]
+    fn search_error_paths_map_to_statuses() {
+        let s = state(8);
+        for (body, status) in [
+            ("{not json", "400"),
+            (r#"{"query":[9999]}"#, "404"),
+            (r#"{"query":[1],"nope":1}"#, "400"),
+        ] {
+            let (head, payload) = split(&s.respond(&req("POST", "/search", body)).unwrap());
+            assert!(
+                head.starts_with(&format!("HTTP/1.1 {status}")),
+                "{body}: {head}"
+            );
+            assert!(payload.starts_with(br#"{"error":"#), "{body}");
+        }
+        let c = s.counters();
+        assert_eq!(c.search_err, 3);
+        assert_eq!(c.search_ok, 0);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let s = state(8);
+        let (head, _) = split(&s.respond(&req("GET", "/nope", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 404"));
+        let (head, _) = split(&s.respond(&req("DELETE", "/search", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 405"));
+        let (head, _) = split(&s.respond(b"GET / HTTP/2\r\n\r\n").unwrap());
+        assert!(head.starts_with("HTTP/1.1 505"));
+        assert_eq!(s.counters().http_rejects, 1);
+    }
+
+    #[test]
+    fn respond_is_none_on_partial_streams() {
+        let s = state(8);
+        assert_eq!(s.respond(b""), None);
+        assert_eq!(
+            s.respond(b"POST /search HTTP/1.1\r\ncontent-length: 99\r\n\r\n{"),
+            None
+        );
+    }
+
+    #[test]
+    fn shutdown_endpoint_sets_the_flag() {
+        let s = state(8);
+        assert!(!s.is_shutting_down());
+        let (head, _) = split(&s.respond(&req("POST", "/shutdown", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(
+            head.contains("connection: close"),
+            "the shutdown response itself must close its connection, not \
+             pin a worker on keep-alive until the io timeout: {head}"
+        );
+        assert!(s.is_shutting_down());
+        // Responses now carry connection: close.
+        let bytes = s.respond(&req("GET", "/healthz", "")).unwrap();
+        assert!(String::from_utf8(bytes)
+            .unwrap()
+            .contains("connection: close"));
+    }
+
+    #[test]
+    fn bound_server_serves_and_shuts_down_over_tcp() {
+        let engine = CommunityEngine::build(figure1_graph());
+        let server = CtcServer::bind(
+            engine,
+            "127.0.0.1:0",
+            ServeConfig {
+                pool: Parallelism::threads(2),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve());
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = Vec::new();
+        conn.read_to_end(&mut response).unwrap();
+        assert!(response.starts_with(b"HTTP/1.1 200 OK"));
+        handle.shutdown();
+        let report = join.join().expect("serve thread panicked");
+        assert_eq!(report.counters.healthz, 1);
+        assert!(report.connections >= 1);
+    }
+
+    #[test]
+    fn trickling_client_is_dropped_at_the_request_deadline() {
+        let engine = CommunityEngine::build(figure1_graph());
+        let server = CtcServer::bind(
+            engine,
+            "127.0.0.1:0",
+            ServeConfig {
+                request_deadline: Duration::from_millis(200),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve());
+        // A slow-loris client: partial head, then silence. The single
+        // serial worker must shed it at the deadline instead of being
+        // pinned, leaving the server able to answer the next client.
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.write_all(b"GET /healthz HTT").unwrap();
+        let t0 = Instant::now();
+        let mut end = Vec::new();
+        loris
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let n = loris.read_to_end(&mut end).unwrap_or(1);
+        assert_eq!(n, 0, "trickler must be dropped without a response");
+        assert!(
+            t0.elapsed() < Duration::from_secs(3),
+            "drop must come from the deadline, not a long io timeout"
+        );
+        // The worker is free again: a healthy client gets answered.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = Vec::new();
+        conn.read_to_end(&mut response).unwrap();
+        assert!(response.starts_with(b"HTTP/1.1 200 OK"));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn queue_close_unblocks_poppers_and_drains() {
+        let q = ConnQueue::new();
+        std::thread::scope(|scope| {
+            let popper = scope.spawn(|| q.pop());
+            std::thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert!(popper.join().unwrap().is_none());
+        });
+    }
+}

@@ -1,0 +1,375 @@
+//! The serving protocol: JSON request/response schemas over
+//! [`crate::json`], plus the cache key a request normalizes to.
+//!
+//! The full protocol (endpoints, schemas, status codes) is specified in
+//! `docs/SERVING.md`. Two properties matter architecturally:
+//!
+//! * **Determinism** — [`encode_community`] writes fields in a fixed
+//!   order with no timing or identity data, so the same [`Community`]
+//!   always encodes to the same bytes. The soak test pins that a served
+//!   answer is byte-identical to a directly computed one, cached or not.
+//! * **Normalization** — a query is a vertex *set*; [`SearchRequest`]
+//!   sorts and deduplicates labels, so every permutation of the same set
+//!   shares one [`QueryKey`] (and therefore one cache slot), and the
+//!   answer equals a direct [`CommunityEngine::search`] on the sorted
+//!   label set (the searcher itself normalizes identically).
+
+use crate::json::{Json, JsonError};
+use ctc_core::{Community, CommunityEngine, ConfigFingerprint, CtcConfig, SearchAlgo};
+use ctc_graph::error::GraphError;
+
+/// Hard cap on query labels per request (a 10k-label "set" is a client
+/// bug, not a workload).
+pub const MAX_QUERY_LABELS: usize = 1024;
+
+/// A decoded, validated `/search` request body.
+#[derive(Clone, Debug)]
+pub struct SearchRequest {
+    /// Query labels, sorted and deduplicated.
+    pub labels: Vec<u64>,
+    /// Which algorithm answers the query.
+    pub algo: SearchAlgo,
+    /// The effective per-request configuration (server base + overrides).
+    pub cfg: CtcConfig,
+}
+
+impl SearchRequest {
+    /// The cache key this request normalizes to.
+    pub fn key(&self) -> QueryKey {
+        QueryKey {
+            labels: self.labels.clone(),
+            algo: self.algo,
+            cfg: self.cfg.fingerprint(),
+        }
+    }
+}
+
+/// The identity of an answer: normalized labels + algorithm + the
+/// answer-affecting config fingerprint. Everything that can change the
+/// response body is in here; nothing else is.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Sorted, deduplicated query labels.
+    pub labels: Vec<u64>,
+    /// The algorithm.
+    pub algo: SearchAlgo,
+    /// The config fingerprint (γ, η, fixed k, iteration cap, Steiner mode).
+    pub cfg: ConfigFingerprint,
+}
+
+/// Why a `/search` body was rejected, with the HTTP status it maps to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Status code (always `400` today; typed for future richness).
+    pub status: u16,
+    /// Human-readable description, returned in the error body.
+    pub message: String,
+}
+
+impl DecodeError {
+    fn new(message: impl Into<String>) -> Self {
+        DecodeError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<JsonError> for DecodeError {
+    fn from(e: JsonError) -> Self {
+        DecodeError::new(e.to_string())
+    }
+}
+
+/// Decodes and validates a `/search` body against the schema
+/// `{"query": [u64...], "algo"?: str, "gamma"?: num, "eta"?: u64, "k"?: u64,
+/// "max_iterations"?: u64}`. Unknown fields are rejected (a typoed knob
+/// silently ignored would serve wrong-config answers).
+pub fn decode_search_request(body: &[u8], base: &CtcConfig) -> Result<SearchRequest, DecodeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| DecodeError::new("request body is not valid UTF-8"))?;
+    let root = Json::parse(text)?;
+    let Json::Object(pairs) = &root else {
+        return Err(DecodeError::new("request body must be a JSON object"));
+    };
+    const KNOWN_FIELDS: [&str; 6] = ["query", "algo", "gamma", "eta", "k", "max_iterations"];
+    for (key, _) in pairs {
+        if !KNOWN_FIELDS.contains(&key.as_str()) {
+            return Err(DecodeError::new(format!("unknown field {key:?}")));
+        }
+    }
+    // Duplicate keys would be silently first-wins through `Json::get` —
+    // the same wrong-config hazard the unknown-field rejection exists
+    // for. All keys are known here, so by pigeonhole any object larger
+    // than the field set has duplicates, and the remaining quadratic
+    // scan is over at most KNOWN_FIELDS.len() entries.
+    if pairs.len() > KNOWN_FIELDS.len() {
+        return Err(DecodeError::new("duplicate fields in request"));
+    }
+    for (i, (key, _)) in pairs.iter().enumerate() {
+        if pairs[..i].iter().any(|(prev, _)| prev == key) {
+            return Err(DecodeError::new(format!("duplicate field {key:?}")));
+        }
+    }
+
+    let query = root
+        .get("query")
+        .ok_or_else(|| DecodeError::new("missing required field \"query\""))?
+        .as_array()
+        .ok_or_else(|| DecodeError::new("\"query\" must be an array of vertex labels"))?;
+    if query.is_empty() {
+        return Err(DecodeError::new("\"query\" must not be empty"));
+    }
+    if query.len() > MAX_QUERY_LABELS {
+        return Err(DecodeError::new(format!(
+            "\"query\" holds more than {MAX_QUERY_LABELS} labels"
+        )));
+    }
+    let mut labels: Vec<u64> = Vec::with_capacity(query.len());
+    for v in query {
+        labels.push(v.as_u64().ok_or_else(|| {
+            DecodeError::new("\"query\" entries must be non-negative integer labels")
+        })?);
+    }
+    labels.sort_unstable();
+    labels.dedup();
+
+    let algo = match root.get("algo") {
+        None => SearchAlgo::default(),
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| DecodeError::new("\"algo\" must be a string"))?;
+            s.parse().map_err(|e: String| DecodeError::new(e))?
+        }
+    };
+
+    let mut cfg = base.clone();
+    if let Some(v) = root.get("gamma") {
+        let gamma = v
+            .as_f64()
+            .ok_or_else(|| DecodeError::new("\"gamma\" must be a number"))?;
+        if !gamma.is_finite() || gamma < 0.0 {
+            return Err(DecodeError::new("\"gamma\" must be finite and >= 0"));
+        }
+        cfg = cfg.gamma(gamma);
+    }
+    if let Some(v) = root.get("eta") {
+        let eta = v
+            .as_u64()
+            .ok_or_else(|| DecodeError::new("\"eta\" must be an integer >= 1"))?;
+        let eta = usize::try_from(eta).map_err(|_| DecodeError::new("\"eta\" is too large"))?;
+        if eta == 0 {
+            // Reject rather than clamp: a silently altered knob would
+            // serve an answer the client did not configure.
+            return Err(DecodeError::new("\"eta\" must be an integer >= 1"));
+        }
+        cfg = cfg.eta(eta);
+    }
+    if let Some(v) = root.get("k") {
+        let k = v
+            .as_u64()
+            .ok_or_else(|| DecodeError::new("\"k\" must be an integer >= 2"))?;
+        let k = u32::try_from(k).map_err(|_| DecodeError::new("\"k\" is too large"))?;
+        if k < 2 {
+            return Err(DecodeError::new("\"k\" must be an integer >= 2"));
+        }
+        cfg = cfg.fixed_k(k);
+    }
+    if let Some(v) = root.get("max_iterations") {
+        let n = v
+            .as_u64()
+            .ok_or_else(|| DecodeError::new("\"max_iterations\" must be a non-negative integer"))?;
+        let n =
+            usize::try_from(n).map_err(|_| DecodeError::new("\"max_iterations\" is too large"))?;
+        cfg = cfg.max_iterations(n);
+    }
+
+    Ok(SearchRequest { labels, algo, cfg })
+}
+
+/// Encodes a community as the deterministic `/search` response body.
+/// Vertices and edges are reported as *original labels* (the engine's
+/// label table applies); field order is fixed; no timings ride along, so
+/// identical communities encode to identical bytes.
+pub fn encode_community(engine: &CommunityEngine, c: &Community) -> Vec<u8> {
+    let vertices = Json::Array(
+        c.vertices
+            .iter()
+            .map(|&v| Json::Uint(engine.label_of(v)))
+            .collect(),
+    );
+    let edges = Json::Array(
+        c.edges
+            .iter()
+            .map(|&(u, v)| {
+                Json::Array(vec![
+                    Json::Uint(engine.label_of(u)),
+                    Json::Uint(engine.label_of(v)),
+                ])
+            })
+            .collect(),
+    );
+    Json::Object(vec![
+        ("k".into(), Json::Uint(c.k as u64)),
+        ("num_vertices".into(), Json::Uint(c.num_vertices() as u64)),
+        ("num_edges".into(), Json::Uint(c.num_edges() as u64)),
+        ("query_distance".into(), Json::Uint(c.query_distance as u64)),
+        ("vertices".into(), vertices),
+        ("edges".into(), edges),
+    ])
+    .encode()
+    .into_bytes()
+}
+
+/// Encodes the uniform error body `{"error": message}`.
+pub fn encode_error(message: &str) -> Vec<u8> {
+    Json::Object(vec![("error".into(), Json::Str(message.into()))])
+        .encode()
+        .into_bytes()
+}
+
+/// Maps a search failure to `(status, reason, body)`.
+pub fn search_error_response(e: &GraphError) -> (u16, &'static str, Vec<u8>) {
+    let (status, reason) = match e {
+        GraphError::EmptyQuery => (400, "Bad Request"),
+        GraphError::VertexOutOfRange { .. } => (404, "Not Found"),
+        GraphError::Disconnected => (422, "Unprocessable Entity"),
+        _ => (500, "Internal Server Error"),
+    };
+    (status, reason, encode_error(&e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_core::SteinerMode;
+    use ctc_truss::fixtures::{figure1_graph, Figure1Ids};
+
+    fn decode(body: &str) -> Result<SearchRequest, DecodeError> {
+        decode_search_request(body.as_bytes(), &CtcConfig::default())
+    }
+
+    #[test]
+    fn minimal_request_decodes_with_defaults() {
+        let r = decode(r#"{"query":[3,1,2,1]}"#).unwrap();
+        assert_eq!(r.labels, vec![1, 2, 3], "sorted + deduped");
+        assert_eq!(r.algo, SearchAlgo::Local);
+        assert_eq!(r.cfg.fingerprint(), CtcConfig::default().fingerprint());
+    }
+
+    #[test]
+    fn knobs_override_the_base_config() {
+        let r = decode(r#"{"query":[1],"algo":"bd","gamma":2.5,"eta":50,"k":4}"#).unwrap();
+        assert_eq!(r.algo, SearchAlgo::BulkDelete);
+        assert_eq!(r.cfg.gamma, 2.5);
+        assert_eq!(r.cfg.eta, 50);
+        assert_eq!(r.cfg.fixed_k, Some(4));
+        // The base config's non-overridden knobs survive.
+        let base = CtcConfig::default().steiner_mode(SteinerMode::EdgeAdditive);
+        let r = decode_search_request(br#"{"query":[1]}"#, &base).unwrap();
+        assert_eq!(r.cfg.steiner_mode, SteinerMode::EdgeAdditive);
+    }
+
+    #[test]
+    fn permutations_share_a_cache_key_config_changes_bust_it() {
+        let a = decode(r#"{"query":[3,1,2]}"#).unwrap().key();
+        let b = decode(r#"{"query":[2,3,1,3]}"#).unwrap().key();
+        assert_eq!(a, b, "query order and duplicates must not split the cache");
+        let c = decode(r#"{"query":[1,2,3],"gamma":2.0}"#).unwrap().key();
+        assert_ne!(a, c, "config change must bust the key");
+        let d = decode(r#"{"query":[1,2,3],"algo":"basic"}"#).unwrap().key();
+        assert_ne!(a, d, "algorithm change must bust the key");
+    }
+
+    #[test]
+    fn bad_bodies_are_rejected_with_reasons() {
+        for (body, needle) in [
+            ("", "json error"),
+            ("[]", "must be a JSON object"),
+            ("{}", "missing required field"),
+            (r#"{"query":[]}"#, "must not be empty"),
+            (r#"{"query":"ab"}"#, "must be an array"),
+            (r#"{"query":[1.5]}"#, "non-negative integer labels"),
+            (r#"{"query":[-1]}"#, "non-negative integer labels"),
+            (r#"{"query":[1],"algo":"nope"}"#, "unknown algorithm"),
+            (r#"{"query":[1],"algo":7}"#, "must be a string"),
+            (r#"{"query":[1],"gamma":"x"}"#, "must be a number"),
+            (r#"{"query":[1],"gama":3}"#, "unknown field"),
+            (r#"{"query":[1],"k":99999999999}"#, "too large"),
+            (
+                r#"{"query":[1],"gamma":2.0,"gamma":3.0}"#,
+                "duplicate field",
+            ),
+            (r#"{"query":[1],"query":[2]}"#, "duplicate field"),
+            (r#"{"query":[1],"eta":0}"#, ">= 1"),
+            (r#"{"query":[1],"k":1}"#, ">= 2"),
+            (r#"{"query":[1],"k":0}"#, ">= 2"),
+        ] {
+            let e = decode(body).unwrap_err();
+            assert_eq!(e.status, 400, "{body}");
+            assert!(
+                e.message.contains(needle),
+                "{body}: {} should mention {needle:?}",
+                e.message
+            );
+        }
+        let too_many: String = format!(
+            r#"{{"query":[{}]}}"#,
+            (0..=MAX_QUERY_LABELS)
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        assert!(decode(&too_many).unwrap_err().message.contains("more than"));
+    }
+
+    #[test]
+    fn community_encoding_is_deterministic_and_labeled() {
+        let engine = CommunityEngine::build(figure1_graph());
+        let f = Figure1Ids::default();
+        let c = engine
+            .search(&[f.q1, f.q2, f.q3], SearchAlgo::Basic)
+            .unwrap();
+        let a = encode_community(&engine, &c);
+        let b = encode_community(&engine, &c);
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.starts_with(r#"{"k":4,"#), "prefix of {text}");
+        assert!(text.contains(r#""num_vertices":8"#));
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed
+                .get("vertices")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(8)
+        );
+        // Identity labels here: encoded vertices equal the dense ids.
+        assert_eq!(
+            parsed.get("vertices").unwrap().as_array().unwrap()[0],
+            Json::Uint(c.vertices[0].0 as u64)
+        );
+    }
+
+    #[test]
+    fn error_mapping_covers_the_taxonomy() {
+        assert_eq!(search_error_response(&GraphError::EmptyQuery).0, 400);
+        assert_eq!(
+            search_error_response(&GraphError::VertexOutOfRange { vertex: 9, n: 3 }).0,
+            404
+        );
+        assert_eq!(search_error_response(&GraphError::Disconnected).0, 422);
+        assert_eq!(search_error_response(&GraphError::Io("x".into())).0, 500);
+        let (_, _, body) = search_error_response(&GraphError::EmptyQuery);
+        assert_eq!(body, br#"{"error":"query vertex set is empty"}"#);
+    }
+
+    #[test]
+    fn encode_error_escapes() {
+        assert_eq!(
+            encode_error("a \"quoted\" thing"),
+            br#"{"error":"a \"quoted\" thing"}"#
+        );
+    }
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving path, std-only on the client side
+# too (bash /dev/tcp): build release, index the mini facebook preset,
+# start `ctc-cli serve` on an ephemeral port, issue one /search, assert
+# 200 + the same k a direct `ctc-cli search --index` reports, then shut
+# down gracefully via POST /shutdown and require exit code 0.
+#
+# Run from the repo root: bash scripts/smoke_serve.sh
+set -euo pipefail
+
+cargo build --release --bin ctc-cli
+BIN=target/release/ctc-cli
+
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$BIN" generate mini-facebook "$TMP/fb.txt"
+"$BIN" index build "$TMP/fb.txt" -o "$TMP/fb.ctci" --threads 0
+
+# The expected answer, straight from the engine (no server involved).
+DIRECT=$("$BIN" search --index "$TMP/fb.ctci" --query 0,1 --algo lctc)
+EXPECTED_K=$(printf '%s\n' "$DIRECT" | sed -n 's/^community: k = \([0-9]*\),.*/\1/p')
+[ -n "$EXPECTED_K" ] || { echo "FAIL: could not extract k from: $DIRECT"; exit 1; }
+
+"$BIN" serve "$TMP/fb.ctci" --addr 127.0.0.1:0 --threads 2 --cache-cap 64 \
+    > "$TMP/serve.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the daemon to print its bound address.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$TMP/serve.log" | head -1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: server died:"; cat "$TMP/serve.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: no listening line:"; cat "$TMP/serve.log"; exit 1; }
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+echo "smoke: server on $ADDR, expecting k = $EXPECTED_K"
+
+# One request over /dev/tcp. Connection: close makes EOF the framing.
+request() {
+    local method=$1 target=$2 body=$3
+    exec 3<>"/dev/tcp/$HOST/$PORT"
+    printf '%s %s HTTP/1.1\r\nHost: smoke\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+        "$method" "$target" "${#body}" "$body" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+RESPONSE=$(request POST /search '{"query":[0,1],"algo":"lctc"}')
+printf '%s\n' "$RESPONSE" | head -1 | grep -q '^HTTP/1.1 200 OK' \
+    || { echo "FAIL: non-200 response:"; printf '%s\n' "$RESPONSE" | head -5; exit 1; }
+printf '%s' "$RESPONSE" | grep -q "{\"k\":$EXPECTED_K," \
+    || { echo "FAIL: served k does not match direct k=$EXPECTED_K:"; printf '%s\n' "$RESPONSE" | tail -1; exit 1; }
+
+HEALTH=$(request GET /healthz '')
+printf '%s' "$HEALTH" | grep -q '{"status":"ok"}' \
+    || { echo "FAIL: bad healthz:"; printf '%s\n' "$HEALTH"; exit 1; }
+
+# Graceful shutdown: the daemon must drain and exit 0 on its own.
+request POST /shutdown '' > /dev/null
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server still alive after /shutdown"; exit 1
+fi
+wait "$SERVER_PID" || { echo "FAIL: server exited non-zero"; cat "$TMP/serve.log"; exit 1; }
+SERVER_PID=""
+grep -q 'drained' "$TMP/serve.log" || { echo "FAIL: no drain report:"; cat "$TMP/serve.log"; exit 1; }
+
+echo "smoke: OK (k = $EXPECTED_K, graceful shutdown confirmed)"

@@ -8,7 +8,10 @@
 //! ctc-cli search <edge-list> --query 3,17,42 [--algo basic|bd|lctc|truss]
 //!                            [--gamma 3] [--eta 1000] [--k K] [--threads N]
 //! ctc-cli search --index graph.ctci --query 3,17,42 [...same flags]
+//! ctc-cli serve graph.ctci [--addr 127.0.0.1:7341] [--threads N]
+//!                          [--cache-cap C]
 //! ctc-cli generate <preset> <out-path>    # facebook|amazon|dblp|youtube|...
+//!                                         # mini-facebook|mini-dblp
 //! ```
 //!
 //! Edge lists are SNAP format: `u v` per line, `#` comments. Vertex labels
@@ -21,7 +24,10 @@
 //!
 //! `index build` pays the offline `O(ρ·m)` construction once and writes a
 //! checksummed snapshot; `search --index` then skips straight to the
-//! online query phase.
+//! online query phase. `serve` goes one step further and keeps the warm
+//! engine resident: a std-only HTTP daemon (`POST /search`,
+//! `GET /healthz`, `GET /stats`, `POST /shutdown` — see
+//! `docs/SERVING.md`) with a fixed worker pool and an LRU answer cache.
 
 use ctc::prelude::*;
 use ctc_graph::io::{load_edge_list_path, save_edge_list_path};
@@ -34,10 +40,11 @@ fn main() -> ExitCode {
         Some("decompose") => cmd_decompose(&args[1..]),
         Some("index") => cmd_index(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ctc-cli <stats|decompose|index|search|generate> ...\n\
+                "usage: ctc-cli <stats|decompose|index|search|serve|generate> ...\n\
                  \n\
                  stats <edge-list> [--threads N]       graph summary + truss levels\n\
                  decompose <edge-list> [--threads N]   trussness histogram\n\
@@ -48,8 +55,11 @@ fn main() -> ExitCode {
                         [--algo basic|bd|lctc|truss] [--gamma G] [--eta N] [--k K]\n\
                         [--threads N]\n\
                  search --index g.ctci --query a,b,c   same, warm-started from a snapshot\n\
+                 serve g.ctci [--addr HOST:PORT]       HTTP query server over the snapshot\n\
+                        [--threads N] [--cache-cap C]  (POST /search, GET /healthz|/stats)\n\
                  generate <preset> <out>               write a synthetic network\n\
                         presets: facebook amazon dblp youtube livejournal orkut\n\
+                                 mini-facebook mini-dblp (small, for smoke tests)\n\
                  \n\
                  --threads N: worker threads for truss decomposition\n\
                         (0 = all cores, 1 = serial; default 1)"
@@ -277,9 +287,72 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Starts the HTTP query server over a `.ctci` snapshot and blocks until
+/// a `POST /shutdown` request (or process termination).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing snapshot path (build one with: index build <edge-list> -o g.ctci)")?;
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7341");
+    let pool = flag_parallelism(args)?;
+    let cache_cap = match flag_value(args, "--cache-cap") {
+        None => 1024,
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("bad --cache-cap {raw:?}"))?,
+    };
+    let engine = CommunityEngine::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let stats = engine.stats();
+    let server = CtcServer::bind(
+        engine,
+        addr,
+        ServeConfig {
+            pool,
+            cache_cap,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!(
+        "ctc-serve listening on {} ({} vertices, {} edges, max trussness {}; \
+         {} workers, cache capacity {})",
+        server.local_addr(),
+        stats.num_vertices,
+        stats.num_edges,
+        stats.max_truss,
+        pool.get(),
+        cache_cap,
+    );
+    let report = server.serve();
+    println!(
+        "ctc-serve drained: {} connections, {} requests ({} search ok, {} search err, \
+         {} cache hits, {} rejects)",
+        report.connections,
+        report.counters.total,
+        report.counters.search_ok,
+        report.counters.search_err,
+        report.counters.cache_hits,
+        report.counters.http_rejects,
+    );
+    Ok(())
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let preset = args.first().ok_or("missing preset name")?;
     let out = args.get(1).ok_or("missing output path")?;
+    if let Some(mini) = preset.strip_prefix("mini-") {
+        let net = ctc::gen::mini_network(mini, 7).ok_or(format!("unknown preset {preset}"))?;
+        save_edge_list_path(&net.graph, out).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {}: {} vertices, {} edges ({} ground-truth communities)",
+            out,
+            net.graph.num_vertices(),
+            net.graph.num_edges(),
+            net.communities.len()
+        );
+        return Ok(());
+    }
     let net = ctc::gen::network_by_name(preset).ok_or(format!("unknown preset {preset}"))?;
     save_edge_list_path(&net.data.graph, out).map_err(|e| e.to_string())?;
     println!(

@@ -13,7 +13,9 @@
 //! * [`core`] — the CTC algorithms (Basic / BulkDelete / LCTC);
 //! * [`baselines`] — MDC, QDC and k-core comparison models;
 //! * [`eval`] — F1 metrics, timing harness, table rendering;
-//! * [`prob`] — probabilistic-graph extension ((k,γ)-truss, Monte-Carlo CTC).
+//! * [`prob`] — probabilistic-graph extension ((k,γ)-truss, Monte-Carlo CTC);
+//! * [`server`] — `ctc-serve`: the std-only concurrent HTTP query server
+//!   (`ctc-cli serve`).
 //!
 //! ```
 //! use ctc::prelude::*;
@@ -31,6 +33,7 @@ pub use ctc_eval as eval;
 pub use ctc_gen as gen;
 pub use ctc_graph as graph;
 pub use ctc_prob as prob;
+pub use ctc_server as server;
 pub use ctc_truss as truss;
 
 /// The common imports for application code.
@@ -42,5 +45,6 @@ pub mod prelude {
     pub use ctc_eval::{f1_score, Table};
     pub use ctc_gen::{DegreeRank, QueryGenerator};
     pub use ctc_graph::{CsrGraph, GraphBuilder, Parallelism, VertexId};
+    pub use ctc_server::{CtcServer, ServeConfig};
     pub use ctc_truss::{find_g0, Snapshot, TrussIndex};
 }

@@ -304,3 +304,110 @@ fn usage_on_no_args() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+#[test]
+fn generate_mini_preset_writes_a_small_network() {
+    let dir = std::env::temp_dir().join("ctc_cli_test_mini");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("mini_fb.txt");
+    let out = cli()
+        .args(["generate", "mini-facebook", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(file.exists());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("400 vertices"), "unexpected size: {text}");
+    let out = cli()
+        .args(["generate", "mini-nope", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn serve_subcommand_answers_and_shuts_down() {
+    use std::io::{BufRead, BufReader, Read as _, Write as _};
+
+    let dir = std::env::temp_dir().join("ctc_cli_test_serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("fig1.txt");
+    let idx = dir.join("fig1.ctci");
+    write_figure1(&file);
+    let out = cli()
+        .args([
+            "index",
+            "build",
+            file.to_str().unwrap(),
+            "-o",
+            idx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Ephemeral port; the daemon prints the bound address on one line.
+    let mut child = cli()
+        .args([
+            "serve",
+            idx.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--cache-cap",
+            "8",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    assert!(banner.contains("listening on"), "banner: {banner}");
+    let addr: std::net::SocketAddr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in banner")
+        .parse()
+        .expect("parsable address");
+
+    let request = |method: &str, target: &str, body: &str| -> (String, String) {
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(
+            format!(
+                "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut response = Vec::new();
+        conn.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        let (head, payload) = text.split_once("\r\n\r\n").expect("head/body split");
+        (
+            head.lines().next().unwrap().to_string(),
+            payload.to_string(),
+        )
+    };
+
+    let (status, payload) = request("POST", "/search", r#"{"query":[0,1,2],"algo":"basic"}"#);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(payload.starts_with(r#"{"k":4,"#), "payload: {payload}");
+    let (status, _) = request("GET", "/healthz", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let (status, _) = request("POST", "/shutdown", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    let code = child.wait().unwrap();
+    assert!(code.success(), "serve must exit 0 after graceful shutdown");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained"), "drain report missing: {rest}");
+}

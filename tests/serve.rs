@@ -1,0 +1,276 @@
+//! Concurrency soak test for `ctc-serve`: a real server on a loopback
+//! ephemeral port, hammered by concurrent clients, with every served
+//! answer checked byte-for-byte against a direct [`CommunityEngine`]
+//! answer, then a graceful shutdown with no thread leak.
+
+use ctc::prelude::*;
+use ctc::server::wire::encode_community;
+use ctc::server::{CtcServer, ServeConfig};
+use ctc_core::SearchAlgo;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 50;
+
+/// One scripted request: body, expected status, expected exact payload
+/// (None = only check the status and that the payload is an error body).
+struct Case {
+    body: String,
+    status: &'static str,
+    payload: Option<Vec<u8>>,
+}
+
+fn algo_name(algo: SearchAlgo) -> &'static str {
+    match algo {
+        SearchAlgo::Basic => "basic",
+        SearchAlgo::BulkDelete => "bd",
+        SearchAlgo::Local => "lctc",
+        SearchAlgo::TrussOnly => "truss",
+    }
+}
+
+/// Sends one request on a fresh connection and returns `(status line,
+/// payload bytes)`.
+fn roundtrip(
+    addr: std::net::SocketAddr,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> (String, Vec<u8>) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nHost: soak\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(raw.as_bytes()).expect("write request");
+    let mut response = Vec::new();
+    conn.read_to_end(&mut response).expect("read response");
+    let head_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = String::from_utf8_lossy(&response[..head_end]);
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, response[head_end + 4..].to_vec())
+}
+
+#[test]
+fn soak_concurrent_clients_get_byte_identical_answers_then_clean_shutdown() {
+    let engine = CommunityEngine::build(ctc::truss::fixtures::figure1_graph());
+    let f = ctc::truss::fixtures::Figure1Ids::default();
+
+    // The request mix: all four algorithms × several label sets (orders
+    // scrambled — the server normalizes), plus unknown-label and
+    // malformed cases whose failures must stay per-request.
+    let algos = [
+        SearchAlgo::Basic,
+        SearchAlgo::BulkDelete,
+        SearchAlgo::Local,
+        SearchAlgo::TrussOnly,
+    ];
+    let label_sets: Vec<Vec<u32>> = vec![
+        vec![f.q1.0, f.q2.0, f.q3.0],
+        vec![f.q3.0, f.q1.0], // scrambled order
+        vec![f.q2.0],
+        vec![f.t.0],
+        vec![f.p1.0, f.q1.0],
+    ];
+    let mut cases: Vec<Case> = Vec::new();
+    for algo in algos {
+        for labels in &label_sets {
+            // Expected payload = direct engine answer on the same set.
+            let q: Vec<VertexId> = labels.iter().map(|&l| VertexId(l)).collect();
+            let direct = engine.search(&q, algo).expect("direct answer");
+            let expected = encode_community(&engine, &direct);
+            let ids = labels
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            cases.push(Case {
+                body: format!(r#"{{"query":[{ids}],"algo":"{}"}}"#, algo_name(algo)),
+                status: "HTTP/1.1 200 OK",
+                payload: Some(expected),
+            });
+        }
+        // Unknown label: per-request 404, must not poison neighbors.
+        cases.push(Case {
+            body: format!(r#"{{"query":[999],"algo":"{}"}}"#, algo_name(algo)),
+            status: "HTTP/1.1 404 Not Found",
+            payload: Some(br#"{"error":"label 999 not in graph"}"#.to_vec()),
+        });
+    }
+    // Malformed body: per-request 400.
+    cases.push(Case {
+        body: "{broken".into(),
+        status: "HTTP/1.1 400 Bad Request",
+        payload: None,
+    });
+
+    let server = CtcServer::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            pool: Parallelism::threads(4),
+            // Above the 20 distinct hot keys, so every repeat is a
+            // guaranteed hit (eviction determinism is pinned by the
+            // LruCache unit tests; a cyclic access pattern over a
+            // smaller-than-working-set LRU can legally never hit).
+            cache_cap: 32,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serve_thread = std::thread::spawn(move || server.serve());
+
+    // ≥8 client threads × ≥50 requests, each walking the case list from
+    // a different offset so the algorithms and failures interleave.
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let cases = &cases;
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let case = &cases[(client * 7 + i) % cases.len()];
+                    let (status, payload) = roundtrip(addr, "POST", "/search", &case.body);
+                    assert_eq!(
+                        status, case.status,
+                        "client {client} request {i} body {}",
+                        case.body
+                    );
+                    match &case.payload {
+                        Some(expected) => assert_eq!(
+                            &payload, expected,
+                            "client {client} request {i}: served bytes diverge from the \
+                             direct engine answer for {}",
+                            case.body
+                        ),
+                        None => assert!(
+                            payload.starts_with(br#"{"error":"#),
+                            "client {client} request {i}: expected an error body"
+                        ),
+                    }
+                }
+            });
+        }
+    });
+
+    // The health and stats endpoints answer under load aftermath.
+    let (status, payload) = roundtrip(addr, "GET", "/healthz", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(payload, br#"{"status":"ok"}"#);
+    let (status, payload) = roundtrip(addr, "GET", "/stats", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let stats_text = String::from_utf8(payload).unwrap();
+    assert!(stats_text.contains(r#""num_vertices":12"#), "{stats_text}");
+
+    // Counter arithmetic: every request was routed and tallied.
+    let total_sent = (CLIENTS * REQUESTS_PER_CLIENT) as u64 + 2;
+    let c = handle.counters();
+    assert_eq!(c.total, total_sent, "all requests routed: {c:?}");
+    assert_eq!(
+        c.search_ok + c.search_err,
+        (CLIENTS * REQUESTS_PER_CLIENT) as u64,
+        "every /search accounted: {c:?}"
+    );
+    assert!(c.search_err > 0, "failure cases ran: {c:?}");
+    assert!(
+        c.cache_hits > 0,
+        "a 400-request soak over 20 hot keys must hit the cache: {c:?}"
+    );
+    assert!(
+        c.cache_misses >= 20,
+        "every distinct key misses at least once: {c:?}"
+    );
+    assert_eq!(c.cache_hits + c.cache_misses, c.search_ok, "{c:?}");
+
+    // Graceful shutdown: serve() returns (all workers joined — the scoped
+    // pool cannot leak threads past this join), and the port stops
+    // accepting.
+    handle.shutdown();
+    let report = serve_thread.join().expect("serve thread panicked");
+    assert_eq!(report.counters.total, total_sent);
+    assert!(
+        report.connections >= total_sent,
+        "one connection per request"
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener must be gone after shutdown"
+    );
+}
+
+#[test]
+fn keep_alive_connection_serves_sequential_requests() {
+    let engine = CommunityEngine::build(ctc::truss::fixtures::figure1_graph());
+    let f = ctc::truss::fixtures::Figure1Ids::default();
+    let direct = engine.search(&[f.q2], SearchAlgo::Local).unwrap();
+    let expected = encode_community(&engine, &direct);
+    let server = CtcServer::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serve_thread = std::thread::spawn(move || server.serve());
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let body = format!(r#"{{"query":[{}]}}"#, f.q2.0);
+    for round in 0..3 {
+        let raw = format!(
+            "POST /search HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        conn.write_all(raw.as_bytes()).unwrap();
+        // Read exactly one response: head, then content-length bytes.
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            conn.read_exact(&mut byte).unwrap();
+            buf.push(byte[0]);
+        }
+        let head = String::from_utf8(buf).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "round {round}: {head}");
+        assert!(head.contains("connection: keep-alive"), "round {round}");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut payload = vec![0u8; len];
+        conn.read_exact(&mut payload).unwrap();
+        assert_eq!(payload, expected, "round {round}");
+    }
+    drop(conn);
+    handle.shutdown();
+    serve_thread.join().unwrap();
+}
+
+#[test]
+fn shutdown_with_zero_traffic_returns_promptly() {
+    let engine = CommunityEngine::build(ctc::truss::fixtures::figure1_graph());
+    let server = CtcServer::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            pool: Parallelism::threads(3),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    let serve_thread = std::thread::spawn(move || server.serve());
+    std::thread::sleep(Duration::from_millis(30));
+    handle.shutdown();
+    // Join must complete quickly; a leaked worker or stuck acceptor would
+    // hang here (and trip the harness timeout).
+    let report = serve_thread.join().expect("serve returned");
+    assert_eq!(report.counters.total, 0);
+}
