@@ -1,0 +1,230 @@
+//! Machine-readable peel-phase benchmark recorder (`BENCH_5.json`).
+//!
+//! Measures median per-phase wall times (locate / peel / total, in
+//! microseconds) of the four search algorithms on the mini presets, using
+//! the [`PhaseTimings`](ctc_core::PhaseTimings) every search already
+//! reports. Unlike the criterion benches (relative, human-read), this
+//! binary emits a stable JSON document that `scripts/bench_record.sh`
+//! commits to the repo, so the peel-phase trajectory of the query hot path
+//! is pinned in version control and checkable in CI.
+//!
+//! ```text
+//! bench_record [--samples N] [--quick] [--out BENCH_5.json] [--check BENCH_5.json]
+//! ```
+//!
+//! * default: measure and print the JSON measurement object to stdout;
+//! * `--out FILE`: measure and merge into `FILE` — an existing `before`
+//!   section is preserved (the pre-refactor baseline), the measurement
+//!   becomes `after`; with no existing file both sections get the
+//!   measurement;
+//! * `--check FILE`: no full measurement — validate the committed file's
+//!   schema, assert the recorded `after` peel medians hold the ≥ 2×
+//!   improvement on the mini-facebook bd/lctc benches, and run one quick
+//!   measurement pass so the harness itself cannot silently rot.
+
+use ctc_core::{CommunityEngine, SearchAlgo};
+use ctc_gen::{mini_network, DegreeRank, QueryGenerator};
+use ctc_server::Json;
+use std::time::Instant;
+
+const PRESETS: [&str; 2] = ["mini-facebook", "mini-dblp"];
+const ALGOS: [(&str, SearchAlgo); 4] = [
+    ("basic", SearchAlgo::Basic),
+    ("bd", SearchAlgo::BulkDelete),
+    ("lctc", SearchAlgo::Local),
+    ("truss", SearchAlgo::TrussOnly),
+];
+const NET_SEED: u64 = 7;
+const QUERY_SEED: u64 = 5;
+const QUERY_SETS: usize = 3;
+
+fn median_us(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// One preset × algo measurement: medians over `samples` runs, where each
+/// run answers every query set once and sums the per-phase times.
+fn measure_algo(
+    engine: &CommunityEngine,
+    queries: &[Vec<ctc_graph::VertexId>],
+    algo: SearchAlgo,
+    samples: usize,
+) -> Json {
+    let mut locate = Vec::with_capacity(samples);
+    let mut peel = Vec::with_capacity(samples);
+    let mut total = Vec::with_capacity(samples);
+    // One warmup pass: scratch pools fill, page cache settles.
+    for q in queries {
+        let _ = engine.search(q, algo);
+    }
+    for _ in 0..samples {
+        let (mut l, mut p) = (0u64, 0u64);
+        let t0 = Instant::now();
+        for q in queries {
+            let c = engine.search(q, algo).expect("mini preset query answers");
+            l += c.timings.locate.as_micros() as u64;
+            p += c.timings.peel.as_micros() as u64;
+        }
+        total.push(t0.elapsed().as_micros() as u64);
+        locate.push(l);
+        peel.push(p);
+    }
+    Json::Object(vec![
+        ("locate_us".into(), Json::Uint(median_us(locate))),
+        ("peel_us".into(), Json::Uint(median_us(peel))),
+        ("total_us".into(), Json::Uint(median_us(total))),
+        ("samples".into(), Json::Uint(samples as u64)),
+    ])
+}
+
+fn measure(samples: usize, query_sets: usize) -> Json {
+    let mut presets = Vec::new();
+    for preset in PRESETS {
+        let name = preset.strip_prefix("mini-").expect("mini preset");
+        let net = mini_network(name, NET_SEED).expect("known preset");
+        let g = net.graph;
+        let mut qg = QueryGenerator::new(&g, QUERY_SEED);
+        let queries: Vec<_> = (0..query_sets)
+            .map(|_| {
+                qg.sample(3, DegreeRank::top(0.8), 2)
+                    .expect("mini preset yields queries")
+            })
+            .collect();
+        let engine = CommunityEngine::build(g);
+        let mut algos = Vec::new();
+        for (label, algo) in ALGOS {
+            algos.push((
+                label.to_string(),
+                measure_algo(&engine, &queries, algo, samples),
+            ));
+        }
+        presets.push((preset.to_string(), Json::Object(algos)));
+    }
+    Json::Object(presets)
+}
+
+fn document(before: Json, after: Json, samples: usize) -> Json {
+    Json::Object(vec![
+        ("schema".into(), Json::Str("ctc-bench-5".into())),
+        ("unit".into(), Json::Str("microseconds_median".into())),
+        ("samples".into(), Json::Uint(samples as u64)),
+        ("before".into(), before),
+        ("after".into(), after),
+    ])
+}
+
+fn phase_of<'a>(
+    doc: &'a Json,
+    section: &str,
+    preset: &str,
+    algo: &str,
+) -> Result<&'a Json, String> {
+    doc.get(section)
+        .and_then(|s| s.get(preset))
+        .and_then(|p| p.get(algo))
+        .ok_or_else(|| format!("missing {section}.{preset}.{algo}"))
+}
+
+/// Validates the committed document and the recorded improvement.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e:?}"))?;
+    if doc.get("schema").and_then(Json::as_str) != Some("ctc-bench-5") {
+        return Err("schema field must be \"ctc-bench-5\"".into());
+    }
+    for section in ["before", "after"] {
+        for preset in PRESETS {
+            for (algo, _) in ALGOS {
+                let entry = phase_of(&doc, section, preset, algo)?;
+                for field in ["locate_us", "peel_us", "total_us"] {
+                    entry
+                        .get(field)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("{section}.{preset}.{algo}.{field} missing"))?;
+                }
+            }
+        }
+    }
+    // The acceptance bar this PR records: ≥ 2× median peel reduction on the
+    // mini-facebook BulkDelete and LCTC benches.
+    for algo in ["bd", "lctc"] {
+        let before = phase_of(&doc, "before", "mini-facebook", algo)?
+            .get("peel_us")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let after = phase_of(&doc, "after", "mini-facebook", algo)?
+            .get("peel_us")
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX);
+        if after == 0 || before == 0 {
+            continue; // sub-microsecond medians: nothing meaningful to compare
+        }
+        if after.saturating_mul(2) > before {
+            return Err(format!(
+                "mini-facebook/{algo}: recorded peel median {after}µs is not ≥2× \
+                 better than the {before}µs baseline"
+            ));
+        }
+    }
+    // Smoke the recorder itself so the harness cannot silently rot.
+    let quick = measure(1, 1);
+    for preset in PRESETS {
+        for (algo, _) in ALGOS {
+            quick
+                .get(preset)
+                .and_then(|p| p.get(algo))
+                .ok_or_else(|| format!("quick measurement lost {preset}/{algo}"))?;
+        }
+    }
+    println!("bench_record --check: {path} ok (schema, ≥2× peel bar, harness smoke)");
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(path) = flag("--check") {
+        return check(&path);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let samples: usize = match flag("--samples") {
+        Some(raw) => raw.parse().map_err(|_| format!("bad --samples {raw:?}"))?,
+        None if quick => 3,
+        None => 15,
+    };
+    let query_sets = if quick { 1 } else { QUERY_SETS };
+    let measured = measure(samples, query_sets);
+    match flag("--out") {
+        None => {
+            println!("{}", document(measured.clone(), measured, samples).encode());
+        }
+        Some(path) => {
+            let before = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| Json::parse(&text).ok())
+                .and_then(|doc| doc.get("before").cloned())
+                .unwrap_or_else(|| measured.clone());
+            let doc = document(before, measured, samples);
+            std::fs::write(&path, format!("{}\n", doc.encode()))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_record: {msg}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

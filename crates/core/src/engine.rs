@@ -24,6 +24,7 @@
 //! ```
 
 use crate::config::CtcConfig;
+use crate::peel::PeelScratch;
 use crate::result::Community;
 use crate::searcher::CtcSearcher;
 use ctc_graph::error::Result;
@@ -31,7 +32,7 @@ use ctc_graph::{CsrGraph, Parallelism, VertexId};
 use ctc_truss::snapshot::snapshot_to_bytes;
 use ctc_truss::{Snapshot, TrussIndex};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which of the paper's algorithms answers a query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -101,10 +102,41 @@ pub struct EngineStats {
     pub labeled: bool,
 }
 
+/// A shared pool of [`PeelScratch`] workspaces, so the warm query path
+/// (`search` / `search_batch` / every server worker holding an engine
+/// clone) reuses peel buffers instead of allocating per request. Capped:
+/// the pool never holds more scratches than the process has concurrent
+/// search calls, and stragglers beyond the cap are simply dropped.
+#[derive(Default)]
+struct ScratchPool {
+    pool: Mutex<Vec<PeelScratch>>,
+}
+
+impl ScratchPool {
+    /// At most this many idle scratches are retained.
+    const MAX_IDLE: usize = 64;
+
+    fn checkout(&self) -> PeelScratch {
+        self.pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn restore(&self, scratch: PeelScratch) {
+        let mut pool = self.pool.lock().expect("scratch pool poisoned");
+        if pool.len() < Self::MAX_IDLE {
+            pool.push(scratch);
+        }
+    }
+}
+
 /// A loaded-once, query-many CTC engine.
 ///
 /// Cheap to clone (all heavy state is behind [`Arc`]) and safe to share
-/// across threads — batch workers borrow the same graph and index.
+/// across threads — batch workers borrow the same graph, index and
+/// scratch pool.
 #[derive(Clone)]
 pub struct CommunityEngine {
     graph: Arc<CsrGraph>,
@@ -112,6 +144,7 @@ pub struct CommunityEngine {
     labels: Arc<Vec<u64>>,
     cfg: CtcConfig,
     batch_par: Parallelism,
+    scratch: Arc<ScratchPool>,
 }
 
 impl CommunityEngine {
@@ -135,6 +168,7 @@ impl CommunityEngine {
             labels: Arc::new(snap.labels),
             cfg: CtcConfig::default(),
             batch_par: Parallelism::serial(),
+            scratch: Arc::new(ScratchPool::default()),
         }
     }
 
@@ -228,14 +262,24 @@ impl CommunityEngine {
     }
 
     /// Answers one query with `algo` under the engine's configuration.
+    ///
+    /// Peel working memory comes from the engine's shared scratch pool, so
+    /// a warm engine answers without allocating in the peeling loop.
     pub fn search(&self, q: &[VertexId], algo: SearchAlgo) -> Result<Community> {
         let searcher = self.searcher();
-        match algo {
-            SearchAlgo::Basic => searcher.basic(q, &self.cfg),
-            SearchAlgo::BulkDelete => searcher.bulk_delete(q, &self.cfg),
-            SearchAlgo::Local => searcher.local(q, &self.cfg),
-            SearchAlgo::TrussOnly => searcher.truss_only(q, &self.cfg),
+        if algo == SearchAlgo::TrussOnly {
+            // No peeling: skip the pool's lock round-trip entirely.
+            return searcher.truss_only(q, &self.cfg);
         }
+        let mut scratch = self.scratch.checkout();
+        let out = match algo {
+            SearchAlgo::Basic => searcher.basic_with_scratch(q, &self.cfg, &mut scratch),
+            SearchAlgo::BulkDelete => searcher.bulk_delete_with_scratch(q, &self.cfg, &mut scratch),
+            SearchAlgo::Local => searcher.local_with_scratch(q, &self.cfg, &mut scratch),
+            SearchAlgo::TrussOnly => unreachable!("handled above"),
+        };
+        self.scratch.restore(scratch);
+        out
     }
 
     /// Answers a batch of queries, spread over the engine's batch

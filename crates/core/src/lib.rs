@@ -55,7 +55,9 @@ pub mod steiner;
 pub use config::{ConfigFingerprint, CtcConfig, SteinerMode};
 pub use decision::{decide_ctck, CtckAnswer};
 pub use engine::{CommunityEngine, EngineQuery, EngineStats, SearchAlgo};
-pub use peel::{peel, DeletePolicy, PeelOutcome};
+pub use peel::{
+    peel, peel_reference, peel_rounds, peel_with, DeletePolicy, PeelOutcome, PeelScratch, PeelStats,
+};
 pub use result::{community_from_induced, Community, PhaseTimings};
 pub use searcher::CtcSearcher;
 pub use steiner::{steiner_tree, SteinerTree};

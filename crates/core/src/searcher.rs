@@ -7,7 +7,7 @@
 
 use crate::config::CtcConfig;
 use crate::local::expand_tree;
-use crate::peel::{peel, DeletePolicy, PeelOutcome};
+use crate::peel::{peel_with, DeletePolicy, PeelOutcome, PeelScratch};
 use crate::result::{Community, PhaseTimings};
 use crate::steiner::steiner_tree;
 use ctc_graph::error::{GraphError, Result};
@@ -146,6 +146,7 @@ impl<'g> CtcSearcher<'g> {
         q: &[VertexId],
         cfg: &CtcConfig,
         policy: DeletePolicy,
+        scratch: &mut PeelScratch,
     ) -> Result<Community> {
         let t0 = Instant::now();
         let q = self.normalize_query(q)?;
@@ -154,7 +155,15 @@ impl<'g> CtcSearcher<'g> {
         let q_local = sub.locals(&q).ok_or(GraphError::Disconnected)?;
         let t_locate = t0.elapsed();
         let t1 = Instant::now();
-        let out = peel(&sub.graph, &q_local, g0.k, policy, cfg.max_iterations);
+        let out = peel_with(
+            &sub.graph,
+            &q_local,
+            g0.k,
+            policy,
+            cfg.max_iterations,
+            peel_parallelism(cfg, sub.graph.num_vertices(), q_local.len()),
+            scratch,
+        );
         let t_peel = t1.elapsed();
         Ok(assemble(
             &sub,
@@ -172,13 +181,35 @@ impl<'g> CtcSearcher<'g> {
     /// Algorithm 1 (**Basic**): greedy single-vertex peeling.
     /// 2-approximation on the optimal diameter (Theorem 3).
     pub fn basic(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<Community> {
-        self.global_search(q, cfg, DeletePolicy::SingleFurthest)
+        self.basic_with_scratch(q, cfg, &mut PeelScratch::new())
+    }
+
+    /// [`basic`](Self::basic) over caller-pooled scratch — the warm path:
+    /// once the scratch has grown to the workload, the peel loop allocates
+    /// nothing.
+    pub fn basic_with_scratch(
+        &self,
+        q: &[VertexId],
+        cfg: &CtcConfig,
+        scratch: &mut PeelScratch,
+    ) -> Result<Community> {
+        self.global_search(q, cfg, DeletePolicy::SingleFurthest, scratch)
     }
 
     /// Algorithm 4 (**BulkDelete / BD**): batch peeling, `O(n'/k)` rounds,
     /// `(2+ε)`-approximation (Theorem 6).
     pub fn bulk_delete(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<Community> {
-        self.global_search(q, cfg, DeletePolicy::BulkAtLeast)
+        self.bulk_delete_with_scratch(q, cfg, &mut PeelScratch::new())
+    }
+
+    /// [`bulk_delete`](Self::bulk_delete) over caller-pooled scratch.
+    pub fn bulk_delete_with_scratch(
+        &self,
+        q: &[VertexId],
+        cfg: &CtcConfig,
+        scratch: &mut PeelScratch,
+    ) -> Result<Community> {
+        self.global_search(q, cfg, DeletePolicy::BulkAtLeast, scratch)
     }
 
     /// The **Truss** baseline: `FindG0` with no diameter minimization.
@@ -217,6 +248,16 @@ impl<'g> CtcSearcher<'g> {
     /// Algorithm 5 (**LCTC**): Steiner-seeded local exploration + local
     /// truss extraction + bulk peeling. Heuristic; the fast default.
     pub fn local(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<Community> {
+        self.local_with_scratch(q, cfg, &mut PeelScratch::new())
+    }
+
+    /// [`local`](Self::local) over caller-pooled scratch.
+    pub fn local_with_scratch(
+        &self,
+        q: &[VertexId],
+        cfg: &CtcConfig,
+        scratch: &mut PeelScratch,
+    ) -> Result<Community> {
         let t0 = Instant::now();
         let q = self.normalize_query(q)?;
         // Step 1: truss-distance Steiner tree.
@@ -244,21 +285,41 @@ impl<'g> CtcSearcher<'g> {
                 found.ok_or(GraphError::Disconnected)?
             }
         };
-        let ht_sub = ctc_graph::edge_subgraph(&gt.graph, &ht.edges);
-        let q_ht = ht_sub.locals(&q_gt).ok_or(GraphError::Disconnected)?;
+        // Materialize Ht in *original-graph* ids with canonical local
+        // numbering: queries that reach the same community through
+        // different Steiner trees peel a byte-identical subgraph, so the
+        // pooled scratch's support cache keeps hitting across them.
+        let mut ht_pairs: Vec<(VertexId, VertexId)> = ht
+            .edges
+            .iter()
+            .map(|&e| {
+                let (u, v) = gt.graph.edge_endpoints(e);
+                let (pu, pv) = (gt.parent(u), gt.parent(v));
+                if pu < pv {
+                    (pu, pv)
+                } else {
+                    (pv, pu)
+                }
+            })
+            .collect();
+        ht_pairs.sort_unstable();
+        let ht_sub = ctc_graph::subgraph_from_pairs(&ht_pairs);
+        let q_ht = ht_sub.locals(&q).ok_or(GraphError::Disconnected)?;
         let t_locate = t0.elapsed();
         // Step 4: the L' bulk-deletion variant.
         let t1 = Instant::now();
-        let out = peel(
+        let out = peel_with(
             &ht_sub.graph,
             &q_ht,
             ht.k,
             DeletePolicy::LocalGreedy,
             cfg.max_iterations,
+            peel_parallelism(cfg, ht_sub.graph.num_vertices(), q_ht.len()),
+            scratch,
         );
         let t_peel = t1.elapsed();
-        // Map ht-local → gt-local → parent.
-        let mut community = assemble(
+        // ht_sub's parents are already original-graph ids.
+        Ok(assemble(
             &ht_sub,
             ht.k,
             out,
@@ -268,19 +329,23 @@ impl<'g> CtcSearcher<'g> {
                 peel: t_peel,
                 total: t0.elapsed(),
             },
-        );
-        for v in &mut community.vertices {
-            *v = gt.parent(*v);
-        }
-        community.vertices.sort_unstable();
-        for (u, v) in &mut community.edges {
-            *u = gt.parent(*u);
-            *v = gt.parent(*v);
-            if v < u {
-                std::mem::swap(u, v);
-            }
-        }
-        Ok(community)
+        ))
+    }
+}
+
+/// Thread policy for the peel phase's per-source distance repairs.
+///
+/// Spreading `|Q|` independent repairs over threads only pays when there
+/// are multiple sources and enough graph for each per-source BFS/repair to
+/// dwarf a scoped-thread spawn+join (paid every peeling round); below
+/// that, stay serial. Results are byte-identical either way — the fields
+/// are independent — so this is purely a scheduling choice, and
+/// [`peel_with`] itself honors whatever [`Parallelism`] it is handed.
+fn peel_parallelism(cfg: &CtcConfig, n: usize, q_len: usize) -> Parallelism {
+    if q_len > 1 && n >= 4096 {
+        cfg.parallelism
+    } else {
+        Parallelism::serial()
     }
 }
 

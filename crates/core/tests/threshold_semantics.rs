@@ -1,0 +1,115 @@
+//! Lemma 6 / §5.2 threshold audit regression.
+//!
+//! BulkDelete deletes `{u : dist(u,Q) ≥ d − 1}` and the LCTC inner loop
+//! uses `L' = {u : dist(u,Q) ≥ d}` — in both, `d` is the query distance of
+//! the **current** round's graph. An earlier implementation keyed both
+//! thresholds on the best (smallest) distance seen so far; the two agree
+//! in round 0 and on every monotonically-improving run (all the Figure-1
+//! examples), but diverge as soon as a cascade makes the graph temporarily
+//! worse (`d_graph > best_dist`): the best-so-far threshold is then too
+//! low and deletes whole extra layers per round.
+//!
+//! This test pins a concrete planted graph (found by exhaustive search)
+//! where the two semantics visit different snapshot sequences, and asserts
+//! the shipped peel follows the paper's current-round definition.
+
+use ctc_core::{peel, DeletePolicy};
+use ctc_gen::planted::{planted_partition, PlantedConfig};
+use ctc_graph::{
+    edge_subgraph, query_connected, BfsScratch, CsrGraph, DynGraph, Subgraph, VertexId, INF,
+};
+use ctc_truss::{find_g0, TrussIndex, TrussMaintainer};
+
+/// The divergence fixture: seed 91 of this planted family, Q = {7, 20}.
+fn fixture() -> (Subgraph, Vec<VertexId>, u32) {
+    let net = planted_partition(&PlantedConfig {
+        community_sizes: vec![15, 12, 10],
+        background_vertices: 4,
+        p_in: 0.5,
+        noise_edges_per_vertex: 1.2,
+        seed: 91,
+    });
+    let g = net.graph;
+    let idx = TrussIndex::build(&g);
+    let q = vec![VertexId(7), VertexId(20)];
+    let g0 = find_g0(&g, &idx, &q).expect("fixture query is connected");
+    let sub = edge_subgraph(&g, &g0.edges);
+    let ql = sub.locals(&q).expect("query inside G0");
+    (sub, ql, g0.k)
+}
+
+/// The rejected best-so-far variant of BulkDelete, kept here (test-only)
+/// as the counterfactual: thresholds keyed on `best_dist` instead of the
+/// current round's `d_graph`.
+fn bulk_peel_best_so_far(sub: &CsrGraph, q: &[VertexId], k: u32) -> (usize, u32) {
+    let n = sub.num_vertices();
+    let mut live = DynGraph::new(sub);
+    let mut maint = TrussMaintainer::new(&live, k);
+    let mut scratch = BfsScratch::new(n);
+    let mut dist_max = vec![0u32; n];
+    let mut vertex_removed_at = vec![u32::MAX; n];
+    let (mut best_dist, mut best_iter, mut iter) = (INF, 0u32, 0u32);
+    while query_connected(&live, q, &mut scratch) {
+        dist_max.iter_mut().for_each(|x| *x = 0);
+        for &qv in q {
+            scratch.run(&live, qv);
+            for (v, slot) in dist_max.iter_mut().enumerate() {
+                *slot = (*slot).max(scratch.dist(VertexId::from(v)));
+            }
+        }
+        let d_graph = live
+            .alive_vertices()
+            .map(|v| dist_max[v.index()])
+            .max()
+            .unwrap_or(0);
+        if d_graph < best_dist {
+            best_dist = d_graph;
+            best_iter = iter;
+        }
+        if d_graph == 0 {
+            break;
+        }
+        let threshold = best_dist.saturating_sub(1).max(1); // ← the audit target
+        let victims: Vec<VertexId> = live
+            .alive_vertices()
+            .filter(|&v| dist_max[v.index()] >= threshold)
+            .collect();
+        if victims.is_empty() {
+            break;
+        }
+        let report = maint.delete_vertices(&mut live, &victims);
+        for &v in &report.vertices {
+            vertex_removed_at[v.index()] = iter;
+        }
+        iter += 1;
+    }
+    let kept = vertex_removed_at
+        .iter()
+        .filter(|&&at| at >= best_iter)
+        .count();
+    (kept, best_dist)
+}
+
+#[test]
+fn bulk_delete_follows_lemma6_not_best_so_far() {
+    let (sub, ql, k) = fixture();
+    assert_eq!(k, 3, "fixture trussness changed — regenerate the fixture");
+
+    // The counterfactual must actually diverge on this graph, proving the
+    // fixture exercises a round with d_graph > best_dist.
+    let (old_kept, old_qd) = bulk_peel_best_so_far(&sub.graph, &ql, k);
+    let out = peel(&sub.graph, &ql, k, DeletePolicy::BulkAtLeast, None);
+    assert_ne!(
+        (out.vertices.len(), out.query_distance),
+        (old_kept, old_qd),
+        "fixture no longer separates the two threshold semantics"
+    );
+
+    // Pin the Lemma 6 (current-round d) outcome.
+    assert_eq!(out.vertices.len(), 11, "current-d BulkDelete community");
+    assert_eq!(out.query_distance, 3);
+    assert_eq!(out.iterations, 3);
+    // And the counterfactual's, so a future semantics drift in either
+    // direction trips this test loudly.
+    assert_eq!((old_kept, old_qd), (9, 2), "best-so-far counterfactual");
+}

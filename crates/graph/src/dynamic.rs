@@ -10,6 +10,21 @@
 use crate::csr::CsrGraph;
 use crate::ids::{EdgeId, VertexId};
 
+/// The owned buffers behind a [`DynGraph`], detached from any base graph.
+///
+/// Lets a long-lived caller (the pooled peel scratch of `ctc-core`) reuse
+/// the overlay's allocations across graphs of different sizes:
+/// [`DynGraph::with_buffers`] resets and adopts them,
+/// [`DynGraph::into_buffers`] hands them back.
+#[derive(Clone, Debug, Default)]
+pub struct DynBuffers {
+    vertex_alive: Vec<bool>,
+    edge_alive: Vec<bool>,
+    degree: Vec<u32>,
+    alive_list: Vec<VertexId>,
+    alive_pos: Vec<u32>,
+}
+
 /// A mutable view of a [`CsrGraph`] supporting vertex and edge deletion.
 #[derive(Clone)]
 pub struct DynGraph<'g> {
@@ -17,26 +32,74 @@ pub struct DynGraph<'g> {
     vertex_alive: Vec<bool>,
     edge_alive: Vec<bool>,
     degree: Vec<u32>,
-    alive_vertex_count: usize,
+    /// Dense, unordered list of alive vertices (swap-removed on death), so
+    /// hot loops iterate `O(alive)` instead of scanning dead slots.
+    alive_list: Vec<VertexId>,
+    /// Position of each vertex in `alive_list` (`u32::MAX` once dead).
+    alive_pos: Vec<u32>,
     alive_edge_count: usize,
 }
 
 impl<'g> DynGraph<'g> {
     /// Creates a fully-alive view of `base`.
     pub fn new(base: &'g CsrGraph) -> Self {
+        Self::with_buffers(base, DynBuffers::default())
+    }
+
+    /// Creates a fully-alive view of `base`, recycling `bufs`' allocations
+    /// (the warm-path constructor: no heap traffic once the buffers have
+    /// grown to the workload's high-water mark).
+    pub fn with_buffers(base: &'g CsrGraph, bufs: DynBuffers) -> Self {
         let n = base.num_vertices();
         let m = base.num_edges();
-        let degree = (0..n)
-            .map(|v| base.degree(VertexId::from(v)) as u32)
-            .collect();
+        let DynBuffers {
+            mut vertex_alive,
+            mut edge_alive,
+            mut degree,
+            mut alive_list,
+            mut alive_pos,
+        } = bufs;
+        vertex_alive.clear();
+        vertex_alive.resize(n, true);
+        edge_alive.clear();
+        edge_alive.resize(m, true);
+        degree.clear();
+        degree.extend((0..n).map(|v| base.degree(VertexId::from(v)) as u32));
+        alive_list.clear();
+        alive_list.extend((0..n as u32).map(VertexId));
+        alive_pos.clear();
+        alive_pos.extend(0..n as u32);
         DynGraph {
             base,
-            vertex_alive: vec![true; n],
-            edge_alive: vec![true; m],
+            vertex_alive,
+            edge_alive,
             degree,
-            alive_vertex_count: n,
+            alive_list,
+            alive_pos,
             alive_edge_count: m,
         }
+    }
+
+    /// Dismantles the overlay, returning its buffers for reuse.
+    pub fn into_buffers(self) -> DynBuffers {
+        DynBuffers {
+            vertex_alive: self.vertex_alive,
+            edge_alive: self.edge_alive,
+            degree: self.degree,
+            alive_list: self.alive_list,
+            alive_pos: self.alive_pos,
+        }
+    }
+
+    /// Removes `v` from the alive list (swap-remove, `O(1)`).
+    fn unlist(&mut self, v: VertexId) {
+        let p = self.alive_pos[v.index()] as usize;
+        debug_assert!(self.alive_list[p] == v, "alive list out of sync");
+        self.alive_list.swap_remove(p);
+        if let Some(&moved) = self.alive_list.get(p) {
+            self.alive_pos[moved.index()] = p as u32;
+        }
+        self.alive_pos[v.index()] = u32::MAX;
     }
 
     /// The underlying immutable graph.
@@ -53,14 +116,17 @@ impl<'g> DynGraph<'g> {
         for v in 0..n {
             self.degree[v] = self.base.degree(VertexId::from(v)) as u32;
         }
-        self.alive_vertex_count = n;
+        self.alive_list.clear();
+        self.alive_list.extend((0..n as u32).map(VertexId));
+        self.alive_pos.clear();
+        self.alive_pos.extend(0..n as u32);
         self.alive_edge_count = self.base.num_edges();
     }
 
     /// Number of alive vertices.
     #[inline(always)]
     pub fn num_alive_vertices(&self) -> usize {
-        self.alive_vertex_count
+        self.alive_list.len()
     }
 
     /// Number of alive edges.
@@ -87,13 +153,23 @@ impl<'g> DynGraph<'g> {
         self.degree[v.index()] as usize
     }
 
-    /// Iterator over alive vertices.
+    /// Iterator over alive vertices in ascending id order.
     pub fn alive_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
         self.vertex_alive
             .iter()
             .enumerate()
             .filter(|(_, &a)| a)
             .map(|(i, _)| VertexId::from(i))
+    }
+
+    /// The alive vertices as a dense slice, in **unspecified order**
+    /// (swap-removal order). `O(alive)` to iterate — the peeling hot
+    /// loops use this instead of scanning every vertex slot; use
+    /// [`alive_vertices`](Self::alive_vertices) when ascending order
+    /// matters.
+    #[inline(always)]
+    pub fn alive_vertex_list(&self) -> &[VertexId] {
+        &self.alive_list
     }
 
     /// Iterator over alive edges as `(EdgeId, u, v)`.
@@ -151,7 +227,7 @@ impl<'g> DynGraph<'g> {
             self.remove_edge(e);
         }
         self.vertex_alive[v.index()] = false;
-        self.alive_vertex_count -= 1;
+        self.unlist(v);
         doomed
     }
 
@@ -169,13 +245,30 @@ impl<'g> DynGraph<'g> {
             "marking vertex {v} dead with live edges"
         );
         self.vertex_alive[v.index()] = false;
-        self.alive_vertex_count -= 1;
+        self.unlist(v);
         true
     }
 
     /// Calls `f(w, e_uw, e_vw)` for every alive common neighbor `w` of `u`
     /// and `v` (both connecting edges alive). Merge over sorted rows.
     pub fn for_each_common_neighbor<F: FnMut(VertexId, EdgeId, EdgeId)>(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        mut f: F,
+    ) {
+        self.for_each_common_neighbor_while(u, v, |w, euw, evw| {
+            f(w, euw, evw);
+            true
+        });
+    }
+
+    /// [`for_each_common_neighbor`](Self::for_each_common_neighbor) with
+    /// early exit: stops as soon as `f` returns `false`. Callers that know
+    /// how many alive triangles an edge participates in (the truss
+    /// maintainer keeps exactly that count) stop the row merge the moment
+    /// the last one is found instead of walking both rows to the end.
+    pub fn for_each_common_neighbor_while<F: FnMut(VertexId, EdgeId, EdgeId) -> bool>(
         &self,
         u: VertexId,
         v: VertexId,
@@ -200,8 +293,9 @@ impl<'g> DynGraph<'g> {
                 if self.vertex_alive[w.index()]
                     && self.edge_alive[euw.index()]
                     && self.edge_alive[evw.index()]
+                    && !f(w, euw, evw)
                 {
-                    f(w, euw, evw);
+                    return;
                 }
                 i += 1;
                 j += 1;
@@ -312,6 +406,42 @@ mod tests {
 mod more_tests {
     use super::*;
     use crate::builder::graph_from_edges;
+
+    #[test]
+    fn alive_list_tracks_deaths_and_reset() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut d = DynGraph::new(&g);
+        assert_eq!(d.alive_vertex_list().len(), 4);
+        d.remove_vertex(VertexId(1));
+        let mut list: Vec<u32> = d.alive_vertex_list().iter().map(|v| v.0).collect();
+        list.sort_unstable();
+        assert_eq!(list, vec![0, 2, 3]);
+        assert_eq!(d.alive_vertex_list().len(), d.num_alive_vertices());
+        // The unordered list and the ordered iterator agree as sets, at
+        // every step of a deletion sequence.
+        d.remove_vertex(VertexId(3));
+        let mut unordered: Vec<VertexId> = d.alive_vertex_list().to_vec();
+        unordered.sort_unstable();
+        assert_eq!(unordered, d.alive_vertices().collect::<Vec<_>>());
+        d.reset();
+        assert_eq!(d.alive_vertex_list().len(), 4);
+    }
+
+    #[test]
+    fn buffer_recycling_matches_fresh_overlay() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (0, 2)]);
+        let mut d = DynGraph::new(&g);
+        d.remove_vertex(VertexId(0));
+        let bufs = d.into_buffers();
+        // Adopt the dirty buffers for a *different* (larger) graph: the
+        // overlay must come up fully alive and consistent.
+        let g2 = graph_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let d2 = DynGraph::with_buffers(&g2, bufs);
+        assert_eq!(d2.num_alive_vertices(), 5);
+        assert_eq!(d2.num_alive_edges(), 4);
+        assert_eq!(d2.degree(VertexId(1)), 2);
+        assert_eq!(d2.alive_vertex_list().len(), 5);
+    }
 
     #[test]
     fn alive_edge_between_dead_endpoint() {

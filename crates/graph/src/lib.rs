@@ -40,6 +40,7 @@
 pub mod builder;
 pub mod csr;
 pub mod distance;
+pub mod distfield;
 pub mod dynamic;
 pub mod error;
 pub mod fx;
@@ -58,20 +59,23 @@ pub use csr::CsrGraph;
 pub use distance::{
     diameter_double_sweep, diameter_exact, eccentricity, graph_query_distance, query_distances,
 };
-pub use dynamic::DynGraph;
+pub use distfield::{DistanceField, EpochMarks};
+pub use dynamic::{DynBuffers, DynGraph};
 pub use error::{GraphError, Result};
 pub use fx::{FxHashMap, FxHashSet};
 pub use ids::{EdgeId, VertexId};
 pub use pagerank::{personalized_pagerank, PageRankOptions};
 pub use parallel::Parallelism;
 pub use stats::{edge_density, graph_stats, vertices_by_degree_desc, GraphStats};
-pub use subgraph::{alive_subgraph, edge_subgraph, induced_subgraph, Subgraph};
+pub use subgraph::{
+    alive_subgraph, edge_subgraph, induced_subgraph, subgraph_from_pairs, Subgraph,
+};
 pub use traversal::{
     bfs_distances, connected_components, is_connected, query_connected, Adjacency, BfsScratch,
     FilteredGraph, INF,
 };
 pub use triangles::{
-    common_neighbors, edge_supports, edge_supports_dyn, edge_supports_par, for_each_triangle,
-    support_of, triangle_count, triangle_count_par,
+    common_neighbors, edge_supports, edge_supports_dyn, edge_supports_dyn_into, edge_supports_par,
+    for_each_triangle, support_of, triangle_count, triangle_count_par,
 };
 pub use union_find::UnionFind;

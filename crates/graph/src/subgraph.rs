@@ -112,6 +112,35 @@ pub fn edge_subgraph(g: &CsrGraph, edges: &[EdgeId]) -> Subgraph {
     }
 }
 
+/// Builds a subgraph from explicit parent-id endpoint pairs, with
+/// **canonical** local numbering: locals are assigned in ascending parent
+/// id order, independent of the pairs' order of discovery.
+///
+/// Two callers that reach the same edge set through different routes (the
+/// LCTC pipeline reaches one community through query-dependent Steiner
+/// trees) therefore produce byte-identical subgraphs — which is what lets
+/// the pooled peel scratch in `ctc-core` recognize a repeated community
+/// and reuse its cached support table.
+pub fn subgraph_from_pairs(pairs: &[(VertexId, VertexId)]) -> Subgraph {
+    let mut to_parent: Vec<u32> = pairs.iter().flat_map(|&(u, v)| [u.0, v.0]).collect();
+    to_parent.sort_unstable();
+    to_parent.dedup();
+    let mut from_parent: FxHashMap<u32, u32> = fx_map_with_capacity(to_parent.len());
+    for (local, &p) in to_parent.iter().enumerate() {
+        from_parent.insert(p, local as u32);
+    }
+    let mut b = GraphBuilder::with_capacity(pairs.len());
+    b.ensure_vertices(to_parent.len());
+    for &(u, v) in pairs {
+        b.add_edge(from_parent[&u.0], from_parent[&v.0]);
+    }
+    Subgraph {
+        graph: b.build(),
+        to_parent,
+        from_parent,
+    }
+}
+
 /// Materializes the alive part of a [`DynGraph`] as a standalone subgraph.
 pub fn alive_subgraph(d: &DynGraph<'_>) -> Subgraph {
     let vertices = d.alive_vertex_vec();

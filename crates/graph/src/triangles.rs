@@ -51,13 +51,34 @@ pub fn edge_supports_par(g: &CsrGraph, par: Parallelism) -> Vec<u32> {
 /// This is line 15 of Algorithm 2: after `FindG0` materializes the working
 /// subgraph, supports within it seed the k-truss maintenance.
 pub fn edge_supports_dyn(d: &DynGraph<'_>) -> Vec<u32> {
-    let mut sup = vec![0u32; d.base().num_edges()];
+    let mut sup = Vec::new();
+    edge_supports_dyn_into(d, &mut sup);
+    sup
+}
+
+/// [`edge_supports_dyn`] writing into a caller-owned buffer, so pooled
+/// callers (the peel scratch of `ctc-core`) recompute supports with no
+/// per-call allocation once the buffer has grown.
+///
+/// A fully-alive overlay (the state every peel starts from) takes the
+/// static CSR fast path: plain sorted-row intersection with no
+/// per-element alive checks, which is what makes re-arming a pooled
+/// maintainer cheap.
+pub fn edge_supports_dyn_into(d: &DynGraph<'_>, sup: &mut Vec<u32>) {
+    let g = d.base();
+    sup.clear();
+    sup.resize(g.num_edges(), 0);
+    if d.num_alive_vertices() == g.num_vertices() && d.num_alive_edges() == g.num_edges() {
+        for (e, u, v) in g.edges() {
+            sup[e.index()] = sorted_intersection_count(g.neighbors(u), g.neighbors(v));
+        }
+        return;
+    }
     for (e, u, v) in d.alive_edges() {
         let mut c = 0u32;
         d.for_each_common_neighbor(u, v, |_, _, _| c += 1);
         sup[e.index()] = c;
     }
-    sup
 }
 
 #[inline]

@@ -1,0 +1,148 @@
+//! Property suite for the incremental distance engine: after any sequence
+//! of random deletion batches, a repaired [`DistanceField`] must be
+//! indistinguishable from a from-scratch BFS over the surviving graph —
+//! per vertex, and in the max/sum multi-source profiles the peeling loop
+//! derives from it.
+
+use ctc_gen::random::{barabasi_albert, erdos_renyi_nm};
+use ctc_graph::{bfs_distances, CsrGraph, DistanceField, DynGraph, EdgeId, VertexId, INF};
+use proptest::prelude::*;
+
+/// Deterministic cheap PRNG for schedule generation (the graph generators
+/// already consume the proptest entropy via `seed`).
+fn mix(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn assert_field_matches_oracle(field: &DistanceField, live: &DynGraph<'_>, src: VertexId) {
+    if field.is_dead() {
+        for v in 0..live.base().num_vertices() {
+            assert_eq!(field.dist(VertexId::from(v)), INF, "dead field leaks dist");
+        }
+        return;
+    }
+    let fresh = bfs_distances(live, src);
+    for v in 0..live.base().num_vertices() {
+        let v = VertexId::from(v);
+        let expected = if live.is_vertex_alive(v) {
+            fresh[v.index()]
+        } else {
+            INF
+        };
+        assert_eq!(field.dist(v), expected, "src {src}, vertex {v}");
+    }
+}
+
+/// Runs a random deletion schedule over `g`, repairing one field per
+/// source and checking every field (and the max/sum profile) against the
+/// full-recompute oracle after every batch.
+fn exercise(g: &CsrGraph, mut rng_state: u64, batches: usize) {
+    let n = g.num_vertices();
+    if n < 3 {
+        return;
+    }
+    let mut live = DynGraph::new(g);
+    let num_sources = 1 + (mix(&mut rng_state) as usize % 3);
+    let sources: Vec<VertexId> = (0..num_sources)
+        .map(|_| VertexId((mix(&mut rng_state) % n as u64) as u32))
+        .collect();
+    let mut fields: Vec<DistanceField> = sources
+        .iter()
+        .map(|&s| {
+            let mut f = DistanceField::new();
+            f.init(&live, s);
+            f
+        })
+        .collect();
+
+    for _ in 0..batches {
+        if live.num_alive_vertices() <= 1 {
+            break;
+        }
+        // A batch: 1–3 random alive vertices, plus sometimes a surviving
+        // alive edge (the cascade shape: edges can die without vertices).
+        let alive = live.alive_vertex_list().to_vec();
+        let batch_len = 1 + (mix(&mut rng_state) as usize % 3).min(alive.len() - 1);
+        let mut victims: Vec<VertexId> = Vec::new();
+        for _ in 0..batch_len {
+            let v = alive[(mix(&mut rng_state) as usize) % alive.len()];
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+        }
+        let mut dead_edges: Vec<EdgeId> = Vec::new();
+        for &v in &victims {
+            dead_edges.extend(live.remove_vertex(v));
+        }
+        if mix(&mut rng_state).is_multiple_of(2) {
+            let extra = live.alive_edges().next().map(|(e, _, _)| e);
+            if let Some(e) = extra {
+                live.remove_edge(e);
+                dead_edges.push(e);
+            }
+        }
+        for f in &mut fields {
+            f.repair(&live, &victims, &dead_edges);
+        }
+        for (f, &s) in fields.iter().zip(&sources) {
+            assert_field_matches_oracle(f, &live, s);
+        }
+        // The multi-source max/sum profile the peel loop maintains must
+        // match a naive recompute from all sources.
+        if fields.iter().all(|f| !f.is_dead()) {
+            for v in 0..n {
+                let v = VertexId::from(v);
+                let max: u32 = fields.iter().map(|f| f.dist(v)).max().unwrap();
+                let sum: u64 = fields
+                    .iter()
+                    .fold(0u64, |acc, f| acc.saturating_add(f.dist(v) as u64));
+                let naive: Vec<u32> = sources
+                    .iter()
+                    .map(|&s| {
+                        let d = bfs_distances(&live, s);
+                        if live.is_vertex_alive(v) {
+                            d[v.index()]
+                        } else {
+                            INF
+                        }
+                    })
+                    .collect();
+                assert_eq!(max, naive.iter().copied().max().unwrap(), "max at {v}");
+                assert_eq!(
+                    sum,
+                    naive
+                        .iter()
+                        .fold(0u64, |acc, &d| acc.saturating_add(d as u64)),
+                    "sum at {v}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn repair_matches_recompute_on_er(
+        n in 4usize..60,
+        epv in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let g = erdos_renyi_nm(n, n * epv, seed);
+        exercise(&g, seed ^ 0x9e3779b97f4a7c15, 6);
+    }
+
+    #[test]
+    fn repair_matches_recompute_on_ba(
+        n in 5usize..60,
+        m0 in 2usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let g = barabasi_albert(n, m0, seed);
+        exercise(&g, seed.wrapping_mul(0x2545f4914f6cdd1d), 6);
+    }
+}

@@ -94,6 +94,17 @@ pub struct Counters {
     pub stats: AtomicU64,
     /// Byte streams rejected by the HTTP parser.
     pub http_rejects: AtomicU64,
+    /// Cumulative microseconds spent locating `G0`/`Gt` across uncached
+    /// `/search` answers. With `phase_peel_us` and `phase_total_us` this
+    /// makes peel-phase regressions visible in production without a
+    /// profiler: `GET /stats` divides them by `cache_misses`.
+    pub phase_locate_us: AtomicU64,
+    /// Cumulative peel-phase microseconds across uncached `/search`
+    /// answers.
+    pub phase_peel_us: AtomicU64,
+    /// Cumulative end-to-end search microseconds across uncached
+    /// `/search` answers.
+    pub phase_total_us: AtomicU64,
 }
 
 /// A plain-data copy of [`Counters`] at one instant.
@@ -115,6 +126,12 @@ pub struct CountersSnapshot {
     pub stats: u64,
     /// See [`Counters::http_rejects`].
     pub http_rejects: u64,
+    /// See [`Counters::phase_locate_us`].
+    pub phase_locate_us: u64,
+    /// See [`Counters::phase_peel_us`].
+    pub phase_peel_us: u64,
+    /// See [`Counters::phase_total_us`].
+    pub phase_total_us: u64,
 }
 
 impl Counters {
@@ -128,6 +145,9 @@ impl Counters {
             healthz: self.healthz.load(Ordering::Relaxed),
             stats: self.stats.load(Ordering::Relaxed),
             http_rejects: self.http_rejects.load(Ordering::Relaxed),
+            phase_locate_us: self.phase_locate_us.load(Ordering::Relaxed),
+            phase_peel_us: self.phase_peel_us.load(Ordering::Relaxed),
+            phase_total_us: self.phase_total_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -307,6 +327,15 @@ impl AppState {
             Ok(c) => {
                 self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
                 self.counters.search_ok.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .phase_locate_us
+                    .fetch_add(c.timings.locate.as_micros() as u64, Ordering::Relaxed);
+                self.counters
+                    .phase_peel_us
+                    .fetch_add(c.timings.peel.as_micros() as u64, Ordering::Relaxed);
+                self.counters
+                    .phase_total_us
+                    .fetch_add(c.timings.total.as_micros() as u64, Ordering::Relaxed);
                 // Cache the *encoded* body: a hit costs one memcpy, never
                 // a re-encode of the whole community (encoding dominates
                 // per-hit cost for large answers).
@@ -358,6 +387,17 @@ impl AppState {
                     ("healthz".into(), Json::Uint(c.healthz)),
                     ("stats".into(), Json::Uint(c.stats)),
                     ("http_rejects".into(), Json::Uint(c.http_rejects)),
+                ]),
+            ),
+            // Cumulative per-phase search time over uncached answers:
+            // divide by cache.misses for means; watch peel_us to catch
+            // query-hot-path regressions in production (docs/PERF.md).
+            (
+                "phases".into(),
+                Json::Object(vec![
+                    ("locate_us".into(), Json::Uint(c.phase_locate_us)),
+                    ("peel_us".into(), Json::Uint(c.phase_peel_us)),
+                    ("total_us".into(), Json::Uint(c.phase_total_us)),
                 ]),
             ),
         ])
@@ -699,6 +739,40 @@ mod tests {
         let a = s.respond(&req("POST", "/search", &permuted)).unwrap();
         let b = s.respond(&req("POST", "/search", &algo_pinned)).unwrap();
         assert_eq!(split(&a).1, split(&b).1);
+    }
+
+    #[test]
+    fn stats_reports_cumulative_phase_micros() {
+        let s = state(8);
+        let f = Figure1Ids::default();
+        let body = format!(
+            r#"{{"query":[{},{},{}],"algo":"basic"}}"#,
+            f.q1.0, f.q2.0, f.q3.0
+        );
+        // Before any search: all phase counters zero.
+        let (_, stats0) = split(&s.respond(&req("GET", "/stats", "")).unwrap());
+        let text0 = String::from_utf8(stats0).unwrap();
+        assert!(text0.contains(r#""phases":{"locate_us":0,"peel_us":0,"total_us":0}"#));
+        // One uncached search accumulates micros; a cache hit must not.
+        s.respond(&req("POST", "/search", &body)).unwrap();
+        let c1 = s.counters();
+        assert!(
+            c1.phase_total_us >= c1.phase_peel_us,
+            "total ≥ peel: {c1:?}"
+        );
+        s.respond(&req("POST", "/search", &body)).unwrap();
+        let c2 = s.counters();
+        assert_eq!(
+            (c2.phase_locate_us, c2.phase_peel_us, c2.phase_total_us),
+            (c1.phase_locate_us, c1.phase_peel_us, c1.phase_total_us),
+            "cache hits must not move the phase counters"
+        );
+        let (_, stats1) = split(&s.respond(&req("GET", "/stats", "")).unwrap());
+        let text1 = String::from_utf8(stats1).unwrap();
+        assert!(
+            text1.contains(&format!(r#""peel_us":{}"#, c2.phase_peel_us)),
+            "{text1}"
+        );
     }
 
     #[test]

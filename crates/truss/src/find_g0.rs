@@ -150,6 +150,13 @@ fn extract_component(
         .filter(|(_, &b)| b)
         .map(|(i, _)| VertexId::from(i))
         .collect();
+    // Canonical order: the accumulation above follows the (query-dependent)
+    // expansion order, but G0 itself is a property of the community alone.
+    // Sorting makes every query inside one community produce a
+    // byte-identical edge list — and therefore a byte-identical peel
+    // subgraph, which is what lets the pooled peel scratch reuse its
+    // initial-supports table across queries.
+    edges.sort_unstable();
     G0 { k, edges, vertices }
 }
 
@@ -193,6 +200,8 @@ pub fn find_ktruss_containing(
         g.incident(v)
             .any(|(nb, e)| idx.edge_truss(e) >= k && scratch.dist(nb) != ctc_graph::INF)
     });
+    // Same canonical edge order as `find_g0` (see `extract_component`).
+    edges.sort_unstable();
     Some(G0 { k, edges, vertices })
 }
 

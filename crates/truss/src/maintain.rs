@@ -7,7 +7,7 @@
 //! and isolated vertices are swept — restoring the k-truss property exactly
 //! as the paper's Algorithm 3 does.
 
-use ctc_graph::{edge_supports_dyn, DynGraph, EdgeId, VertexId};
+use ctc_graph::{edge_supports_dyn_into, DynGraph, EdgeId, VertexId};
 
 /// What a maintenance round removed: the requested vertices, every cascade
 /// victim, and all deleted edges. The peeling algorithms use this to stamp
@@ -20,7 +20,21 @@ pub struct CascadeReport {
     pub edges: Vec<EdgeId>,
 }
 
+impl CascadeReport {
+    /// Empties both lists, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.vertices.clear();
+        self.edges.clear();
+    }
+}
+
 /// Incremental k-truss maintenance state over a [`DynGraph`].
+///
+/// All working memory (support array, deletion queue, triangle scratch) is
+/// owned and reusable: a maintainer can be re-armed for a different graph
+/// or level with [`reset_for`](Self::reset_for) without reallocating, which
+/// is how the pooled peel scratch of `ctc-core` keeps the warm query path
+/// allocation-free.
 pub struct TrussMaintainer {
     /// Current support of each alive edge (garbage for dead edges).
     support: Vec<u32>,
@@ -28,18 +42,58 @@ pub struct TrussMaintainer {
     k: u32,
     /// Scratch: edges already queued for deletion this round.
     in_queue: Vec<bool>,
+    /// Pooled deletion queue (always drained after a call).
+    queue: Vec<EdgeId>,
+    /// Pooled per-edge triangle scratch for the cascade.
+    touched: Vec<(EdgeId, EdgeId)>,
+    /// Pooled isolated-vertex scratch for the sweep.
+    orphans: Vec<VertexId>,
 }
 
 impl TrussMaintainer {
     /// Builds maintenance state for `live`, computing initial supports
     /// (line 15 of Algorithm 2) and enforcing level `k`.
     pub fn new(live: &DynGraph<'_>, k: u32) -> Self {
-        let support = edge_supports_dyn(live);
-        TrussMaintainer {
-            support,
+        let mut m = TrussMaintainer {
+            support: Vec::new(),
             k,
-            in_queue: vec![false; live.base().num_edges()],
-        }
+            in_queue: Vec::new(),
+            queue: Vec::new(),
+            touched: Vec::new(),
+            orphans: Vec::new(),
+        };
+        m.reset_for(live, k);
+        m
+    }
+
+    /// Re-arms the maintainer for `live` at level `k`, recomputing the
+    /// supports in place. Equivalent to `TrussMaintainer::new` but reuses
+    /// every buffer.
+    pub fn reset_for(&mut self, live: &DynGraph<'_>, k: u32) {
+        edge_supports_dyn_into(live, &mut self.support);
+        self.k = k;
+        self.in_queue.clear();
+        self.in_queue.resize(live.base().num_edges(), false);
+        self.queue.clear();
+        self.touched.clear();
+        self.orphans.clear();
+    }
+
+    /// Re-arms the maintainer with precomputed supports for a fully-alive
+    /// `live` (must be `edge_supports_dyn(live)`-equal — the caller's
+    /// contract when serving them from a cache keyed on the exact
+    /// subgraph). Skips the support recomputation entirely.
+    pub fn reset_with(&mut self, supports: &[u32], live: &DynGraph<'_>, k: u32) {
+        let m = live.base().num_edges();
+        assert_eq!(supports.len(), m, "support table does not match graph");
+        self.support.clear();
+        self.support.extend_from_slice(supports);
+        self.k = k;
+        self.in_queue.clear();
+        self.in_queue.resize(m, false);
+        self.queue.clear();
+        self.touched.clear();
+        self.orphans.clear();
     }
 
     /// The enforced trussness level.
@@ -52,12 +106,32 @@ impl TrussMaintainer {
         self.support[e.index()]
     }
 
+    /// The whole support table (meaningful entries: alive edges).
+    pub fn supports(&self) -> &[u32] {
+        &self.support
+    }
+
     /// Deletes the vertices `vd` (with incident edges) from `live` and
     /// restores the k-truss property by cascading (Algorithm 3). Returns
     /// everything that died, cascade victims included.
     pub fn delete_vertices(&mut self, live: &mut DynGraph<'_>, vd: &[VertexId]) -> CascadeReport {
+        let mut report = CascadeReport::default();
+        self.delete_vertices_into(live, vd, &mut report);
+        report
+    }
+
+    /// [`delete_vertices`](Self::delete_vertices) writing into a
+    /// caller-owned report, so pooled callers pay no per-round allocation.
+    pub fn delete_vertices_into(
+        &mut self,
+        live: &mut DynGraph<'_>,
+        vd: &[VertexId],
+        report: &mut CascadeReport,
+    ) {
+        report.clear();
         // Lines 1–3: seed S with all edges incident to Vd.
-        let mut queue: Vec<EdgeId> = Vec::new();
+        debug_assert!(self.queue.is_empty(), "deletion queue must start drained");
+        let mut queue = std::mem::take(&mut self.queue);
         for &v in vd {
             if !live.is_vertex_alive(v) {
                 continue;
@@ -69,8 +143,9 @@ impl TrussMaintainer {
                 }
             }
         }
-        let mut report = CascadeReport::default();
-        self.cascade(live, queue, &mut report);
+        self.cascade(live, &mut queue, report);
+        queue.clear();
+        self.queue = queue;
         // Mark the requested vertices dead even if they had no edges left.
         for &v in vd {
             if live.is_vertex_alive(v) && live.degree(v) == 0 {
@@ -79,13 +154,12 @@ impl TrussMaintainer {
             }
         }
         // Line 10: sweep vertices isolated by the cascade.
-        self.sweep_isolated(live, &mut report);
-        report
+        self.sweep_isolated(live, report);
     }
 
     /// Deletes a set of edges directly and cascades.
     pub fn delete_edges(&mut self, live: &mut DynGraph<'_>, ed: &[EdgeId]) -> CascadeReport {
-        let mut queue: Vec<EdgeId> = Vec::new();
+        let mut queue = std::mem::take(&mut self.queue);
         for &e in ed {
             if live.is_edge_alive(e) && !self.in_queue[e.index()] {
                 self.in_queue[e.index()] = true;
@@ -93,7 +167,9 @@ impl TrussMaintainer {
             }
         }
         let mut report = CascadeReport::default();
-        self.cascade(live, queue, &mut report);
+        self.cascade(live, &mut queue, &mut report);
+        queue.clear();
+        self.queue = queue;
         self.sweep_isolated(live, &mut report);
         report
     }
@@ -102,11 +178,11 @@ impl TrussMaintainer {
     fn cascade(
         &mut self,
         live: &mut DynGraph<'_>,
-        mut queue: Vec<EdgeId>,
+        queue: &mut Vec<EdgeId>,
         report: &mut CascadeReport,
     ) {
         let mut head = 0usize;
-        let mut touched: Vec<(EdgeId, EdgeId)> = Vec::new();
+        let mut touched = std::mem::take(&mut self.touched);
         while head < queue.len() {
             let e = queue[head];
             head += 1;
@@ -116,9 +192,18 @@ impl TrussMaintainer {
             }
             let (u, v) = live.base().edge_endpoints(e);
             touched.clear();
-            live.for_each_common_neighbor(u, v, |_, euw, evw| {
-                touched.push((euw, evw));
-            });
+            // The maintained support of `e` is exactly its alive-triangle
+            // count, so the row merge can stop after that many matches —
+            // and be skipped outright at support 0, which is the common
+            // case deep in a teardown cascade.
+            let mut remaining = self.support[e.index()];
+            if remaining > 0 {
+                live.for_each_common_neighbor_while(u, v, |_, euw, evw| {
+                    touched.push((euw, evw));
+                    remaining -= 1;
+                    remaining > 0
+                });
+            }
             for &(euw, evw) in &touched {
                 for f in [euw, evw] {
                     let s = &mut self.support[f.index()];
@@ -133,24 +218,35 @@ impl TrussMaintainer {
             report.edges.push(e);
             self.in_queue[e.index()] = false;
         }
+        touched.clear();
+        self.touched = touched;
     }
 
     /// Removes alive vertices of live-degree zero.
     fn sweep_isolated(&mut self, live: &mut DynGraph<'_>, report: &mut CascadeReport) {
-        let orphans: Vec<VertexId> = live
-            .alive_vertices()
-            .filter(|&v| live.degree(v) == 0)
-            .collect();
+        let mut orphans = std::mem::take(&mut self.orphans);
+        orphans.clear();
+        orphans.extend(
+            live.alive_vertex_list()
+                .iter()
+                .copied()
+                .filter(|&v| live.degree(v) == 0),
+        );
+        // The alive list is swap-removal-ordered; report in ascending id
+        // order so the cascade report is independent of deletion history.
+        orphans.sort_unstable();
         for &v in &orphans {
             live.mark_vertex_dead(v);
             report.vertices.push(v);
         }
+        orphans.clear();
+        self.orphans = orphans;
     }
 
     /// Test/debug invariant: every alive edge meets the support threshold
     /// and the stored supports match a fresh recount.
     pub fn check_invariants(&self, live: &DynGraph<'_>) -> std::result::Result<(), String> {
-        let fresh = edge_supports_dyn(live);
+        let fresh = ctc_graph::edge_supports_dyn(live);
         for (e, u, v) in live.alive_edges() {
             if self.support[e.index()] != fresh[e.index()] {
                 return Err(format!(

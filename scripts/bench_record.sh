@@ -1,0 +1,25 @@
+#!/bin/sh
+# Record (or check) the peel-phase benchmark trajectory in BENCH_5.json.
+#
+#   scripts/bench_record.sh            re-measure and update the "after"
+#                                      section (the committed "before"
+#                                      baseline is preserved)
+#   scripts/bench_record.sh --check    CI mode: validate the committed
+#                                      file's schema and recorded ≥2× peel
+#                                      bar, and smoke the recorder harness
+#                                      with one quick measurement pass
+#
+# Methodology (see docs/PERF.md): median locate/peel/total microseconds
+# per algorithm over the mini presets, measured through the PhaseTimings
+# every search reports, on a warm CommunityEngine.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release -p ctc-bench --bin bench_record
+
+if [ "${1:-}" = "--check" ]; then
+    exec ./target/release/bench_record --check BENCH_5.json
+fi
+
+./target/release/bench_record --out BENCH_5.json "$@"
+echo "BENCH_5.json updated; review the after/ section before committing."

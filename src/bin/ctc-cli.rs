@@ -7,6 +7,7 @@
 //! ctc-cli index info graph.ctci
 //! ctc-cli search <edge-list> --query 3,17,42 [--algo basic|bd|lctc|truss]
 //!                            [--gamma 3] [--eta 1000] [--k K] [--threads N]
+//!                            [--timings]
 //! ctc-cli search --index graph.ctci --query 3,17,42 [...same flags]
 //! ctc-cli serve graph.ctci [--addr 127.0.0.1:7341] [--threads N]
 //!                          [--cache-cap C]
@@ -53,7 +54,7 @@ fn main() -> ExitCode {
                  index info g.ctci                     inspect a snapshot\n\
                  search <edge-list> --query a,b,c      find the closest truss community\n\
                         [--algo basic|bd|lctc|truss] [--gamma G] [--eta N] [--k K]\n\
-                        [--threads N]\n\
+                        [--threads N] [--timings]      (--timings: locate/peel/total phases)\n\
                  search --index g.ctci --query a,b,c   same, warm-started from a snapshot\n\
                  serve g.ctci [--addr HOST:PORT]       HTTP query server over the snapshot\n\
                         [--threads N] [--cache-cap C]  (POST /search, GET /healthz|/stats)\n\
@@ -278,6 +279,14 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         c.query_distance,
         c.timings.total.as_secs_f64() * 1e3
     );
+    if args.iter().any(|a| a == "--timings") {
+        println!(
+            "timings: locate {:.3}ms, peel {:.3}ms, total {:.3}ms",
+            c.timings.locate.as_secs_f64() * 1e3,
+            c.timings.peel.as_secs_f64() * 1e3,
+            c.timings.total.as_secs_f64() * 1e3,
+        );
+    }
     let members: Vec<String> = c
         .vertices
         .iter()

@@ -75,6 +75,43 @@ fn search_subcommand_finds_figure1b() {
     assert!(text.contains("k = 4"), "wrong trussness: {text}");
     assert!(text.contains("8 vertices"), "wrong size: {text}");
     assert!(text.contains("diameter 3"), "wrong diameter: {text}");
+    assert!(
+        !text.contains("timings:"),
+        "phase timings must be opt-in: {text}"
+    );
+}
+
+#[test]
+fn search_timings_flag_prints_phases() {
+    let dir = std::env::temp_dir().join("ctc_cli_test_timings");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("fig1.txt");
+    write_figure1(&file);
+    let out = cli()
+        .args([
+            "search",
+            file.to_str().unwrap(),
+            "--query",
+            "0,1,2",
+            "--algo",
+            "bd",
+            "--timings",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let timings = text
+        .lines()
+        .find(|l| l.starts_with("timings:"))
+        .unwrap_or_else(|| panic!("no timings line: {text}"));
+    for phase in ["locate", "peel", "total"] {
+        assert!(timings.contains(phase), "{phase} missing: {timings}");
+    }
 }
 
 #[test]
