@@ -74,11 +74,7 @@ pub fn kcore_community(g: &CsrGraph, q: &[VertexId]) -> Result<Community> {
         q,
         (g.num_vertices(), g.num_edges()),
         0,
-        PhaseTimings {
-            locate: t0.elapsed(),
-            peel: Default::default(),
-            total: t0.elapsed(),
-        },
+        PhaseTimings::with_residual(t0.elapsed(), Default::default(), t0.elapsed()),
     ))
 }
 

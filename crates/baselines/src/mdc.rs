@@ -123,11 +123,7 @@ pub fn mdc(g: &CsrGraph, q: &[VertexId], cfg: &MdcConfig) -> Result<Community> {
         q,
         (restricted.num_vertices(), restricted.num_edges()),
         best_t,
-        PhaseTimings {
-            locate: t0.elapsed(),
-            peel: Default::default(),
-            total: t0.elapsed(),
-        },
+        PhaseTimings::with_residual(t0.elapsed(), Default::default(), t0.elapsed()),
     ))
 }
 

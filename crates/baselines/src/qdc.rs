@@ -188,11 +188,7 @@ pub fn qdc(g: &CsrGraph, q: &[VertexId], cfg: &QdcConfig) -> Result<Community> {
         q,
         (g.num_vertices(), g.num_edges()),
         best_t,
-        PhaseTimings {
-            locate: t0.elapsed(),
-            peel: Default::default(),
-            total: t0.elapsed(),
-        },
+        PhaseTimings::with_residual(t0.elapsed(), Default::default(), t0.elapsed()),
     );
     if !community.contains_query(q) {
         return Err(GraphError::Disconnected);

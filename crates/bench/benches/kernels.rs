@@ -1,0 +1,56 @@
+//! Microbench: the locate-phase intersection kernels — blocked u64-bitset
+//! adjacency vs the pure sorted-merge path — on the mini presets.
+//!
+//! `BitsetAdjacency::with_threshold(g, u32::MAX)` promotes no vertex to a
+//! bitset row, so every intersection takes the sorted-merge arm; the
+//! default threshold exercises the hybrid dispatch the query engine runs.
+//! Both produce byte-identical supports (pinned by the proptest suite);
+//! this bench pins the *speed* gap that justifies the hybrid. CI runs it
+//! in `--test` smoke mode so the harness cannot rot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctc_gen::mini_network;
+use ctc_graph::{edge_supports_adj, BitsetAdjacency, CsrGraph};
+use std::time::Duration;
+
+/// Sum of per-edge supports via `adj` — the pass-1 workload of every
+/// truss decomposition, and the densest intersection traffic in locate.
+fn support_sum(g: &CsrGraph, adj: &BitsetAdjacency, sup: &mut Vec<u32>) -> u64 {
+    edge_supports_adj(g, adj, sup);
+    sup.iter().map(|&s| s as u64).sum()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection_kernels");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for name in ["facebook", "dblp"] {
+        let net = mini_network(name, 7).expect("mini preset");
+        let g = net.graph;
+        let id = format!("{name}-mini/m={}", g.num_edges());
+
+        // Kernel dispatch: hybrid bitset vs forced all-merge, same API.
+        let hybrid = BitsetAdjacency::build(&g);
+        let merge = BitsetAdjacency::with_threshold(&g, u32::MAX);
+        let mut sup = Vec::new();
+        let want = support_sum(&g, &hybrid, &mut sup);
+        assert_eq!(want, support_sum(&g, &merge, &mut sup));
+        group.bench_with_input(BenchmarkId::new("edge_supports_bitset", &id), &g, |b, g| {
+            b.iter(|| support_sum(g, &hybrid, &mut sup))
+        });
+        group.bench_with_input(BenchmarkId::new("edge_supports_merge", &id), &g, |b, g| {
+            b.iter(|| support_sum(g, &merge, &mut sup))
+        });
+
+        // Sidecar construction: what a cold locate pays before the first
+        // intersection (the engine amortises this through scratch pools).
+        group.bench_with_input(BenchmarkId::new("bitset_build", &id), &g, |b, g| {
+            b.iter(|| BitsetAdjacency::build(g).num_dense())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

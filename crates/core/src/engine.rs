@@ -267,16 +267,13 @@ impl CommunityEngine {
     /// a warm engine answers without allocating in the peeling loop.
     pub fn search(&self, q: &[VertexId], algo: SearchAlgo) -> Result<Community> {
         let searcher = self.searcher();
-        if algo == SearchAlgo::TrussOnly {
-            // No peeling: skip the pool's lock round-trip entirely.
-            return searcher.truss_only(q, &self.cfg);
-        }
         let mut scratch = self.scratch.checkout();
         let out = match algo {
             SearchAlgo::Basic => searcher.basic_with_scratch(q, &self.cfg, &mut scratch),
             SearchAlgo::BulkDelete => searcher.bulk_delete_with_scratch(q, &self.cfg, &mut scratch),
             SearchAlgo::Local => searcher.local_with_scratch(q, &self.cfg, &mut scratch),
-            SearchAlgo::TrussOnly => unreachable!("handled above"),
+            // No peeling, but the pooled locate-phase scratch still pays.
+            SearchAlgo::TrussOnly => searcher.truss_only_with_scratch(q, &self.cfg, &mut scratch),
         };
         self.scratch.restore(scratch);
         out

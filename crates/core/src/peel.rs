@@ -107,6 +107,12 @@ pub struct PeelScratch {
     cached_edges: Vec<(u32, u32)>,
     cached_supports: Vec<u32>,
     cache_filled: bool,
+    /// Pooled locate-phase state (FindG0 expansion + extraction), shared
+    /// with the searcher so a checked-out engine scratch covers both
+    /// phases of a query.
+    pub(crate) find: ctc_truss::FindScratch,
+    /// Pooled truss-decomposition state for LCTC's per-query index build.
+    pub(crate) decomp: ctc_truss::DecomposeScratch,
 }
 
 impl PeelScratch {

@@ -6,6 +6,9 @@ use ctc_graph::{
 use std::time::Duration;
 
 /// Per-phase wall-clock timings of a search.
+///
+/// The three named phases partition the total exactly:
+/// `locate + peel + finish == total`.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimings {
     /// Time to locate `G0` (Algorithm 2) or build `Gt` (LCTC Steiner +
@@ -13,8 +16,25 @@ pub struct PhaseTimings {
     pub locate: Duration,
     /// Time spent in the peeling loop (distance computation + maintenance).
     pub peel: Duration,
+    /// Everything after the peel: assembling the result, mapping local ids
+    /// back to the parent graph, final bookkeeping. Defined as
+    /// `total − locate − peel` so the phases always sum to the total.
+    pub finish: Duration,
     /// End-to-end time.
     pub total: Duration,
+}
+
+impl PhaseTimings {
+    /// Builds timings from the two measured phases and the end-to-end
+    /// total, assigning the residual to `finish`.
+    pub fn with_residual(locate: Duration, peel: Duration, total: Duration) -> Self {
+        PhaseTimings {
+            locate,
+            peel,
+            finish: total.saturating_sub(locate).saturating_sub(peel),
+            total,
+        }
+    }
 }
 
 /// A community returned by Basic / BulkDelete / LCTC / the Truss baseline.

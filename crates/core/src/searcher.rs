@@ -12,7 +12,7 @@ use crate::result::{Community, PhaseTimings};
 use crate::steiner::steiner_tree;
 use ctc_graph::error::{GraphError, Result};
 use ctc_graph::{BfsScratch, CsrGraph, Parallelism, Subgraph, VertexId};
-use ctc_truss::{find_g0, find_ktruss_containing, Snapshot, TrussIndex, G0};
+use ctc_truss::{find_g0_with, find_ktruss_containing_with, FindScratch, Snapshot, TrussIndex, G0};
 use std::time::Instant;
 
 /// How a searcher holds its truss index: built fresh (owned) or borrowed
@@ -122,14 +122,17 @@ impl<'g> CtcSearcher<'g> {
         Ok(q)
     }
 
-    /// Locates the starting community `G0` (max-k or fixed-k).
-    fn locate_g0(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<G0> {
+    /// Locates the starting community `G0` (max-k or fixed-k) over pooled
+    /// locate scratch.
+    fn locate_g0(&self, q: &[VertexId], cfg: &CtcConfig, find: &mut FindScratch) -> Result<G0> {
         match cfg.fixed_k {
-            None => find_g0(self.g, self.idx.get(), q),
+            None => find_g0_with(self.g, self.idx.get(), q, find),
             Some(kf) => {
                 // Largest feasible level not exceeding the requested k.
                 for k in (2..=kf).rev() {
-                    if let Some(g0) = find_ktruss_containing(self.g, self.idx.get(), q, k) {
+                    if let Some(g0) =
+                        find_ktruss_containing_with(self.g, self.idx.get(), q, k, find)
+                    {
                         if !g0.edges.is_empty() {
                             return Ok(g0);
                         }
@@ -150,7 +153,7 @@ impl<'g> CtcSearcher<'g> {
     ) -> Result<Community> {
         let t0 = Instant::now();
         let q = self.normalize_query(q)?;
-        let g0 = self.locate_g0(&q, cfg)?;
+        let g0 = self.locate_g0(&q, cfg, &mut scratch.find)?;
         let sub = ctc_graph::edge_subgraph(self.g, &g0.edges);
         let q_local = sub.locals(&q).ok_or(GraphError::Disconnected)?;
         let t_locate = t0.elapsed();
@@ -170,11 +173,7 @@ impl<'g> CtcSearcher<'g> {
             g0.k,
             out,
             (g0.vertices.len(), g0.edges.len()),
-            PhaseTimings {
-                locate: t_locate,
-                peel: t_peel,
-                total: t0.elapsed(),
-            },
+            PhaseTimings::with_residual(t_locate, t_peel, t0.elapsed()),
         ))
     }
 
@@ -214,13 +213,25 @@ impl<'g> CtcSearcher<'g> {
 
     /// The **Truss** baseline: `FindG0` with no diameter minimization.
     pub fn truss_only(&self, q: &[VertexId], cfg: &CtcConfig) -> Result<Community> {
+        self.truss_only_with_scratch(q, cfg, &mut PeelScratch::new())
+    }
+
+    /// [`truss_only`](Self::truss_only) over caller-pooled scratch (only
+    /// the locate-phase buffers are used; no peeling happens).
+    pub fn truss_only_with_scratch(
+        &self,
+        q: &[VertexId],
+        cfg: &CtcConfig,
+        scratch: &mut PeelScratch,
+    ) -> Result<Community> {
         let t0 = Instant::now();
         let q = self.normalize_query(q)?;
-        let g0 = self.locate_g0(&q, cfg)?;
+        let g0 = self.locate_g0(&q, cfg, &mut scratch.find)?;
         let sub = ctc_graph::edge_subgraph(self.g, &g0.edges);
         let q_local = sub.locals(&q).ok_or(GraphError::Disconnected)?;
-        let mut scratch = BfsScratch::new(sub.num_vertices());
-        let qd = ctc_graph::graph_query_distance(&sub.graph, &q_local, &mut scratch);
+        let t_locate = t0.elapsed();
+        let mut bfs = BfsScratch::new(sub.num_vertices());
+        let qd = ctc_graph::graph_query_distance(&sub.graph, &q_local, &mut bfs);
         let vertices = g0.vertices.clone();
         let edges = g0
             .edges
@@ -237,11 +248,7 @@ impl<'g> CtcSearcher<'g> {
             query_distance: qd,
             iterations: 0,
             g0_size: (g0.vertices.len(), g0.edges.len()),
-            timings: PhaseTimings {
-                locate: t0.elapsed(),
-                peel: Default::default(),
-                total: t0.elapsed(),
-            },
+            timings: PhaseTimings::with_residual(t_locate, Default::default(), t0.elapsed()),
         })
     }
 
@@ -268,14 +275,21 @@ impl<'g> CtcSearcher<'g> {
         let q_gt = gt.locals(&q).ok_or(GraphError::Disconnected)?;
         // Step 3: local truss decomposition + maximal connected k-truss
         // (the online decomposition LCTC pays per query — honors the
-        // configured thread count).
-        let idx_t = TrussIndex::build_par(&gt.graph, cfg.parallelism);
+        // configured thread count; the serial build runs over the pooled
+        // decomposition scratch, allocation-free once warm).
+        let idx_t = if cfg.parallelism.is_serial() {
+            TrussIndex::build_with(&gt.graph, &mut scratch.decomp)
+        } else {
+            TrussIndex::build_par(&gt.graph, cfg.parallelism)
+        };
         let ht = match cfg.fixed_k {
-            None => find_g0(&gt.graph, &idx_t, &q_gt)?,
+            None => find_g0_with(&gt.graph, &idx_t, &q_gt, &mut scratch.find)?,
             Some(kf) => {
                 let mut found = None;
                 for k in (2..=kf).rev() {
-                    if let Some(h) = find_ktruss_containing(&gt.graph, &idx_t, &q_gt, k) {
+                    if let Some(h) =
+                        find_ktruss_containing_with(&gt.graph, &idx_t, &q_gt, k, &mut scratch.find)
+                    {
                         if !h.edges.is_empty() {
                             found = Some(h);
                             break;
@@ -324,11 +338,7 @@ impl<'g> CtcSearcher<'g> {
             ht.k,
             out,
             (ht.vertices.len(), ht.edges.len()),
-            PhaseTimings {
-                locate: t_locate,
-                peel: t_peel,
-                total: t0.elapsed(),
-            },
+            PhaseTimings::with_residual(t_locate, t_peel, t0.elapsed()),
         ))
     }
 }

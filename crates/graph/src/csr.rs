@@ -68,25 +68,17 @@ impl CsrGraph {
             arc_edge[cv] = eid as u32;
             cursor[v as usize] += 1;
         }
-        // Rows are sorted already for the `u` side (edges ascending by (u,v)),
-        // but the `v` side interleaves; sort each row by neighbor id, carrying
-        // the arc_edge entries along.
-        for v in 0..n {
-            let lo = offsets[v] as usize;
-            let hi = offsets[v + 1] as usize;
-            if hi - lo > 1 {
-                let mut row: Vec<(u32, u32)> = neighbors[lo..hi]
-                    .iter()
-                    .copied()
-                    .zip(arc_edge[lo..hi].iter().copied())
-                    .collect();
-                row.sort_unstable();
-                for (i, (nb, ae)) in row.into_iter().enumerate() {
-                    neighbors[lo + i] = nb;
-                    arc_edge[lo + i] = ae;
-                }
-            }
-        }
+        // Every row comes out sorted without a sort pass: for vertex `w`, the
+        // arcs toward smaller neighbors arrive from edges `(u, w)` whose first
+        // coordinate `u < w`, and the arcs toward larger neighbors from edges
+        // `(w, x)` whose first coordinate is `w` — so in the globally sorted
+        // scan all `u < w` arcs land first (ascending in `u`), then all
+        // `x > w` arcs (ascending in `x`).
+        debug_assert!((0..n).all(|v| {
+            neighbors[offsets[v] as usize..offsets[v + 1] as usize]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
         CsrGraph {
             offsets,
             neighbors,

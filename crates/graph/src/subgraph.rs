@@ -129,13 +129,24 @@ pub fn subgraph_from_pairs(pairs: &[(VertexId, VertexId)]) -> Subgraph {
     for (local, &p) in to_parent.iter().enumerate() {
         from_parent.insert(p, local as u32);
     }
-    let mut b = GraphBuilder::with_capacity(pairs.len());
-    b.ensure_vertices(to_parent.len());
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(pairs.len());
     for &(u, v) in pairs {
-        b.add_edge(from_parent[&u.0], from_parent[&v.0]);
+        if u == v {
+            continue;
+        }
+        let (a, b) = (from_parent[&u.0], from_parent[&v.0]);
+        edges.push(if a < b { (a, b) } else { (b, a) });
+    }
+    // The hot caller (LCTC materialization) hands over sorted unique
+    // canonical pairs, and the parent→local renumbering above is monotone,
+    // so the mapped list is already sorted and deduplicated — the strictness
+    // scan below then skips the `GraphBuilder` re-sort entirely.
+    if !edges.windows(2).all(|w| w[0] < w[1]) {
+        edges.sort_unstable();
+        edges.dedup();
     }
     Subgraph {
-        graph: b.build(),
+        graph: CsrGraph::from_sorted_dedup_edges(to_parent.len(), edges),
         to_parent,
         from_parent,
     }

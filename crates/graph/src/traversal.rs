@@ -100,6 +100,7 @@ impl<F: Fn(EdgeId) -> bool> Adjacency for FilteredGraph<'_, F> {
 }
 
 /// Reusable BFS workspace with epoch-stamped visitation.
+#[derive(Clone, Debug, Default)]
 pub struct BfsScratch {
     stamp: Vec<u32>,
     dist: Vec<u32>,

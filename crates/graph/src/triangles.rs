@@ -2,10 +2,13 @@
 //!
 //! The support of an edge `e = (u,v)` in a graph `H` is the number of
 //! triangles of `H` containing `e` (Def. in §2 of the paper); k-trusses are
-//! defined entirely in terms of support. Supports are computed by merging
-//! the two sorted neighbor rows of each edge; triangle listing uses the
-//! forward (degree-ordered) algorithm so each triangle is reported once.
+//! defined entirely in terms of support. All hot entry points here route
+//! through the hybrid [`BitsetAdjacency`] kernel — word-parallel AND +
+//! popcount for dense rows, the classic sorted-row merge for sparse ones —
+//! and every path produces answers byte-identical to the merge oracle
+//! ([`naive_edge_supports`] pins that in tests and proptests).
 
+use crate::bitset::{merge_count, BitsetAdjacency, BitsetBuffers};
 use crate::csr::CsrGraph;
 use crate::dynamic::DynGraph;
 use crate::ids::{EdgeId, VertexId};
@@ -13,34 +16,46 @@ use crate::parallel::Parallelism;
 
 /// Computes `sup(e)` for every edge of `g`.
 ///
-/// Cost is `O(Σ_e (d(u) + d(v)))`, i.e. bounded by `O(m · d_max)` but far
-/// lower on the skewed degree distributions of real networks. This is the
-/// serial reference path; [`edge_supports_par`] spreads the same per-edge
-/// merges over threads and produces an identical array.
+/// Cost is `O(Σ_e (d(u) + d(v)))` worst case, but edges whose endpoints
+/// both carry packed bitset rows intersect in `O(span/64)` words instead.
+/// This is the serial reference path; [`edge_supports_par`] spreads the
+/// same per-edge intersections over threads and produces an identical
+/// array.
 pub fn edge_supports(g: &CsrGraph) -> Vec<u32> {
-    let mut sup = vec![0u32; g.num_edges()];
-    for (e, u, v) in g.edges() {
-        sup[e.index()] = sorted_intersection_count(g.neighbors(u), g.neighbors(v));
-    }
+    let adj = BitsetAdjacency::build(g);
+    let mut sup = Vec::new();
+    edge_supports_adj(g, &adj, &mut sup);
     sup
 }
 
+/// [`edge_supports`] against a caller-built kernel, writing into a
+/// caller-owned buffer — the pooled form the per-query decomposition uses
+/// so the warm path allocates nothing.
+pub fn edge_supports_adj(g: &CsrGraph, adj: &BitsetAdjacency, sup: &mut Vec<u32>) {
+    sup.clear();
+    sup.resize(g.num_edges(), 0);
+    for (e, u, v) in g.edges() {
+        sup[e.index()] = adj.intersection_count(g, u, v);
+    }
+}
+
 /// Computes `sup(e)` for every edge of `g`, spreading the per-edge
-/// neighbor-row merges over `par` worker threads.
+/// intersections over `par` worker threads.
 ///
-/// Each edge's support depends only on the immutable CSR rows of its
-/// endpoints, so workers fill disjoint chunks of the output with no
-/// synchronization and the result is byte-identical to [`edge_supports`]
-/// for every thread count.
+/// Each edge's support depends only on the immutable CSR rows (and the
+/// shared read-only bitset sidecar) of its endpoints, so workers fill
+/// disjoint chunks of the output with no synchronization and the result is
+/// byte-identical to [`edge_supports`] for every thread count.
 pub fn edge_supports_par(g: &CsrGraph, par: Parallelism) -> Vec<u32> {
     if par.is_serial() {
         return edge_supports(g);
     }
+    let adj = BitsetAdjacency::build(g);
     let mut sup = vec![0u32; g.num_edges()];
     par.fill_chunks(&mut sup, |start, chunk| {
         for (i, s) in chunk.iter_mut().enumerate() {
             let (u, v) = g.edge_endpoints(EdgeId((start + i) as u32));
-            *s = sorted_intersection_count(g.neighbors(u), g.neighbors(v));
+            *s = adj.intersection_count(g, u, v);
         }
     });
     sup
@@ -56,22 +71,33 @@ pub fn edge_supports_dyn(d: &DynGraph<'_>) -> Vec<u32> {
     sup
 }
 
-/// [`edge_supports_dyn`] writing into a caller-owned buffer, so pooled
+/// [`edge_supports_dyn`] writing into a caller-owned buffer.
+pub fn edge_supports_dyn_into(d: &DynGraph<'_>, sup: &mut Vec<u32>) {
+    let mut bufs = BitsetBuffers::default();
+    edge_supports_dyn_pooled(d, sup, &mut bufs);
+}
+
+/// [`edge_supports_dyn_into`] with a pooled kernel buffer, so pooled
 /// callers (the peel scratch of `ctc-core`) recompute supports with no
-/// per-call allocation once the buffer has grown.
+/// per-call allocation once the buffers have grown.
 ///
 /// A fully-alive overlay (the state every peel starts from) takes the
-/// static CSR fast path: plain sorted-row intersection with no
+/// static fast path: the bitset/merge hybrid over the plain CSR with no
 /// per-element alive checks, which is what makes re-arming a pooled
-/// maintainer cheap.
-pub fn edge_supports_dyn_into(d: &DynGraph<'_>, sup: &mut Vec<u32>) {
+/// maintainer cheap. Partial overlays fall back to the alive-checked
+/// merge — bitset rows describe the *base* graph and would overcount
+/// deleted neighbors.
+pub fn edge_supports_dyn_pooled(d: &DynGraph<'_>, sup: &mut Vec<u32>, bufs: &mut BitsetBuffers) {
     let g = d.base();
     sup.clear();
     sup.resize(g.num_edges(), 0);
     if d.num_alive_vertices() == g.num_vertices() && d.num_alive_edges() == g.num_edges() {
+        let adj =
+            BitsetAdjacency::build_in(g, crate::bitset::DEFAULT_DENSE_DEGREE, std::mem::take(bufs));
         for (e, u, v) in g.edges() {
-            sup[e.index()] = sorted_intersection_count(g.neighbors(u), g.neighbors(v));
+            sup[e.index()] = adj.intersection_count(g, u, v);
         }
+        *bufs = adj.into_buffers();
         return;
     }
     for (e, u, v) in d.alive_edges() {
@@ -81,67 +107,19 @@ pub fn edge_supports_dyn_into(d: &DynGraph<'_>, sup: &mut Vec<u32>) {
     }
 }
 
-#[inline]
-fn sorted_intersection_count(a: &[u32], b: &[u32]) -> u32 {
-    let (mut i, mut j, mut c) = (0usize, 0usize, 0u32);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                c += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    c
-}
-
-/// Calls `f(a, b, c)` once per triangle of `g`, with `a < b < c` in the
-/// degree-then-id order used for orientation.
+/// Calls `f(a, b, c)` once per triangle of `g`, with `a < b < c` in
+/// ascending vertex-id order.
 ///
-/// Forward algorithm: orient every edge from "smaller" to "larger" endpoint
-/// under the (degree, id) order; each vertex keeps a growing adjacency list
-/// `A(v)` of already-seen out-neighbors, and triangles appear as
-/// intersections of `A(u)` and `A(v)` when edge `(u,v)` is processed.
-/// Runs in `O(m^{3/2})`.
+/// Each triangle `{a, b, c}` is reported exactly once, discovered from its
+/// lexicographically smallest edge `(a, b)` by listing common neighbors
+/// `w > b` through the hybrid intersection kernel. Runs in `O(m^{3/2})`
+/// like the classic forward algorithm, with the per-edge intersections
+/// taking the word-parallel path wherever rows are packed.
 pub fn for_each_triangle<F: FnMut(VertexId, VertexId, VertexId)>(g: &CsrGraph, mut f: F) {
-    let n = g.num_vertices();
-    // rank[v] = position in ascending (degree, id) order.
-    let mut order: Vec<u32> = (0..n as u32).collect();
-    order.sort_unstable_by_key(|&v| (g.degree(VertexId(v)), v));
-    let mut rank = vec![0u32; n];
-    for (i, &v) in order.iter().enumerate() {
-        rank[v as usize] = i as u32;
-    }
-    // seen[x] holds the *ranks* of x's already-processed lower-rank
-    // neighbors. Vertices are processed in ascending rank, so pushes arrive
-    // in ascending rank order and every row stays sorted for the merge.
-    let mut seen: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for &s in &order {
-        let s = VertexId(s);
-        let rs = rank[s.index()];
-        for &t in g.neighbors(s) {
-            if rank[t as usize] <= rs {
-                continue; // process each edge once, from the earlier endpoint
-            }
-            // Triangles closing (s, t): common entries of seen[s], seen[t].
-            let (a, b) = (&seen[s.index()], &seen[t as usize]);
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < a.len() && j < b.len() {
-                match a[i].cmp(&b[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        f(VertexId(order[a[i] as usize]), s, VertexId(t));
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
-            seen[t as usize].push(rs);
-        }
+    let adj = BitsetAdjacency::build(g);
+    for (_, u, v) in g.edges() {
+        debug_assert!(u < v, "CSR edges are canonical (u < v)");
+        adj.for_each_common(g, u, v, v.0 + 1, |w, _, _| f(u, v, w));
     }
 }
 
@@ -164,11 +142,12 @@ pub fn triangle_count(g: &CsrGraph) -> u64 {
 /// Per-chunk support sums are reduced in chunk order, so the count equals
 /// [`triangle_count`] exactly for every thread count.
 pub fn triangle_count_par(g: &CsrGraph, par: Parallelism) -> u64 {
+    let adj = BitsetAdjacency::build(g);
     let partial = par.map_chunks(g.num_edges(), |range| {
         range
             .map(|e| {
                 let (u, v) = g.edge_endpoints(EdgeId(e as u32));
-                sorted_intersection_count(g.neighbors(u), g.neighbors(v)) as u64
+                adj.intersection_count(g, u, v) as u64
             })
             .sum::<u64>()
     });
@@ -178,15 +157,23 @@ pub fn triangle_count_par(g: &CsrGraph, par: Parallelism) -> u64 {
 /// Support of a single edge `{u, v}` in `g` (`None` if not an edge).
 pub fn support_of(g: &CsrGraph, u: VertexId, v: VertexId) -> Option<u32> {
     let _ = g.edge_between(u, v)?;
-    Some(sorted_intersection_count(g.neighbors(u), g.neighbors(v)))
+    Some(merge_count(g.neighbors(u), g.neighbors(v)))
 }
 
 /// Lists the common neighbors of `u` and `v` (the apexes of triangles over
 /// the edge `{u,v}`).
 pub fn common_neighbors(g: &CsrGraph, u: VertexId, v: VertexId) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    common_neighbors_into(g, u, v, &mut out);
+    out
+}
+
+/// [`common_neighbors`] writing into a caller-owned buffer — the pooled
+/// form for hot loops, so repeated apex listings reuse one allocation.
+pub fn common_neighbors_into(g: &CsrGraph, u: VertexId, v: VertexId, out: &mut Vec<VertexId>) {
+    out.clear();
     let (a, b) = (g.neighbors(u), g.neighbors(v));
     let (mut i, mut j) = (0usize, 0usize);
-    let mut out = Vec::new();
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
@@ -198,7 +185,6 @@ pub fn common_neighbors(g: &CsrGraph, u: VertexId, v: VertexId) -> Vec<VertexId>
             }
         }
     }
-    out
 }
 
 /// Returns, for every edge, the list-free triangle check used in tests:
@@ -289,6 +275,7 @@ mod tests {
         ]);
         let mut listed = 0u64;
         for_each_triangle(&g, |a, b, c| {
+            assert!(a < b && b < c, "ascending-id contract");
             assert!(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c));
             listed += 1;
         });
@@ -312,6 +299,10 @@ mod tests {
         assert_eq!(support_of(&g, VertexId(0), VertexId(0)), None);
         let c = common_neighbors(&g, VertexId(0), VertexId(1));
         assert_eq!(c, vec![VertexId(2), VertexId(3)]);
+        // The pooled form reuses its buffer and clears stale contents.
+        let mut buf = vec![VertexId(99)];
+        common_neighbors_into(&g, VertexId(0), VertexId(1), &mut buf);
+        assert_eq!(buf, vec![VertexId(2), VertexId(3)]);
     }
 
     #[test]
@@ -364,9 +355,8 @@ mod tests {
         assert_eq!(triangle_count_par(&g, Parallelism::threads(4)), 0);
     }
 
-    /// The forward algorithm's per-vertex `seen` rows must stay sorted for
-    /// its merge step; this exercises a graph where insertion order is
-    /// adversarial (hub with many spokes plus chords).
+    /// Hub with many spokes plus chords — dense hub row, sparse spokes:
+    /// the hybrid dispatch must agree with the count on every edge.
     #[test]
     fn seen_rows_sorted_star_with_chords() {
         let mut edges = vec![];
@@ -382,5 +372,6 @@ mod tests {
         for_each_triangle(&g, |_, _, _| listed += 1);
         assert_eq!(listed, 4);
         assert_eq!(triangle_count(&g), 4);
+        assert_eq!(edge_supports(&g), naive_edge_supports(&g));
     }
 }

@@ -88,6 +88,92 @@ impl UnionFind {
     }
 }
 
+/// A pooled union-find whose `reset` is O(1): slots are lazily
+/// re-initialized to singletons via epoch stamps instead of rewriting the
+/// whole parent array, so a pooled query path (FindG0) pays only for the
+/// vertices it actually touches.
+///
+/// Same path-halving + union-by-size discipline as [`UnionFind`]; a slot
+/// whose stamp is stale reads as its own singleton set.
+#[derive(Clone, Debug, Default)]
+pub struct EpochUnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochUnionFind {
+    /// An empty structure; size it per query with [`reset`](Self::reset).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes every element of `0..n` a singleton. O(1) except on first
+    /// growth and on the u32 epoch wraparound.
+    pub fn reset(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, self.epoch);
+            self.parent.resize(n, 0);
+            self.size.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline(always)]
+    fn touch(&mut self, x: u32) {
+        if self.stamp[x as usize] != self.epoch {
+            self.stamp[x as usize] = self.epoch;
+            self.parent[x as usize] = x;
+            self.size[x as usize] = 1;
+        }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, x: u32) -> u32 {
+        self.touch(x);
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// `true` if every element of `xs` shares one set (vacuously true for
+    /// empty or singleton slices).
+    pub fn all_connected(&mut self, xs: &[u32]) -> bool {
+        match xs.split_first() {
+            None => true,
+            Some((&first, rest)) => {
+                let r = self.find(first);
+                rest.iter().all(|&x| self.find(x) == r)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +215,44 @@ mod tests {
         for i in 0..8 {
             assert_eq!(uf.find(i), r);
         }
+    }
+
+    /// The epoch variant must behave exactly like a fresh UnionFind after
+    /// every reset — including immediately after pooling reuse.
+    #[test]
+    fn epoch_reset_matches_fresh() {
+        let mut euf = EpochUnionFind::new();
+        for round in 0..3 {
+            euf.reset(6);
+            let mut uf = UnionFind::new(6);
+            let pairs = [(0u32, 1u32), (2, 3), (1, 3), (4, 5)];
+            for &(a, b) in &pairs {
+                assert_eq!(euf.union(a, b), uf.union(a, b), "round {round}");
+            }
+            for x in 0..6u32 {
+                for y in 0..6u32 {
+                    assert_eq!(
+                        euf.find(x) == euf.find(y),
+                        uf.connected(x, y),
+                        "round {round}: {x},{y}"
+                    );
+                }
+            }
+            assert!(euf.all_connected(&[0, 1, 2, 3]));
+            assert!(!euf.all_connected(&[0, 4]));
+            assert!(euf.all_connected(&[]));
+        }
+    }
+
+    #[test]
+    fn epoch_reset_grows() {
+        let mut euf = EpochUnionFind::new();
+        euf.reset(2);
+        euf.union(0, 1);
+        euf.reset(10);
+        // Old unions must be gone, new slots must be singletons.
+        assert_ne!(euf.find(0), euf.find(1));
+        assert!(euf.union(8, 9));
+        assert!(!euf.union(9, 8));
     }
 }

@@ -95,13 +95,18 @@ pub struct Counters {
     /// Byte streams rejected by the HTTP parser.
     pub http_rejects: AtomicU64,
     /// Cumulative microseconds spent locating `G0`/`Gt` across uncached
-    /// `/search` answers. With `phase_peel_us` and `phase_total_us` this
-    /// makes peel-phase regressions visible in production without a
-    /// profiler: `GET /stats` divides them by `cache_misses`.
+    /// `/search` answers. With `phase_peel_us`, `phase_finish_us` and
+    /// `phase_total_us` this makes phase regressions visible in production
+    /// without a profiler: `GET /stats` divides them by `cache_misses`.
     pub phase_locate_us: AtomicU64,
     /// Cumulative peel-phase microseconds across uncached `/search`
     /// answers.
     pub phase_peel_us: AtomicU64,
+    /// Cumulative post-peel (result assembly) microseconds across uncached
+    /// `/search` answers. Accumulated as `total − locate − peel` per
+    /// request, so `locate + peel + finish == total` holds exactly at the
+    /// counter level.
+    pub phase_finish_us: AtomicU64,
     /// Cumulative end-to-end search microseconds across uncached
     /// `/search` answers.
     pub phase_total_us: AtomicU64,
@@ -130,6 +135,8 @@ pub struct CountersSnapshot {
     pub phase_locate_us: u64,
     /// See [`Counters::phase_peel_us`].
     pub phase_peel_us: u64,
+    /// See [`Counters::phase_finish_us`].
+    pub phase_finish_us: u64,
     /// See [`Counters::phase_total_us`].
     pub phase_total_us: u64,
 }
@@ -147,6 +154,7 @@ impl Counters {
             http_rejects: self.http_rejects.load(Ordering::Relaxed),
             phase_locate_us: self.phase_locate_us.load(Ordering::Relaxed),
             phase_peel_us: self.phase_peel_us.load(Ordering::Relaxed),
+            phase_finish_us: self.phase_finish_us.load(Ordering::Relaxed),
             phase_total_us: self.phase_total_us.load(Ordering::Relaxed),
         }
     }
@@ -327,15 +335,22 @@ impl AppState {
             Ok(c) => {
                 self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
                 self.counters.search_ok.fetch_add(1, Ordering::Relaxed);
+                // The finish counter absorbs the integer-truncation residue
+                // along with the assembly time, keeping
+                // locate + peel + finish == total exact in the µs domain.
+                let lu = c.timings.locate.as_micros() as u64;
+                let pu = c.timings.peel.as_micros() as u64;
+                let tu = c.timings.total.as_micros() as u64;
                 self.counters
                     .phase_locate_us
-                    .fetch_add(c.timings.locate.as_micros() as u64, Ordering::Relaxed);
+                    .fetch_add(lu, Ordering::Relaxed);
+                self.counters.phase_peel_us.fetch_add(pu, Ordering::Relaxed);
                 self.counters
-                    .phase_peel_us
-                    .fetch_add(c.timings.peel.as_micros() as u64, Ordering::Relaxed);
+                    .phase_finish_us
+                    .fetch_add(tu.saturating_sub(lu).saturating_sub(pu), Ordering::Relaxed);
                 self.counters
                     .phase_total_us
-                    .fetch_add(c.timings.total.as_micros() as u64, Ordering::Relaxed);
+                    .fetch_add(tu, Ordering::Relaxed);
                 // Cache the *encoded* body: a hit costs one memcpy, never
                 // a re-encode of the whole community (encoding dominates
                 // per-hit cost for large answers).
@@ -397,6 +412,7 @@ impl AppState {
                 Json::Object(vec![
                     ("locate_us".into(), Json::Uint(c.phase_locate_us)),
                     ("peel_us".into(), Json::Uint(c.phase_peel_us)),
+                    ("finish_us".into(), Json::Uint(c.phase_finish_us)),
                     ("total_us".into(), Json::Uint(c.phase_total_us)),
                 ]),
             ),
@@ -752,19 +768,33 @@ mod tests {
         // Before any search: all phase counters zero.
         let (_, stats0) = split(&s.respond(&req("GET", "/stats", "")).unwrap());
         let text0 = String::from_utf8(stats0).unwrap();
-        assert!(text0.contains(r#""phases":{"locate_us":0,"peel_us":0,"total_us":0}"#));
+        assert!(
+            text0.contains(r#""phases":{"locate_us":0,"peel_us":0,"finish_us":0,"total_us":0}"#),
+            "{text0}"
+        );
         // One uncached search accumulates micros; a cache hit must not.
         s.respond(&req("POST", "/search", &body)).unwrap();
         let c1 = s.counters();
-        assert!(
-            c1.phase_total_us >= c1.phase_peel_us,
-            "total ≥ peel: {c1:?}"
+        assert_eq!(
+            c1.phase_locate_us + c1.phase_peel_us + c1.phase_finish_us,
+            c1.phase_total_us,
+            "phases must partition the total exactly: {c1:?}"
         );
         s.respond(&req("POST", "/search", &body)).unwrap();
         let c2 = s.counters();
         assert_eq!(
-            (c2.phase_locate_us, c2.phase_peel_us, c2.phase_total_us),
-            (c1.phase_locate_us, c1.phase_peel_us, c1.phase_total_us),
+            (
+                c2.phase_locate_us,
+                c2.phase_peel_us,
+                c2.phase_finish_us,
+                c2.phase_total_us
+            ),
+            (
+                c1.phase_locate_us,
+                c1.phase_peel_us,
+                c1.phase_finish_us,
+                c1.phase_total_us
+            ),
             "cache hits must not move the phase counters"
         );
         let (_, stats1) = split(&s.respond(&req("GET", "/stats", "")).unwrap());
@@ -772,6 +802,27 @@ mod tests {
         assert!(
             text1.contains(&format!(r#""peel_us":{}"#, c2.phase_peel_us)),
             "{text1}"
+        );
+    }
+
+    /// The counter arithmetic must stay exact across many uncached
+    /// searches of different algorithms — the sum of per-request integer
+    /// truncation residue lands in `finish_us`, never lost.
+    #[test]
+    fn phase_counters_sum_exactly_across_requests() {
+        let s = state(8);
+        let f = Figure1Ids::default();
+        let queries = [f.q1, f.q2, f.q3];
+        for (i, algo) in ["basic", "bd", "lctc", "truss"].iter().enumerate() {
+            let body = format!(r#"{{"query":[{}],"algo":"{algo}"}}"#, queries[i % 3].0);
+            let _ = s.respond(&req("POST", "/search", &body));
+        }
+        let c = s.counters();
+        assert!(c.cache_misses >= 3, "expected several uncached searches");
+        assert_eq!(
+            c.phase_locate_us + c.phase_peel_us + c.phase_finish_us,
+            c.phase_total_us,
+            "locate + peel + finish must equal total: {c:?}"
         );
     }
 

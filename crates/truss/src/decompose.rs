@@ -15,7 +15,8 @@
 //! one.
 
 use ctc_graph::{
-    edge_supports, edge_supports_par, CsrGraph, DynGraph, EdgeId, Parallelism, VertexId,
+    edge_supports, edge_supports_par, BitsetAdjacency, BitsetBuffers, CsrGraph, DynGraph, EdgeId,
+    Parallelism, VertexId, DEFAULT_DENSE_DEGREE,
 };
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -60,41 +61,44 @@ impl TrussDecomposition {
 /// `bin_start[s]` is the first index of the bucket with support `s`.
 /// Decrementing an edge's support swaps it with the first element of its
 /// bucket — the classic O(1) trick from k-core decomposition.
+#[derive(Clone, Debug, Default)]
 struct SupportBuckets {
     sorted: Vec<u32>,
     pos: Vec<u32>,
     bin_start: Vec<u32>,
     sup: Vec<u32>,
+    cursor: Vec<u32>,
 }
 
 impl SupportBuckets {
-    fn new(sup: Vec<u32>) -> Self {
+    /// Rebuilds the bucket queue for `sup`, reusing pooled capacity.
+    fn reset_from(&mut self, sup: &[u32]) {
         let m = sup.len();
+        self.sup.clear();
+        self.sup.extend_from_slice(sup);
         let max_sup = sup.iter().copied().max().unwrap_or(0) as usize;
-        let mut counts = vec![0u32; max_sup + 2];
-        for &s in &sup {
-            counts[s as usize] += 1;
+        self.bin_start.clear();
+        self.bin_start.resize(max_sup + 2, 0);
+        for &s in sup {
+            self.bin_start[s as usize] += 1;
         }
-        let mut bin_start = vec![0u32; max_sup + 2];
         let mut acc = 0u32;
-        for (s, &c) in counts.iter().enumerate() {
-            bin_start[s] = acc;
+        for slot in self.bin_start.iter_mut() {
+            let c = *slot;
+            *slot = acc;
             acc += c;
         }
-        let mut cursor = bin_start.clone();
-        let mut sorted = vec![0u32; m];
-        let mut pos = vec![0u32; m];
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.bin_start);
+        self.sorted.clear();
+        self.sorted.resize(m, 0);
+        self.pos.clear();
+        self.pos.resize(m, 0);
         for (e, &s) in sup.iter().enumerate() {
-            let p = cursor[s as usize];
-            sorted[p as usize] = e as u32;
-            pos[e] = p;
-            cursor[s as usize] += 1;
-        }
-        SupportBuckets {
-            sorted,
-            pos,
-            bin_start,
-            sup,
+            let p = self.cursor[s as usize];
+            self.sorted[p as usize] = e as u32;
+            self.pos[e] = p;
+            self.cursor[s as usize] += 1;
         }
     }
 
@@ -115,8 +119,58 @@ impl SupportBuckets {
     }
 }
 
+/// Pooled working memory for [`truss_decomposition_with`]: the bitset
+/// adjacency slab, the flat triangle pre-index, the `peeled` flags, and the
+/// bucket-queue arrays. One scratch serves any number of decompositions;
+/// a warmed scratch makes repeated per-query decompositions (LCTC's locate
+/// phase) allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct DecomposeScratch {
+    bitset: BitsetBuffers,
+    sup: Vec<u32>,
+    tri_start: Vec<u32>,
+    tri: Vec<u32>,
+    peeled: Vec<bool>,
+    touched: Vec<u32>,
+    buckets: SupportBuckets,
+    /// Lazy bucket queue for the pre-index peel: `lazy[s]` holds edges whose
+    /// support last *became* `s`; stale entries are skipped on pop.
+    lazy: Vec<Vec<u32>>,
+}
+
+impl DecomposeScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Ceiling on the triangle pre-index size, in (edge, edge) slot pairs.
+/// Graphs whose triangle mass exceeds it fall back to the DynGraph merge
+/// loop rather than materializing a huge flat index.
+fn pre_index_cap_pairs(m: usize) -> u64 {
+    (32 * m as u64).max(1 << 20)
+}
+
 /// Runs the truss decomposition on `g`.
 pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
+    truss_decomposition_with(g, &mut DecomposeScratch::new())
+}
+
+/// Runs the truss decomposition on `g` using pooled `scratch` buffers.
+///
+/// Identical output to [`truss_decomposition`] (which delegates here with a
+/// fresh scratch). The hot path replaces the per-edge adjacency merges of
+/// the classic peel with a flat *triangle pre-index*: one bitset-kernel
+/// sweep lists every triangle's other two edge ids into per-edge slots, and
+/// the peel loop then touches only those slots, skipping triangles already
+/// broken by a `peeled` flag — no deletion overlay, no merges. Graphs whose
+/// triangle mass exceeds the pre-index cap use the classic
+/// [`DynGraph`] merge peel instead (same answers, bounded memory).
+pub fn truss_decomposition_with(
+    g: &CsrGraph,
+    scratch: &mut DecomposeScratch,
+) -> TrussDecomposition {
     let m = g.num_edges();
     let mut edge_truss = vec![0u32; m];
     if m == 0 {
@@ -125,38 +179,128 @@ pub fn truss_decomposition(g: &CsrGraph) -> TrussDecomposition {
             max_truss: 0,
         };
     }
-    let sup = edge_supports(g);
-    let mut buckets = SupportBuckets::new(sup);
-    let mut live = DynGraph::new(g);
-    let mut max_truss = 2u32;
-    // Peel edges in ascending current-support order. `k_floor` tracks the
-    // highest support seen at removal time; supports of later edges are
-    // clamped to it implicitly because `decrement` is skipped when a
-    // neighbor edge's support has already fallen to the frontier.
-    let mut k_floor = 0u32;
-    let mut touched: Vec<u32> = Vec::new();
-    for i in 0..m {
-        let e = EdgeId(buckets.sorted[i]);
-        let s = buckets.sup[e.index()];
-        k_floor = k_floor.max(s);
-        let truss = k_floor + 2;
-        edge_truss[e.index()] = truss;
-        max_truss = max_truss.max(truss);
-        let (u, v) = g.edge_endpoints(e);
-        // Collect first: decrementing re-orders the bucket arrays, which
-        // must not race with the common-neighbor merge borrowing `live`.
-        touched.clear();
-        live.for_each_common_neighbor(u, v, |_, euw, evw| {
-            touched.push(euw.0);
-            touched.push(evw.0);
-        });
-        for &f in &touched {
-            if buckets.sup[f as usize] > k_floor {
-                buckets.decrement(f);
-            }
-        }
-        live.remove_edge(e);
+    let adj =
+        BitsetAdjacency::build_in(g, DEFAULT_DENSE_DEGREE, std::mem::take(&mut scratch.bitset));
+    // Pass 1: per-edge supports via the intersection kernel (identical to
+    // `edge_supports`); their sum is the triangle-slot budget.
+    scratch.sup.clear();
+    scratch.sup.reserve(m);
+    let mut total_pairs = 0u64;
+    for (_, u, v) in g.edges() {
+        let s = adj.intersection_count(g, u, v);
+        total_pairs += s as u64;
+        scratch.sup.push(s);
     }
+    let use_pre_index = total_pairs <= pre_index_cap_pairs(m) && total_pairs * 2 <= u32::MAX as u64;
+    let mut max_truss = 2u32;
+    if use_pre_index {
+        // Pass 2: flatten every triangle into its owning edge's slot range.
+        // Edges are visited in id order and the kernel emits common
+        // neighbors in ascending order, so slots are filled sequentially.
+        scratch.tri_start.clear();
+        scratch.tri_start.reserve(m + 1);
+        let mut off = 0u32;
+        for &s in &scratch.sup {
+            scratch.tri_start.push(off);
+            off += 2 * s;
+        }
+        scratch.tri_start.push(off);
+        scratch.tri.clear();
+        scratch.tri.reserve(off as usize);
+        let tri = &mut scratch.tri;
+        for (_, u, v) in g.edges() {
+            adj.for_each_common(g, u, v, 0, |_, euw, evw| {
+                tri.push(euw.0);
+                tri.push(evw.0);
+            });
+        }
+        debug_assert_eq!(scratch.tri.len(), off as usize);
+        scratch.peeled.clear();
+        scratch.peeled.resize(m, false);
+        // Lazy bucket peel: a decrement is one store plus one push — no
+        // positional swap maintenance. `lazy[s]` may hold stale entries
+        // (the edge moved on or was peeled); the pop re-checks `sup`.
+        // Trussness is a confluent fixpoint of the peel, so the different
+        // within-level order cannot change any output value.
+        let max_sup = scratch.sup.iter().copied().max().unwrap_or(0) as usize;
+        for bucket in scratch.lazy.iter_mut() {
+            bucket.clear();
+        }
+        if scratch.lazy.len() <= max_sup {
+            scratch.lazy.resize_with(max_sup + 1, Vec::new);
+        }
+        for (e, &s) in scratch.sup.iter().enumerate() {
+            scratch.lazy[s as usize].push(e as u32);
+        }
+        for k in 0..=max_sup {
+            let mut i = 0;
+            while i < scratch.lazy[k].len() {
+                let e = scratch.lazy[k][i] as usize;
+                i += 1;
+                if scratch.peeled[e] || scratch.sup[e] as usize != k {
+                    continue; // stale entry: the edge moved on or is gone
+                }
+                scratch.peeled[e] = true;
+                let truss = k as u32 + 2;
+                edge_truss[e] = truss;
+                max_truss = max_truss.max(truss);
+                // A triangle survives iff neither of its other two edges
+                // has been peeled — exactly the aliveness the deletion
+                // overlay's merge used to test. Supports never drop below
+                // the current level (the old `k_floor` clamp).
+                let (a, b) = (
+                    scratch.tri_start[e] as usize,
+                    scratch.tri_start[e + 1] as usize,
+                );
+                for pair in scratch.tri[a..b].chunks_exact(2) {
+                    let (e1, e2) = (pair[0] as usize, pair[1] as usize);
+                    if scratch.peeled[e1] || scratch.peeled[e2] {
+                        continue;
+                    }
+                    for f in [e1, e2] {
+                        if scratch.sup[f] as usize > k {
+                            scratch.sup[f] -= 1;
+                            scratch.lazy[scratch.sup[f] as usize].push(f as u32);
+                        }
+                    }
+                }
+            }
+            scratch.lazy[k].clear();
+        }
+    } else {
+        scratch.buckets.reset_from(&scratch.sup);
+        // Peel edges in ascending current-support order. `k_floor` tracks
+        // the highest support seen at removal time; supports of later edges
+        // are clamped to it implicitly because `decrement` is skipped when
+        // a neighbor edge's support has already fallen to the frontier.
+        let mut k_floor = 0u32;
+        let buckets = &mut scratch.buckets;
+        let mut live = DynGraph::new(g);
+        let touched = &mut scratch.touched;
+        for i in 0..m {
+            let e = EdgeId(buckets.sorted[i]);
+            let s = buckets.sup[e.index()];
+            k_floor = k_floor.max(s);
+            let truss = k_floor + 2;
+            edge_truss[e.index()] = truss;
+            max_truss = max_truss.max(truss);
+            let (u, v) = g.edge_endpoints(e);
+            // Collect first: decrementing re-orders the bucket arrays, which
+            // must not race with the common-neighbor merge borrowing `live`.
+            touched.clear();
+            live.for_each_common_neighbor(u, v, |_, euw, evw| {
+                touched.push(euw.0);
+                touched.push(evw.0);
+            });
+            for &f in touched.iter() {
+                if buckets.sup[f as usize] > k_floor {
+                    buckets.decrement(f);
+                }
+            }
+            live.remove_edge(e);
+        }
+    }
+    scratch.bitset = adj.into_buffers();
     TrussDecomposition {
         edge_truss,
         max_truss,

@@ -9,8 +9,7 @@
 
 use crate::index::TrussIndex;
 use ctc_graph::error::{GraphError, Result};
-use ctc_graph::union_find::UnionFind;
-use ctc_graph::{CsrGraph, EdgeId, Subgraph, VertexId};
+use ctc_graph::{BfsScratch, CsrGraph, EdgeId, EpochMarks, EpochUnionFind, Subgraph, VertexId};
 
 /// Output of [`find_g0`]: the maximal connected k-truss containing `Q` with
 /// the largest `k`, as an edge/vertex set of the parent graph.
@@ -26,6 +25,57 @@ pub struct G0 {
 
 const NO_LEVEL: u32 = u32::MAX;
 
+/// Pooled working state for [`find_g0_with`] / [`find_ktruss_containing_with`].
+///
+/// Every per-vertex / per-edge array is epoch-stamped, so arming a query
+/// costs O(|touched last time|) amortized rather than O(n + m) — the
+/// expansion only ever pays for the vertices and edges it actually visits.
+#[derive(Clone, Debug, Default)]
+pub struct FindScratch {
+    /// Per-vertex cursor into the truss-sorted row; stale stamp reads as 0.
+    cursor: Vec<u32>,
+    cursor_set: EpochMarks,
+    /// Level a vertex was last enqueued at; stale stamp reads as NO_LEVEL.
+    pending: Vec<u32>,
+    pending_set: EpochMarks,
+    in_g0_vertex: EpochMarks,
+    in_g0_edge: EpochMarks,
+    uf: EpochUnionFind,
+    g0_edges: Vec<EdgeId>,
+    /// Every vertex first marked `in_g0_vertex`, in discovery order.
+    touched: Vec<u32>,
+    /// Per-level worklists; inner vecs keep their capacity across queries.
+    levels: Vec<Vec<u32>>,
+    q_raw: Vec<u32>,
+    comp: EpochMarks,
+    bfs: BfsScratch,
+}
+
+impl FindScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn cursor_of(&self, v: usize) -> u32 {
+        if self.cursor_set.contains(v) {
+            self.cursor[v]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn pending_of(&self, v: usize) -> u32 {
+        if self.pending_set.contains(v) {
+            self.pending[v]
+        } else {
+            NO_LEVEL
+        }
+    }
+}
+
 /// Runs Algorithm 2 on `g` with query set `q`.
 ///
 /// Errors with [`GraphError::EmptyQuery`] for an empty query,
@@ -33,6 +83,17 @@ const NO_LEVEL: u32 = u32::MAX;
 /// [`GraphError::Disconnected`] when the query vertices do not share a
 /// connected component (they can never be covered by one connected k-truss).
 pub fn find_g0(g: &CsrGraph, idx: &TrussIndex, q: &[VertexId]) -> Result<G0> {
+    find_g0_with(g, idx, q, &mut FindScratch::new())
+}
+
+/// [`find_g0`] with pooled `scratch` buffers: identical output, but the
+/// warm path performs no allocation and touches no O(n)/O(m) state.
+pub fn find_g0_with(
+    g: &CsrGraph,
+    idx: &TrussIndex,
+    q: &[VertexId],
+    scratch: &mut FindScratch,
+) -> Result<G0> {
     if q.is_empty() {
         return Err(GraphError::EmptyQuery);
     }
@@ -54,34 +115,48 @@ pub fn find_g0(g: &CsrGraph, idx: &TrussIndex, q: &[VertexId]) -> Result<G0> {
         .expect("q nonempty");
     debug_assert!(k_start >= 2);
 
-    let mut cursor = vec![0u32; n];
-    let mut in_g0_vertex = vec![false; n];
-    let mut in_g0_edge = vec![false; g.num_edges()];
-    let mut g0_edges: Vec<EdgeId> = Vec::new();
-    let mut uf = UnionFind::new(n);
+    scratch.cursor.resize(n.max(scratch.cursor.len()), 0);
+    scratch.cursor_set.ensure(n);
+    scratch.cursor_set.clear();
+    scratch.pending.resize(n.max(scratch.pending.len()), 0);
+    scratch.pending_set.ensure(n);
+    scratch.pending_set.clear();
+    scratch.in_g0_vertex.ensure(n);
+    scratch.in_g0_vertex.clear();
+    scratch.in_g0_edge.ensure(g.num_edges());
+    scratch.in_g0_edge.clear();
+    scratch.uf.reset(n);
+    scratch.g0_edges.clear();
+    scratch.touched.clear();
     // Worklists per level, indexed by k (0..=k_start). `pending[v]` is the
     // level the vertex was last enqueued at (loose dedup; reprocessing is
     // idempotent thanks to the cursors).
-    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); k_start as usize + 1];
-    let mut pending = vec![NO_LEVEL; n];
+    while scratch.levels.len() <= k_start as usize {
+        scratch.levels.push(Vec::new());
+    }
+    for lvl in scratch.levels.iter_mut() {
+        lvl.clear();
+    }
     for &qv in q {
-        if pending[qv.index()] != k_start {
-            pending[qv.index()] = k_start;
-            levels[k_start as usize].push(qv.0);
+        if scratch.pending_of(qv.index()) != k_start {
+            scratch.pending_set.insert(qv.index());
+            scratch.pending[qv.index()] = k_start;
+            scratch.levels[k_start as usize].push(qv.0);
         }
     }
-    let q_raw: Vec<u32> = q.iter().map(|v| v.0).collect();
+    scratch.q_raw.clear();
+    scratch.q_raw.extend(q.iter().map(|v| v.0));
 
     let mut k = k_start;
     loop {
         // Drain the worklist of level k; it may grow while we iterate.
-        let mut worklist = std::mem::take(&mut levels[k as usize]);
+        let mut worklist = std::mem::take(&mut scratch.levels[k as usize]);
         let mut head = 0usize;
         while head < worklist.len() {
             let v = VertexId(worklist[head]);
             head += 1;
             let (nbrs, edges) = idx.sorted_row(v);
-            let mut c = cursor[v.index()] as usize;
+            let mut c = scratch.cursor_of(v.index()) as usize;
             while c < edges.len() {
                 let e = EdgeId(edges[c]);
                 if idx.edge_truss(e) < k {
@@ -89,32 +164,42 @@ pub fn find_g0(g: &CsrGraph, idx: &TrussIndex, q: &[VertexId]) -> Result<G0> {
                 }
                 let u = VertexId(nbrs[c]);
                 c += 1;
-                if !in_g0_edge[e.index()] {
-                    in_g0_edge[e.index()] = true;
-                    g0_edges.push(e);
-                    in_g0_vertex[v.index()] = true;
-                    in_g0_vertex[u.index()] = true;
-                    uf.union(v.0, u.0);
+                if scratch.in_g0_edge.insert(e.index()) {
+                    scratch.g0_edges.push(e);
+                    if scratch.in_g0_vertex.insert(v.index()) {
+                        scratch.touched.push(v.0);
+                    }
+                    if scratch.in_g0_vertex.insert(u.index()) {
+                        scratch.touched.push(u.0);
+                    }
+                    scratch.uf.union(v.0, u.0);
                 }
-                if pending[u.index()] != k {
-                    pending[u.index()] = k;
+                if scratch.pending_of(u.index()) != k {
+                    scratch.pending_set.insert(u.index());
+                    scratch.pending[u.index()] = k;
                     worklist.push(u.0);
                 }
             }
-            cursor[v.index()] = c as u32;
+            scratch.cursor_set.insert(v.index());
+            scratch.cursor[v.index()] = c as u32;
             // Line 12–13: requeue v at the level of its next untaken edge.
             if c < edges.len() {
                 let l = idx.edge_truss(EdgeId(edges[c]));
                 debug_assert!(l < k);
-                if pending[v.index()] != l {
-                    pending[v.index()] = l;
-                    levels[l as usize].push(v.0);
+                if scratch.pending_of(v.index()) != l {
+                    scratch.pending_set.insert(v.index());
+                    scratch.pending[v.index()] = l;
+                    scratch.levels[l as usize].push(v.0);
                 }
             }
         }
+        // Hand the (possibly grown) worklist's capacity back to the pool.
+        worklist.clear();
+        scratch.levels[k as usize] = worklist;
         // Level complete: is Q connected inside G0?
-        if uf.all_connected(&q_raw) && q.iter().all(|&v| in_g0_vertex[v.index()]) {
-            return Ok(extract_component(g, idx, &mut uf, &g0_edges, q[0], k));
+        let FindScratch { uf, q_raw, .. } = scratch;
+        if uf.all_connected(q_raw) && q.iter().all(|&v| scratch.in_g0_vertex.contains(v.index())) {
+            return Ok(extract_component(g, scratch, q[0], k));
         }
         if k == 2 {
             return Err(GraphError::Disconnected);
@@ -125,38 +210,39 @@ pub fn find_g0(g: &CsrGraph, idx: &TrussIndex, q: &[VertexId]) -> Result<G0> {
 
 /// Keeps only the connected component of the accumulated edge set that
 /// contains `root`, producing the final `G0`.
-fn extract_component(
-    g: &CsrGraph,
-    _idx: &TrussIndex,
-    uf: &mut UnionFind,
-    g0_edges: &[EdgeId],
-    root: VertexId,
-    k: u32,
-) -> G0 {
-    let rep = uf.find(root.0);
-    let mut edges = Vec::with_capacity(g0_edges.len());
-    let mut vertex_set: Vec<bool> = vec![false; g.num_vertices()];
-    for &e in g0_edges {
-        let (u, v) = g.edge_endpoints(e);
-        if uf.find(u.0) == rep {
-            edges.push(e);
-            vertex_set[u.index()] = true;
-            vertex_set[v.index()] = true;
+///
+/// The edge ids of a CSR built from sorted, deduplicated pairs ascend in
+/// lexicographic `(min, max)` endpoint order, so walking the component's
+/// vertices in ascending id order and each CSR row's upper neighbors
+/// (`nb > v`) in place emits the canonical ascending edge list directly —
+/// no O(|E0| log |E0|) sort and no O(n) vertex-set scan. Canonical order
+/// matters: every query inside one community produces a byte-identical
+/// edge list — and therefore a byte-identical peel subgraph, which is what
+/// lets the pooled peel scratch reuse its initial-supports table across
+/// queries.
+fn extract_component(g: &CsrGraph, scratch: &mut FindScratch, root: VertexId, k: u32) -> G0 {
+    let rep = scratch.uf.find(root.0);
+    scratch.comp.ensure(g.num_vertices());
+    scratch.comp.clear();
+    let mut vertices: Vec<VertexId> = Vec::new();
+    for i in 0..scratch.touched.len() {
+        let v = scratch.touched[i];
+        if scratch.uf.find(v) == rep {
+            scratch.comp.insert(v as usize);
+            vertices.push(VertexId(v));
         }
     }
-    let vertices = vertex_set
-        .iter()
-        .enumerate()
-        .filter(|(_, &b)| b)
-        .map(|(i, _)| VertexId::from(i))
-        .collect();
-    // Canonical order: the accumulation above follows the (query-dependent)
-    // expansion order, but G0 itself is a property of the community alone.
-    // Sorting makes every query inside one community produce a
-    // byte-identical edge list — and therefore a byte-identical peel
-    // subgraph, which is what lets the pooled peel scratch reuse its
-    // initial-supports table across queries.
-    edges.sort_unstable();
+    vertices.sort_unstable();
+    let mut edges = Vec::with_capacity(scratch.g0_edges.len());
+    for &v in &vertices {
+        for (nb, e) in g.incident(v) {
+            if nb > v && scratch.in_g0_edge.contains(e.index()) && scratch.comp.contains(nb.index())
+            {
+                edges.push(e);
+            }
+        }
+    }
+    debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "canonical order");
     G0 { k, edges, vertices }
 }
 
@@ -174,34 +260,48 @@ pub fn find_ktruss_containing(
     q: &[VertexId],
     k: u32,
 ) -> Option<G0> {
+    find_ktruss_containing_with(g, idx, q, k, &mut FindScratch::new())
+}
+
+/// [`find_ktruss_containing`] with pooled `scratch` buffers (the BFS
+/// frontier state is the only per-query memory). Identical output.
+pub fn find_ktruss_containing_with(
+    g: &CsrGraph,
+    idx: &TrussIndex,
+    q: &[VertexId],
+    k: u32,
+    scratch: &mut FindScratch,
+) -> Option<G0> {
     if q.is_empty() || q.iter().any(|&v| idx.vertex_truss(v) < k) {
         return None;
     }
     // BFS from q[0] over edges with trussness ≥ k.
     let view = ctc_graph::FilteredGraph::new(g, |e| idx.edge_truss(e) >= k);
-    let mut scratch = ctc_graph::BfsScratch::new(g.num_vertices());
-    scratch.run(&view, q[0]);
-    if q.iter().any(|&v| scratch.dist(v) == ctc_graph::INF) {
+    let bfs = &mut scratch.bfs;
+    bfs.ensure(g.num_vertices());
+    bfs.run(&view, q[0]);
+    if q.iter().any(|&v| bfs.dist(v) == ctc_graph::INF) {
         return None;
     }
-    let mut vertices: Vec<VertexId> = scratch.reached().collect();
+    let mut vertices: Vec<VertexId> = bfs.reached().collect();
     vertices.sort_unstable();
     let mut edges = Vec::new();
     for &v in &vertices {
         for (nb, e) in g.incident(v) {
-            if v < nb && idx.edge_truss(e) >= k && scratch.dist(nb) != ctc_graph::INF {
+            if v < nb && idx.edge_truss(e) >= k && bfs.dist(nb) != ctc_graph::INF {
                 edges.push(e);
             }
         }
     }
+    // Ascending-vertex, ascending-row iteration emits the same canonical
+    // edge order as `find_g0` (see `extract_component`) with no sort.
+    debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "canonical order");
     // Drop vertices that have no qualifying incident edge (can only be the
     // root itself in degenerate cases).
     vertices.retain(|&v| {
         g.incident(v)
-            .any(|(nb, e)| idx.edge_truss(e) >= k && scratch.dist(nb) != ctc_graph::INF)
+            .any(|(nb, e)| idx.edge_truss(e) >= k && bfs.dist(nb) != ctc_graph::INF)
     });
-    // Same canonical edge order as `find_g0` (see `extract_component`).
-    edges.sort_unstable();
     Some(G0 { k, edges, vertices })
 }
 
@@ -331,6 +431,48 @@ mod tests {
         let b = find_ktruss_containing(&g, &idx, &[f.q1, f.q2], 2).unwrap();
         assert_eq!(b.vertices.len(), 8);
         assert_eq!(b.edges.len(), 13);
+    }
+
+    /// One pooled scratch serving many queries (including error paths in
+    /// between) must answer each exactly like a fresh scratch would.
+    #[test]
+    fn pooled_scratch_reuse_matches_fresh() {
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        let f = Figure1Ids::default();
+        let queries: Vec<Vec<VertexId>> = vec![
+            vec![f.q1, f.q2, f.q3],
+            vec![f.q3],
+            vec![f.t],
+            vec![f.q1, f.t],
+            vec![f.q2],
+            vec![f.q1, f.q2, f.q3],
+        ];
+        let mut scratch = FindScratch::new();
+        for q in &queries {
+            let pooled = find_g0_with(&g, &idx, q, &mut scratch);
+            let fresh = find_g0(&g, &idx, q);
+            match (pooled, fresh) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.k, b.k, "query {q:?}");
+                    assert_eq!(a.edges, b.edges, "query {q:?}");
+                    assert_eq!(a.vertices, b.vertices, "query {q:?}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "query {q:?}"),
+                (a, b) => panic!("divergence on {q:?}: {a:?} vs {b:?}"),
+            }
+            // Interleave the fixed-k variant on the same scratch.
+            let with = find_ktruss_containing_with(&g, &idx, q, 4, &mut scratch);
+            let plain = find_ktruss_containing(&g, &idx, q, 4);
+            match (with, plain) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.edges, b.edges);
+                    assert_eq!(a.vertices, b.vertices);
+                }
+                (None, None) => {}
+                (a, b) => panic!("fixed-k divergence on {q:?}: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! the paper describes. Construction costs one truss decomposition,
 //! `O(ρ·m)` (Remark 1); the index occupies `O(m)` space.
 
-use crate::decompose::{truss_decomposition, TrussDecomposition};
+use crate::decompose::{truss_decomposition_with, DecomposeScratch, TrussDecomposition};
 use ctc_graph::fx::{fx_map_with_capacity, FxHashMap};
 use ctc_graph::{CsrGraph, EdgeId, VertexId};
+use std::sync::OnceLock;
 
 /// Truss index over a fixed graph.
 #[derive(Clone, Debug)]
@@ -27,8 +28,10 @@ pub struct TrussIndex {
     /// Edge ids parallel to `sorted_nbr`.
     sorted_edge: Vec<u32>,
     /// Canonical `(u, v) → edge id` hashtable (paper: "we build a hashtable
-    /// to keep all the edges and their trussness values").
-    edge_map: FxHashMap<(u32, u32), u32>,
+    /// to keep all the edges and their trussness values"). Built lazily on
+    /// first pair lookup — the per-query index builds of the LCTC locate
+    /// phase never pay the `m` hash inserts.
+    edge_map: OnceLock<FxHashMap<(u32, u32), u32>>,
 }
 
 impl TrussIndex {
@@ -43,8 +46,15 @@ impl TrussIndex {
     /// assert_eq!(idx.num_edges(), g.num_edges());
     /// ```
     pub fn build(g: &CsrGraph) -> Self {
-        let decomp = truss_decomposition(g);
-        Self::from_decomposition(g, &decomp)
+        Self::build_with(g, &mut DecomposeScratch::new())
+    }
+
+    /// Builds the index for `g` using pooled decomposition `scratch`.
+    /// Identical output to [`TrussIndex::build`]; a warmed scratch makes
+    /// the decomposition phase allocation-free.
+    pub fn build_with(g: &CsrGraph, scratch: &mut DecomposeScratch) -> Self {
+        let decomp = truss_decomposition_with(g, scratch);
+        Self::from_parts(g, decomp.edge_truss, decomp.max_truss)
     }
 
     /// Builds the index for `g`, running the truss decomposition across
@@ -53,50 +63,100 @@ impl TrussIndex {
     /// sorting is cheap by comparison and stays serial).
     pub fn build_par(g: &CsrGraph, par: ctc_graph::Parallelism) -> Self {
         let decomp = crate::decompose::truss_decomposition_par(g, par);
-        Self::from_decomposition(g, &decomp)
+        Self::from_parts(g, decomp.edge_truss, decomp.max_truss)
     }
 
     /// Builds the index from a precomputed decomposition.
     pub fn from_decomposition(g: &CsrGraph, decomp: &TrussDecomposition) -> Self {
+        Self::from_parts(g, decomp.edge_truss.clone(), decomp.max_truss)
+    }
+
+    fn from_parts(g: &CsrGraph, edge_truss: Vec<u32>, max_truss: u32) -> Self {
         let n = g.num_vertices();
         let m = g.num_edges();
-        let edge_truss = decomp.edge_truss.clone();
+        debug_assert_eq!(edge_truss.len(), m);
+        // Rows are (desc trussness, asc neighbor id). A per-row comparison
+        // sort costs O(Σ deg log deg) — noticeable on the LCTC locate path,
+        // which builds a local index per query. Instead: counting-sort the
+        // edge ids by (desc truss, asc id) globally, then scatter each edge
+        // into its two endpoint rows in that order. Within one truss level
+        // ascending edge id IS ascending neighbor id (edge ids follow the
+        // canonical ascending (min,max) pair order: a row's neighbors below
+        // v come first, ascending, then those above v, ascending — both
+        // monotone in id), so the result is byte-identical in O(m + K).
+        let levels = max_truss as usize + 1;
+        let mut level_count = vec![0u32; levels];
+        for &t in &edge_truss {
+            level_count[t as usize] += 1;
+        }
+        let mut level_start = vec![0u32; levels];
+        let mut acc = 0u32;
+        for t in (0..levels).rev() {
+            level_start[t] = acc;
+            acc += level_count[t];
+        }
+        let mut order = vec![0u32; m];
+        for (e, &t) in edge_truss.iter().enumerate() {
+            let slot = &mut level_start[t as usize];
+            order[*slot as usize] = e as u32;
+            *slot += 1;
+        }
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u32);
-        let mut sorted_nbr = Vec::with_capacity(2 * m);
-        let mut sorted_edge = Vec::with_capacity(2 * m);
-        let mut vertex_truss = vec![0u32; n];
-        let mut row: Vec<(u32, u32, u32)> = Vec::new(); // (truss, nbr, edge)
         for v in 0..n {
-            let v = VertexId::from(v);
-            row.clear();
-            for (nb, e) in g.incident(v) {
-                row.push((edge_truss[e.index()], nb.0, e.0));
-            }
-            // Descending trussness, ascending neighbor id inside a level.
-            row.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-            if let Some(&(t, _, _)) = row.first() {
-                vertex_truss[v.index()] = t;
-            }
-            for &(_, nb, e) in &row {
-                sorted_nbr.push(nb);
-                sorted_edge.push(e);
-            }
-            offsets.push(sorted_nbr.len() as u32);
+            let next = offsets[v] + g.degree(VertexId::from(v)) as u32;
+            offsets.push(next);
         }
-        let mut edge_map = fx_map_with_capacity(m);
-        for (e, u, v) in g.edges() {
-            edge_map.insert((u.0, v.0), e.0);
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut sorted_nbr = vec![0u32; 2 * m];
+        let mut sorted_edge = vec![0u32; 2 * m];
+        for &e in &order {
+            let (u, v) = g.edge_endpoints(EdgeId(e));
+            for (a, b) in [(u, v), (v, u)] {
+                let slot = &mut cursor[a.index()];
+                sorted_nbr[*slot as usize] = b.0;
+                sorted_edge[*slot as usize] = e;
+                *slot += 1;
+            }
+        }
+        let mut vertex_truss = vec![0u32; n];
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            if lo < offsets[v + 1] as usize {
+                vertex_truss[v] = edge_truss[sorted_edge[lo] as usize];
+            }
         }
         TrussIndex {
             edge_truss,
             vertex_truss,
-            max_truss: decomp.max_truss,
+            max_truss,
             offsets,
             sorted_nbr,
             sorted_edge,
-            edge_map,
+            edge_map: OnceLock::new(),
         }
+    }
+
+    /// The lazily built pair hashtable. Reconstructed from the truss-sorted
+    /// rows (each undirected edge appears in both endpoint rows; the `u < nb`
+    /// direction yields the canonical key exactly once).
+    fn edge_map(&self) -> &FxHashMap<(u32, u32), u32> {
+        self.edge_map.get_or_init(|| {
+            let m = self.edge_truss.len();
+            let mut map = fx_map_with_capacity(m);
+            for u in 0..self.num_vertices() {
+                let lo = self.offsets[u] as usize;
+                let hi = self.offsets[u + 1] as usize;
+                for i in lo..hi {
+                    let nb = self.sorted_nbr[i];
+                    if (u as u32) < nb {
+                        map.insert((u as u32, nb), self.sorted_edge[i]);
+                    }
+                }
+            }
+            debug_assert_eq!(map.len(), m);
+            map
+        })
     }
 
     /// Trussness of edge `e`.
@@ -137,7 +197,7 @@ impl TrussIndex {
     /// Trussness of the edge `{u, v}` via the hashtable (`None` if absent).
     pub fn truss_of_pair(&self, u: VertexId, v: VertexId) -> Option<u32> {
         let key = if u.0 < v.0 { (u.0, v.0) } else { (v.0, u.0) };
-        self.edge_map
+        self.edge_map()
             .get(&key)
             .map(|&e| self.edge_truss[e as usize])
     }
@@ -145,7 +205,7 @@ impl TrussIndex {
     /// Edge id of `{u, v}` via the hashtable.
     pub fn edge_of_pair(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
         let key = if u.0 < v.0 { (u.0, v.0) } else { (v.0, u.0) };
-        self.edge_map.get(&key).map(|&e| EdgeId(e))
+        self.edge_map().get(&key).map(|&e| EdgeId(e))
     }
 
     /// The truss-sorted row of `v`: parallel `(neighbors, edge ids)` slices
@@ -178,8 +238,9 @@ impl TrussIndex {
             + self.offsets.len() * 4
             + self.sorted_nbr.len() * 4
             + self.sorted_edge.len() * 4
-            // hashtable entries: key (8) + value (4), plus ~1/0.875 load
-            + (self.edge_map.len() * 12 * 8) / 7
+            // hashtable entries: key (8) + value (4), plus ~1/0.875 load.
+            // The table is lazy; an unbuilt one occupies nothing.
+            + self.edge_map.get().map_or(0, |m| (m.len() * 12 * 8) / 7)
     }
 }
 
@@ -253,6 +314,26 @@ mod tests {
         assert_eq!(idx.max_truss(), 4);
         assert_eq!(idx.num_edges(), g.num_edges());
         assert_eq!(idx.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn counting_sorted_rows_match_comparison_sort() {
+        // The O(m + K) scatter must reproduce exactly what the old per-row
+        // comparison sort produced: (desc truss, asc neighbor id).
+        let g = figure1_graph();
+        let idx = TrussIndex::build(&g);
+        for v in g.vertices() {
+            let (nbrs, edges) = idx.sorted_row(v);
+            let mut row: Vec<(u32, u32, u32)> = g
+                .incident(v)
+                .map(|(nb, e)| (idx.edge_truss(e), nb.0, e.0))
+                .collect();
+            row.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let want_nbrs: Vec<u32> = row.iter().map(|&(_, nb, _)| nb).collect();
+            let want_edges: Vec<u32> = row.iter().map(|&(_, _, e)| e).collect();
+            assert_eq!(nbrs, &want_nbrs[..], "row of {v} diverged");
+            assert_eq!(edges, &want_edges[..], "edge row of {v} diverged");
+        }
     }
 
     #[test]

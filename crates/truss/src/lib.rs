@@ -58,9 +58,12 @@ pub mod tcp;
 
 pub use decompose::{
     graph_trussness, is_k_truss, naive_truss_decomposition, truss_decomposition,
-    truss_decomposition_par, TrussDecomposition,
+    truss_decomposition_par, truss_decomposition_with, DecomposeScratch, TrussDecomposition,
 };
-pub use find_g0::{find_g0, find_ktruss_containing, g0_subgraph, G0};
+pub use find_g0::{
+    find_g0, find_g0_with, find_ktruss_containing, find_ktruss_containing_with, g0_subgraph,
+    FindScratch, G0,
+};
 pub use index::TrussIndex;
 pub use ktruss::{connected_ktruss_components, edge_list_vertices, ktruss_edges};
 pub use maintain::{CascadeReport, TrussMaintainer};

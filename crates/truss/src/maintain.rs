@@ -7,7 +7,7 @@
 //! and isolated vertices are swept — restoring the k-truss property exactly
 //! as the paper's Algorithm 3 does.
 
-use ctc_graph::{edge_supports_dyn_into, DynGraph, EdgeId, VertexId};
+use ctc_graph::{edge_supports_dyn_pooled, BitsetBuffers, DynGraph, EdgeId, VertexId};
 
 /// What a maintenance round removed: the requested vertices, every cascade
 /// victim, and all deleted edges. The peeling algorithms use this to stamp
@@ -48,6 +48,8 @@ pub struct TrussMaintainer {
     touched: Vec<(EdgeId, EdgeId)>,
     /// Pooled isolated-vertex scratch for the sweep.
     orphans: Vec<VertexId>,
+    /// Pooled bitset-adjacency slab for the support recomputation.
+    bitset: BitsetBuffers,
 }
 
 impl TrussMaintainer {
@@ -61,6 +63,7 @@ impl TrussMaintainer {
             queue: Vec::new(),
             touched: Vec::new(),
             orphans: Vec::new(),
+            bitset: BitsetBuffers::default(),
         };
         m.reset_for(live, k);
         m
@@ -70,7 +73,7 @@ impl TrussMaintainer {
     /// supports in place. Equivalent to `TrussMaintainer::new` but reuses
     /// every buffer.
     pub fn reset_for(&mut self, live: &DynGraph<'_>, k: u32) {
-        edge_supports_dyn_into(live, &mut self.support);
+        edge_supports_dyn_pooled(live, &mut self.support, &mut self.bitset);
         self.k = k;
         self.in_queue.clear();
         self.in_queue.resize(live.base().num_edges(), false);

@@ -10,7 +10,7 @@
 //! any k).
 
 use crate::index::TrussIndex;
-use ctc_graph::{CsrGraph, EdgeId, VertexId};
+use ctc_graph::{BitsetAdjacency, CsrGraph, EdgeId, VertexId};
 
 /// One triangle-connected k-truss community.
 #[derive(Clone, Debug)]
@@ -31,6 +31,9 @@ impl TcpCommunity {
 /// All k-truss communities containing the query vertex `q` at level `k`
 /// (possibly several — the model finds overlapping communities).
 pub fn tcp_communities(g: &CsrGraph, idx: &TrussIndex, q: VertexId, k: u32) -> Vec<TcpCommunity> {
+    // The intersection kernel hands back both side-edge ids of every
+    // triangle directly — no per-w allocation and no `edge_between` probes.
+    let adj = BitsetAdjacency::build(g);
     let mut visited = vec![false; g.num_edges()];
     let mut out = Vec::new();
     for (_, e, t) in idx.incident_at_least(q, k) {
@@ -46,9 +49,7 @@ pub fn tcp_communities(g: &CsrGraph, idx: &TrussIndex, q: VertexId, k: u32) -> V
             let (u, v) = g.edge_endpoints(cur);
             // Triangle adjacency: common neighbors w with both side edges
             // in the k-truss.
-            for w in ctc_graph::common_neighbors(g, u, v) {
-                let euw = g.edge_between(u, w).expect("w is a common neighbor");
-                let evw = g.edge_between(v, w).expect("w is a common neighbor");
+            adj.for_each_common(g, u, v, 0, |_, euw, evw| {
                 if idx.edge_truss(euw) >= k && idx.edge_truss(evw) >= k {
                     for f in [euw, evw] {
                         if !visited[f.index()] {
@@ -57,7 +58,7 @@ pub fn tcp_communities(g: &CsrGraph, idx: &TrussIndex, q: VertexId, k: u32) -> V
                         }
                     }
                 }
-            }
+            });
         }
         comm.sort_unstable();
         out.push(TcpCommunity { k, edges: comm });

@@ -1,25 +1,30 @@
 #!/bin/sh
-# Record (or check) the peel-phase benchmark trajectory in BENCH_5.json.
+# Record (or check) the phase benchmark trajectory in BENCH_6.json.
 #
 #   scripts/bench_record.sh            re-measure and update the "after"
 #                                      section (the committed "before"
 #                                      baseline is preserved)
 #   scripts/bench_record.sh --check    CI mode: validate the committed
-#                                      file's schema and recorded ≥2× peel
-#                                      bar, and smoke the recorder harness
-#                                      with one quick measurement pass
+#                                      file's schema and recorded bars
+#                                      (>=2x peel on bd/lctc, >=2x locate
+#                                      on lctc, no basic/truss locate
+#                                      regression), and smoke the recorder
+#                                      harness with one quick pass
 #
-# Methodology (see docs/PERF.md): median locate/peel/total microseconds
-# per algorithm over the mini presets, measured through the PhaseTimings
-# every search reports, on a warm CommunityEngine.
+# Methodology (see docs/PERF.md): median locate/peel/finish/total
+# microseconds per algorithm over the mini presets, measured through the
+# PhaseTimings every search reports, on a warm CommunityEngine. The
+# "before" section of BENCH_6.json is the pre-bitset-kernel baseline
+# captured on the same machine; BENCH_5.json pins the previous (peel
+# refactor) trajectory.
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release -p ctc-bench --bin bench_record
 
 if [ "${1:-}" = "--check" ]; then
-    exec ./target/release/bench_record --check BENCH_5.json
+    exec ./target/release/bench_record --check BENCH_6.json
 fi
 
-./target/release/bench_record --out BENCH_5.json "$@"
-echo "BENCH_5.json updated; review the after/ section before committing."
+./target/release/bench_record --out BENCH_6.json "$@"
+echo "BENCH_6.json updated; review the after/ section before committing."

@@ -54,7 +54,7 @@ fn main() -> ExitCode {
                  index info g.ctci                     inspect a snapshot\n\
                  search <edge-list> --query a,b,c      find the closest truss community\n\
                         [--algo basic|bd|lctc|truss] [--gamma G] [--eta N] [--k K]\n\
-                        [--threads N] [--timings]      (--timings: locate/peel/total phases)\n\
+                        [--threads N] [--timings]      (--timings: per-phase breakdown)\n\
                  search --index g.ctci --query a,b,c   same, warm-started from a snapshot\n\
                  serve g.ctci [--addr HOST:PORT]       HTTP query server over the snapshot\n\
                         [--threads N] [--cache-cap C]  (POST /search, GET /healthz|/stats)\n\
@@ -281,9 +281,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     );
     if args.iter().any(|a| a == "--timings") {
         println!(
-            "timings: locate {:.3}ms, peel {:.3}ms, total {:.3}ms",
+            "timings: locate {:.3}ms, peel {:.3}ms, finish {:.3}ms, total {:.3}ms",
             c.timings.locate.as_secs_f64() * 1e3,
             c.timings.peel.as_secs_f64() * 1e3,
+            c.timings.finish.as_secs_f64() * 1e3,
             c.timings.total.as_secs_f64() * 1e3,
         );
     }
