@@ -1,10 +1,12 @@
 //! Microbench: Algorithm 3 — k-truss maintenance cascades after vertex
-//! deletion, the inner step of every peeling iteration.
+//! deletion, the inner step of every peeling iteration — plus the online
+//! [`DynamicIndex`] update path (local trussness repair per edge
+//! insert/delete) against the full-rebuild alternative it replaces.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ctc_gen::mini_network;
 use ctc_graph::DynGraph;
-use ctc_truss::{truss_decomposition, TrussMaintainer};
+use ctc_truss::{truss_decomposition, DynamicIndex, TrussIndex, TrussMaintainer};
 use std::time::Duration;
 
 fn bench_maintenance(c: &mut Criterion) {
@@ -41,5 +43,39 @@ fn bench_maintenance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_maintenance);
+/// Online single-edge updates: a delete+insert restore cycle on strided
+/// edges through the maintained [`DynamicIndex`], versus the full
+/// `TrussIndex::build` a rebuild-per-update design would pay for *each*
+/// op. The restore cycle keeps the index state identical across
+/// iterations, so every sample measures the same work.
+fn bench_dynamic_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_update");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let net = mini_network("facebook", 7).expect("mini preset");
+    let g = net.graph;
+    let edges: Vec<_> = g.edges().map(|(_, u, v)| (u, v)).collect();
+    let stride = (edges.len() / 16).max(1);
+    let victims: Vec<_> = edges.iter().step_by(stride).take(16).copied().collect();
+
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("maintain_{}_cycles", victims.len())),
+        |b| {
+            let mut dynx = DynamicIndex::build(&g);
+            b.iter(|| {
+                for &(u, v) in &victims {
+                    dynx.delete_edge(u, v).expect("edge present");
+                    dynx.insert_edge(u, v).expect("edge absent");
+                }
+            })
+        },
+    );
+    group.bench_function(BenchmarkId::from_parameter("rebuild_once"), |b| {
+        b.iter(|| TrussIndex::build(&g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance, bench_dynamic_update);
 criterion_main!(benches);

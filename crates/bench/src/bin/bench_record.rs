@@ -1,15 +1,21 @@
-//! Machine-readable phase benchmark recorder (`BENCH_6.json`).
+//! Machine-readable phase benchmark recorder (`BENCH_6.json`,
+//! `BENCH_7.json`).
 //!
 //! Measures median per-phase wall times (locate / peel / finish / total, in
 //! microseconds) of the four search algorithms on the mini presets, using
 //! the [`PhaseTimings`](ctc_core::PhaseTimings) every search already
-//! reports. Unlike the criterion benches (relative, human-read), this
-//! binary emits a stable JSON document that `scripts/bench_record.sh`
-//! commits to the repo, so the locate- and peel-phase trajectory of the
-//! query hot path is pinned in version control and checkable in CI.
+//! reports — and, for the `ctc-bench-7` document, the online-update
+//! trajectory: median wall time of single-edge delete+insert restore
+//! cycles through the maintained [`DynamicIndex`] versus the full
+//! `TrussIndex::build` a rebuild-per-update design would pay. Unlike the
+//! criterion benches (relative, human-read), this binary emits stable
+//! JSON documents that `scripts/bench_record.sh` commits to the repo, so
+//! the hot-path trajectory is pinned in version control and checkable in
+//! CI.
 //!
 //! ```text
-//! bench_record [--samples N] [--quick] [--out BENCH_6.json] [--check BENCH_6.json]
+//! bench_record [--samples N] [--quick] [--out BENCH_6.json]
+//!              [--out7 BENCH_7.json] [--check FILE]
 //! ```
 //!
 //! * default: measure and print the JSON measurement object to stdout;
@@ -17,11 +23,17 @@
 //!   section is preserved (the pre-refactor baseline), the measurement
 //!   becomes `after`; with no existing file both sections get the
 //!   measurement;
-//! * `--check FILE`: no full measurement — validate the committed file's
-//!   schema, assert the recorded `after` medians hold the ≥ 2× locate bar
-//!   (mini-facebook lctc) and the no-regression bars (locate on
-//!   mini-facebook basic/truss, peel on mini-facebook bd/lctc), and run
-//!   one quick measurement pass so the harness itself cannot rot.
+//! * `--out7 FILE`: measure searches *and* updates, writing the
+//!   `ctc-bench-7` document;
+//! * `--check FILE`: no full measurement — parse the committed file,
+//!   dispatch on its `schema` field, and validate its recorded bars. For
+//!   `ctc-bench-6`: the ≥ 2× locate bar (mini-facebook lctc) and the
+//!   no-regression bars (locate on mini-facebook basic/truss, peel on
+//!   mini-facebook bd/lctc). For `ctc-bench-7`: maintained updates ≥ 10×
+//!   cheaper per op than a rebuild on mini-facebook, and the search
+//!   medians within 10% (+50µs jitter floor) of the committed
+//!   `BENCH_6.json` `after` section. Both run one quick measurement pass
+//!   so the harness itself cannot rot.
 //!
 //! Accounting: per sample, `total_us` is the sum of the per-query
 //! `timings.total` (not an outer wall clock, which also billed harness
@@ -34,6 +46,7 @@
 use ctc_core::{CommunityEngine, SearchAlgo};
 use ctc_gen::{mini_network, DegreeRank, QueryGenerator};
 use ctc_server::Json;
+use ctc_truss::{DynamicIndex, TrussIndex};
 
 const PRESETS: [&str; 2] = ["mini-facebook", "mini-dblp"];
 const ALGOS: [(&str, SearchAlgo); 4] = [
@@ -119,6 +132,95 @@ fn measure(samples: usize, query_sets: usize) -> Json {
     Json::Object(presets)
 }
 
+/// Half the op budget as delete+insert pairs: 16 strided victim edges.
+const UPDATE_OPS: usize = 32;
+
+/// The online-update measurement: per preset, the wall time of applying
+/// `UPDATE_OPS` single-edge updates (delete+insert restore cycles over
+/// strided edges, so every sample repairs the same index state) through
+/// [`DynamicIndex`], and the median wall time of one full
+/// [`TrussIndex::build`] — what a rebuild-per-update design would pay for
+/// *each* of those ops.
+///
+/// Every op is timed individually and `maintain_total_us` is the sum of
+/// the per-op medians across samples. Medians are taken per op rather
+/// than per 32-op sweep because a sweep-length window (~1 ms) almost
+/// always absorbs a scheduler preemption on shared CI runners, which
+/// inflates a median-of-sweeps by 2-3× over the cost actually paid; a
+/// per-op window (µs-scale) is rarely hit, so per-op medians estimate the
+/// same total robustly. The per-op figure still reflects *every* op —
+/// cheap deletes and expensive cascade inserts alike.
+fn measure_updates(samples: usize) -> Json {
+    let mut presets = Vec::new();
+    for preset in PRESETS {
+        let name = preset.strip_prefix("mini-").expect("mini preset");
+        let net = mini_network(name, NET_SEED).expect("known preset");
+        let g = net.graph;
+        let edges: Vec<_> = g.edges().map(|(_, u, v)| (u, v)).collect();
+        let stride = (edges.len() / (UPDATE_OPS / 2)).max(1);
+        let victims: Vec<_> = edges
+            .iter()
+            .step_by(stride)
+            .take(UPDATE_OPS / 2)
+            .copied()
+            .collect();
+
+        let mut dynx = DynamicIndex::build(&g);
+        // Warmup cycle: allocator and adjacency pools settle.
+        for &(u, v) in &victims {
+            dynx.delete_edge(u, v).expect("victim edge present");
+            dynx.insert_edge(u, v).expect("victim edge absent");
+        }
+        // op_ns[i] collects every sample of op i (op 2j = delete victim j,
+        // op 2j+1 = its restoring insert).
+        let mut op_ns: Vec<Vec<u64>> = vec![Vec::with_capacity(samples); victims.len() * 2];
+        for _ in 0..samples {
+            for (j, &(u, v)) in victims.iter().enumerate() {
+                let t0 = std::time::Instant::now();
+                dynx.delete_edge(u, v).expect("victim edge present");
+                op_ns[2 * j].push(t0.elapsed().as_nanos() as u64);
+                let t0 = std::time::Instant::now();
+                dynx.insert_edge(u, v).expect("victim edge absent");
+                op_ns[2 * j + 1].push(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        let total_ns: u64 = op_ns
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s[s.len() / 2]
+            })
+            .sum();
+
+        std::hint::black_box(TrussIndex::build(&g)); // warmup
+        let mut rebuild = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(TrussIndex::build(&g));
+            rebuild.push(t0.elapsed().as_micros() as u64);
+        }
+
+        let ops = (victims.len() * 2) as u64;
+        let total = total_ns.div_ceil(1000);
+        presets.push((
+            preset.to_string(),
+            Json::Object(vec![
+                ("ops".into(), Json::Uint(ops)),
+                ("maintain_total_us".into(), Json::Uint(total)),
+                // Round up: the per-op figure only ever overstates the
+                // maintained cost, so the ≥10× bar cannot lean on it.
+                (
+                    "maintain_per_op_us".into(),
+                    Json::Uint(total.div_ceil(ops).max(1)),
+                ),
+                ("rebuild_us".into(), Json::Uint(median_us(rebuild))),
+                ("samples".into(), Json::Uint(samples as u64)),
+            ]),
+        ));
+    }
+    Json::Object(presets)
+}
+
 fn document(before: Json, after: Json, samples: usize) -> Json {
     Json::Object(vec![
         ("schema".into(), Json::Str("ctc-bench-6".into())),
@@ -126,6 +228,16 @@ fn document(before: Json, after: Json, samples: usize) -> Json {
         ("samples".into(), Json::Uint(samples as u64)),
         ("before".into(), before),
         ("after".into(), after),
+    ])
+}
+
+fn document7(search: Json, updates: Json, samples: usize) -> Json {
+    Json::Object(vec![
+        ("schema".into(), Json::Str("ctc-bench-7".into())),
+        ("unit".into(), Json::Str("microseconds_median".into())),
+        ("samples".into(), Json::Uint(samples as u64)),
+        ("updates".into(), updates),
+        ("search".into(), search),
     ])
 }
 
@@ -148,18 +260,26 @@ fn us_of(doc: &Json, section: &str, preset: &str, algo: &str, field: &str) -> Re
         .ok_or_else(|| format!("{section}.{preset}.{algo}.{field} missing"))
 }
 
-/// Validates the committed document and the recorded improvements.
+/// Validates a committed document, dispatching on its `schema` field.
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e:?}"))?;
-    if doc.get("schema").and_then(Json::as_str) != Some("ctc-bench-6") {
-        return Err("schema field must be \"ctc-bench-6\"".into());
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("ctc-bench-6") => check6(path, &doc),
+        Some("ctc-bench-7") => check7(path, &doc),
+        other => Err(format!(
+            "unknown schema {other:?} (want \"ctc-bench-6\" or \"ctc-bench-7\")"
+        )),
     }
+}
+
+/// The `ctc-bench-6` bars: the PR-6 locate rebuild.
+fn check6(path: &str, doc: &Json) -> Result<(), String> {
     for section in ["before", "after"] {
         for preset in PRESETS {
             for (algo, _) in ALGOS {
                 for field in ["locate_us", "peel_us", "finish_us", "total_us"] {
-                    us_of(&doc, section, preset, algo, field)?;
+                    us_of(doc, section, preset, algo, field)?;
                 }
             }
         }
@@ -169,8 +289,8 @@ fn check(path: &str) -> Result<(), String> {
     // was measured against the *pre-incremental* baseline and lives in
     // BENCH_5.json; this document's `before` is already post-PR-5.)
     for algo in ["bd", "lctc"] {
-        let before_peel = us_of(&doc, "before", "mini-facebook", algo, "peel_us")?;
-        let after_peel = us_of(&doc, "after", "mini-facebook", algo, "peel_us")?;
+        let before_peel = us_of(doc, "before", "mini-facebook", algo, "peel_us")?;
+        let after_peel = us_of(doc, "after", "mini-facebook", algo, "peel_us")?;
         if after_peel > before_peel {
             return Err(format!(
                 "mini-facebook/{algo}: recorded peel median regressed \
@@ -182,8 +302,8 @@ fn check(path: &str) -> Result<(), String> {
     // LCTC locate median, and the PR-5 locate regression on the
     // non-decomposing algorithms must stay erased (no regression vs the
     // pre-rebuild baseline).
-    let lctc_before = us_of(&doc, "before", "mini-facebook", "lctc", "locate_us")?;
-    let lctc_after = us_of(&doc, "after", "mini-facebook", "lctc", "locate_us")?;
+    let lctc_before = us_of(doc, "before", "mini-facebook", "lctc", "locate_us")?;
+    let lctc_after = us_of(doc, "after", "mini-facebook", "lctc", "locate_us")?;
     if lctc_after.saturating_mul(2) > lctc_before {
         return Err(format!(
             "mini-facebook/lctc: recorded locate median {lctc_after}µs is not ≥2× \
@@ -191,8 +311,8 @@ fn check(path: &str) -> Result<(), String> {
         ));
     }
     for algo in ["basic", "truss"] {
-        let before = us_of(&doc, "before", "mini-facebook", algo, "locate_us")?;
-        let after = us_of(&doc, "after", "mini-facebook", algo, "locate_us")?;
+        let before = us_of(doc, "before", "mini-facebook", algo, "locate_us")?;
+        let after = us_of(doc, "after", "mini-facebook", algo, "locate_us")?;
         if after > before {
             return Err(format!(
                 "mini-facebook/{algo}: recorded locate median regressed \
@@ -217,6 +337,87 @@ fn check(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The `ctc-bench-7` bars: the online-update path.
+fn check7(path: &str, doc: &Json) -> Result<(), String> {
+    for preset in PRESETS {
+        let upd = doc
+            .get("updates")
+            .and_then(|u| u.get(preset))
+            .ok_or_else(|| format!("missing updates.{preset}"))?;
+        for field in [
+            "ops",
+            "maintain_total_us",
+            "maintain_per_op_us",
+            "rebuild_us",
+        ] {
+            upd.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("updates.{preset}.{field} missing"))?;
+        }
+        for (algo, _) in ALGOS {
+            for field in ["locate_us", "peel_us", "finish_us", "total_us"] {
+                us_of(doc, "search", preset, algo, field)?;
+            }
+        }
+    }
+    // The tentpole bar: a maintained single-edge update must be ≥10×
+    // cheaper than the full rebuild a naive design would pay per op.
+    let fb = doc
+        .get("updates")
+        .and_then(|u| u.get("mini-facebook"))
+        .expect("checked above");
+    let per_op = fb
+        .get("maintain_per_op_us")
+        .and_then(Json::as_u64)
+        .expect("checked above");
+    let rebuild = fb
+        .get("rebuild_us")
+        .and_then(Json::as_u64)
+        .expect("checked above");
+    if per_op.saturating_mul(10) > rebuild {
+        return Err(format!(
+            "mini-facebook: maintained update {per_op}µs/op is not ≥10× cheaper \
+             than the {rebuild}µs full rebuild"
+        ));
+    }
+    // The search path must not have paid for the dynamic machinery: every
+    // recorded median stays within 10% (plus a 50µs jitter floor for
+    // near-zero phases) of the committed BENCH_6 `after` section.
+    let six_path = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map(|p| p.join("BENCH_6.json"))
+        .unwrap_or_else(|| "BENCH_6.json".into());
+    let six_text = std::fs::read_to_string(&six_path)
+        .map_err(|e| format!("reading {}: {e}", six_path.display()))?;
+    let six = Json::parse(&six_text).map_err(|e| format!("parsing BENCH_6.json: {e:?}"))?;
+    for (algo, _) in ALGOS {
+        for field in ["locate_us", "peel_us", "total_us"] {
+            let base = us_of(&six, "after", "mini-facebook", algo, field)?;
+            let now = us_of(doc, "search", "mini-facebook", algo, field)?;
+            if now > base + base / 10 + 50 {
+                return Err(format!(
+                    "mini-facebook/{algo}: recorded {field} regressed past the \
+                     BENCH_6 bar ({base}µs → {now}µs)"
+                ));
+            }
+        }
+    }
+    // Smoke the update harness so it cannot silently rot.
+    let quick = measure_updates(1);
+    for preset in PRESETS {
+        quick
+            .get(preset)
+            .and_then(|p| p.get("maintain_per_op_us"))
+            .ok_or_else(|| format!("quick update measurement lost {preset}"))?;
+    }
+    println!(
+        "bench_record --check: {path} ok (schema, ≥10× maintain-vs-rebuild bar, \
+         search within the BENCH_6 bars, harness smoke)"
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| -> Option<String> {
@@ -235,6 +436,16 @@ fn run() -> Result<(), String> {
         None => 15,
     };
     let query_sets = if quick { 1 } else { QUERY_SETS };
+    if let Some(path) = flag("--out7") {
+        // Updates first: the search sweep heats caches/allocator enough to
+        // visibly skew the much smaller per-op update timings.
+        let updates = measure_updates(samples);
+        let doc = document7(measure(samples, query_sets), updates, samples);
+        std::fs::write(&path, format!("{}\n", doc.encode()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+        return Ok(());
+    }
     let measured = measure(samples, query_sets);
     match flag("--out") {
         None => {

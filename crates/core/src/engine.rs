@@ -30,7 +30,7 @@ use crate::searcher::CtcSearcher;
 use ctc_graph::error::Result;
 use ctc_graph::{CsrGraph, Parallelism, VertexId};
 use ctc_truss::snapshot::snapshot_to_bytes;
-use ctc_truss::{Snapshot, TrussIndex};
+use ctc_truss::{DynamicIndex, Snapshot, TrussIndex, UpdateReport};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -132,6 +132,49 @@ impl ScratchPool {
     }
 }
 
+/// One edge mutation of a [`CommunityEngine::apply_batch`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineUpdate {
+    /// `true` for an insertion, `false` for a deletion.
+    pub insert: bool,
+    /// One endpoint (dense id).
+    pub u: VertexId,
+    /// The other endpoint (dense id).
+    pub v: VertexId,
+}
+
+impl EngineUpdate {
+    /// An edge insertion.
+    pub fn insert(u: VertexId, v: VertexId) -> Self {
+        EngineUpdate { insert: true, u, v }
+    }
+
+    /// An edge deletion.
+    pub fn delete(u: VertexId, v: VertexId) -> Self {
+        EngineUpdate {
+            insert: false,
+            u,
+            v,
+        }
+    }
+}
+
+/// What one [`CommunityEngine::apply_batch`] call did.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Updates applied.
+    pub applied: usize,
+    /// Updates rejected (duplicate insert, missing delete, bad endpoint).
+    pub rejected: usize,
+    /// Largest trussness class any applied update touched (0 when none
+    /// applied) — the cache-invalidation key: cached answers at level
+    /// `k > max_class` are provably unaffected (see
+    /// [`UpdateReport::max_class`]).
+    pub max_class: u32,
+    /// Per-update outcome, in input order.
+    pub results: Vec<Result<UpdateReport>>,
+}
+
 /// A loaded-once, query-many CTC engine.
 ///
 /// Cheap to clone (all heavy state is behind [`Arc`]) and safe to share
@@ -145,6 +188,10 @@ pub struct CommunityEngine {
     cfg: CtcConfig,
     batch_par: Parallelism,
     scratch: Arc<ScratchPool>,
+    /// Warm dynamic-maintenance state, created lazily on first mutation.
+    /// `None` on read-only engines (and on [`CommunityEngine::frozen_clone`]s,
+    /// so reader clones never force the writer's copy-on-write).
+    dynamic: Option<Arc<DynamicIndex>>,
 }
 
 impl CommunityEngine {
@@ -169,6 +216,7 @@ impl CommunityEngine {
             cfg: CtcConfig::default(),
             batch_par: Parallelism::serial(),
             scratch: Arc::new(ScratchPool::default()),
+            dynamic: None,
         }
     }
 
@@ -297,6 +345,85 @@ impl CommunityEngine {
             .into_iter()
             .flatten()
             .collect()
+    }
+
+    /// Inserts edge `{u, v}` (dense ids) with local truss maintenance and
+    /// republishes the engine's graph + index. See
+    /// [`CommunityEngine::apply_batch`] for the mechanics.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<UpdateReport> {
+        let mut batch = self.apply_batch(&[EngineUpdate::insert(u, v)])?;
+        batch.results.pop().expect("one update, one result")
+    }
+
+    /// Deletes edge `{u, v}` (dense ids) with local truss maintenance and
+    /// republishes the engine's graph + index.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> Result<UpdateReport> {
+        let mut batch = self.apply_batch(&[EngineUpdate::delete(u, v)])?;
+        batch.results.pop().expect("one update, one result")
+    }
+
+    /// Applies a batch of edge updates through the warm
+    /// [`DynamicIndex`], then republishes the mutated graph + index as
+    /// fresh [`Arc`]s — concurrent readers holding clones keep their old
+    /// (consistent) view; searches on `self` see the new one.
+    ///
+    /// Each update succeeds or is rejected independently (duplicate
+    /// inserts, missing deletes and bad endpoints reject with typed
+    /// errors and leave no trace); one materialization at the end covers
+    /// the whole batch. The vertex set and label table are fixed.
+    ///
+    /// The first mutation on an engine adopts the current index into the
+    /// dynamic state in `O(n + m)`; later batches reuse it, so steady-state
+    /// per-update cost is the local repair cascade plus the `O(n + m)`
+    /// republication — still far below the `O(ρm)` rebuild (see
+    /// `BENCH_7.json`).
+    ///
+    /// The outer `Err` only reports internal materialization failures
+    /// (never caused by rejected updates); per-update outcomes live in
+    /// [`BatchReport::results`].
+    pub fn apply_batch(&mut self, updates: &[EngineUpdate]) -> Result<BatchReport> {
+        let mut report = BatchReport {
+            results: Vec::with_capacity(updates.len()),
+            ..BatchReport::default()
+        };
+        if self.dynamic.is_none() {
+            self.dynamic = Some(Arc::new(DynamicIndex::new(&self.graph, &self.index)));
+        }
+        let dynx = Arc::make_mut(self.dynamic.as_mut().expect("just installed"));
+        for up in updates {
+            let r = if up.insert {
+                dynx.insert_edge(up.u, up.v)
+            } else {
+                dynx.delete_edge(up.u, up.v)
+            };
+            match &r {
+                Ok(rep) => {
+                    report.applied += 1;
+                    report.max_class = report.max_class.max(rep.max_class);
+                }
+                Err(_) => report.rejected += 1,
+            }
+            report.results.push(r);
+        }
+        if report.applied > 0 {
+            let (g, idx) = self
+                .dynamic
+                .as_ref()
+                .expect("installed above")
+                .materialize()?;
+            self.graph = Arc::new(g);
+            self.index = Arc::new(idx);
+        }
+        Ok(report)
+    }
+
+    /// A clone for publishing to concurrent readers: shares all heavy
+    /// state but drops the warm dynamic-maintenance handle, so readers
+    /// holding it never force the writing engine's copy-on-write.
+    pub fn frozen_clone(&self) -> Self {
+        let mut c = self.clone();
+        c.dynamic = None;
+        c
     }
 }
 
@@ -526,6 +653,87 @@ mod tests {
         let eng = CommunityEngine::from_snapshot(snap);
         assert_eq!(eng.label_of(VertexId(0)), 100);
         assert_eq!(eng.vertex_of_label(100), Some(VertexId(0)));
+    }
+
+    #[test]
+    fn mutation_republishes_and_readers_keep_their_view() {
+        let mut eng = engine();
+        let reader = eng.frozen_clone();
+        let f = Figure1Ids::default();
+        let q = [f.q1, f.q2, f.q3];
+        let before = reader.search(&q, SearchAlgo::Basic).unwrap();
+        let rep = eng.delete_edge(f.q1, f.q2).unwrap();
+        assert!(rep.max_class >= rep.edge_truss);
+        // The mutated engine serves the new graph…
+        assert_eq!(eng.graph().num_edges(), 24);
+        let after = eng.search(&q, SearchAlgo::Basic).unwrap();
+        // …and matches a cold engine built from the mutated edge list.
+        let cold = CommunityEngine::build(eng.graph().clone());
+        let cold_after = cold.search(&q, SearchAlgo::Basic).unwrap();
+        assert_eq!(after.vertices, cold_after.vertices);
+        assert_eq!(after.k, cold_after.k);
+        // The reader clone still sees the pre-update world, consistently.
+        assert_eq!(reader.graph().num_edges(), 25);
+        let still = reader.search(&q, SearchAlgo::Basic).unwrap();
+        assert_eq!(still.vertices, before.vertices);
+        // Undo restores the original index byte for byte.
+        eng.insert_edge(f.q1, f.q2).unwrap();
+        assert_eq!(
+            eng.index().edge_truss_slice(),
+            reader.index().edge_truss_slice()
+        );
+    }
+
+    #[test]
+    fn batch_isolates_rejections_and_counts() {
+        let mut eng = engine();
+        let f = Figure1Ids::default();
+        let updates = vec![
+            EngineUpdate::delete(f.q1, f.q2),                 // ok
+            EngineUpdate::delete(f.q1, f.q2),                 // now missing
+            EngineUpdate::insert(f.q1, f.q2),                 // ok (restores)
+            EngineUpdate::insert(f.q1, f.q2),                 // duplicate
+            EngineUpdate::insert(VertexId(0), VertexId(999)), // out of range
+            EngineUpdate::insert(f.t, f.t),                   // self-loop
+        ];
+        let rep = eng.apply_batch(&updates).unwrap();
+        assert_eq!(rep.applied, 2);
+        assert_eq!(rep.rejected, 4);
+        assert_eq!(rep.results.len(), 6);
+        assert!(rep.results[0].is_ok());
+        assert!(matches!(
+            rep.results[1],
+            Err(GraphError::MissingEdge { .. })
+        ));
+        assert!(rep.results[2].is_ok());
+        assert!(matches!(
+            rep.results[3],
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            rep.results[4],
+            Err(GraphError::VertexOutOfRange { vertex: 999, .. })
+        ));
+        assert!(matches!(rep.results[5], Err(GraphError::SelfLoop { v }) if v == f.t.0));
+        // Net effect: nothing changed.
+        let cold = CommunityEngine::build(figure1_graph());
+        assert_eq!(
+            eng.index().edge_truss_slice(),
+            cold.index().edge_truss_slice()
+        );
+    }
+
+    #[test]
+    fn all_rejected_batch_publishes_nothing() {
+        let mut eng = engine();
+        let g0 = Arc::clone(&eng.graph);
+        let rep = eng
+            .apply_batch(&[EngineUpdate::insert(VertexId(0), VertexId(0))])
+            .unwrap();
+        assert_eq!(rep.applied, 0);
+        assert_eq!(rep.max_class, 0);
+        // No republication happened: same Arc.
+        assert!(Arc::ptr_eq(&g0, &eng.graph));
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub mod steiner;
 
 pub use config::{ConfigFingerprint, CtcConfig, SteinerMode};
 pub use decision::{decide_ctck, CtckAnswer};
-pub use engine::{CommunityEngine, EngineQuery, EngineStats, SearchAlgo};
+pub use engine::{
+    BatchReport, CommunityEngine, EngineQuery, EngineStats, EngineUpdate, SearchAlgo,
+};
 pub use peel::{
     peel, peel_reference, peel_rounds, peel_with, DeletePolicy, PeelOutcome, PeelScratch, PeelStats,
 };

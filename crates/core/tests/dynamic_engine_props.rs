@@ -1,0 +1,194 @@
+//! Differential battery for online updates through [`CommunityEngine`]:
+//! after any interleaving of `insert_edge` / `delete_edge` / `apply_batch`
+//! and searches, every answer of every algorithm must be byte-identical
+//! to a *fresh* engine built cold from the mutated edge list. This is the
+//! end-to-end pin that the engine's republished graph/index Arcs — the
+//! state all cached or concurrent readers see — never drift from the
+//! maintained [`DynamicIndex`] state, for all four search algorithms.
+
+use ctc_core::{CommunityEngine, EngineUpdate, SearchAlgo};
+use ctc_gen::random::{barabasi_albert, erdos_renyi_nm};
+use ctc_graph::{CsrGraph, VertexId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const ALGOS: [SearchAlgo; 4] = [
+    SearchAlgo::Basic,
+    SearchAlgo::BulkDelete,
+    SearchAlgo::Local,
+    SearchAlgo::TrussOnly,
+];
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A cold engine over exactly `edges` on a fixed vertex set of size `n`
+/// (the vertex set never changes online, so the oracle must keep it too).
+fn fresh_engine(n: usize, edges: &BTreeSet<(u32, u32)>) -> CommunityEngine {
+    let g = CsrGraph::from_canonical_edges(n, edges.iter().copied().collect())
+        .expect("tracked edge set is canonical");
+    CommunityEngine::build(g)
+}
+
+/// Every algorithm, on every query, must answer identically (success
+/// payloads field-for-field, failures message-for-message) between the
+/// maintained engine and the cold oracle.
+fn assert_answers_match(
+    maintained: &CommunityEngine,
+    oracle: &CommunityEngine,
+    queries: &[Vec<VertexId>],
+    label: &str,
+) {
+    for q in queries {
+        for algo in ALGOS {
+            match (maintained.search(q, algo), oracle.search(q, algo)) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.k, b.k, "{label}: k for {q:?} via {algo:?}");
+                    assert_eq!(
+                        a.vertices, b.vertices,
+                        "{label}: vertices for {q:?} via {algo:?}"
+                    );
+                    assert_eq!(a.edges, b.edges, "{label}: edges for {q:?} via {algo:?}");
+                    assert_eq!(
+                        a.query_distance, b.query_distance,
+                        "{label}: query distance for {q:?} via {algo:?}"
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(
+                        a.to_string(),
+                        b.to_string(),
+                        "{label}: error for {q:?} via {algo:?}"
+                    );
+                }
+                (a, b) => panic!(
+                    "{label}: {q:?} via {algo:?}: maintained {a:?} but a fresh build says {b:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// Random queries biased toward vertices that still have incident edges
+/// (isolated-vertex queries are kept too — both sides must fail alike).
+fn sample_queries(n: usize, rng: &mut u64) -> Vec<Vec<VertexId>> {
+    (0..3)
+        .map(|_| {
+            let len = 1 + (splitmix(rng) % 3) as usize;
+            (0..len)
+                .map(|_| VertexId((splitmix(rng) % n as u64) as u32))
+                .collect()
+        })
+        .collect()
+}
+
+fn run_interleaving(g: CsrGraph, seed: u64, steps: usize, label: &str) {
+    let n = g.num_vertices();
+    if n < 2 {
+        return;
+    }
+    let mut edges: BTreeSet<(u32, u32)> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+    let mut engine = CommunityEngine::build(g);
+    let mut rng = seed ^ 0x0dd_c0ffee;
+    for step in 0..steps {
+        let u = VertexId((splitmix(&mut rng) % n as u64) as u32);
+        let v = VertexId((splitmix(&mut rng) % n as u64) as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.0.min(v.0), u.0.max(v.0));
+        if edges.contains(&key) {
+            engine
+                .delete_edge(u, v)
+                .unwrap_or_else(|e| panic!("{label}: delete {key:?} at step {step}: {e}"));
+            edges.remove(&key);
+        } else {
+            engine
+                .insert_edge(u, v)
+                .unwrap_or_else(|e| panic!("{label}: insert {key:?} at step {step}: {e}"));
+            edges.insert(key);
+        }
+        // Check all algorithms every few updates (and always at the end):
+        // a fresh engine build per check is the expensive oracle.
+        if step % 4 == 3 || step + 1 == steps {
+            let oracle = fresh_engine(n, &edges);
+            let queries = sample_queries(n, &mut rng);
+            assert_answers_match(&engine, &oracle, &queries, label);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn updates_and_searches_interleave_on_er_graphs(
+        n in 6usize..36,
+        edges_per_vertex in 1usize..4,
+        seed in 0u64..100_000,
+    ) {
+        let g = erdos_renyi_nm(n, n * edges_per_vertex, seed);
+        run_interleaving(g, seed, 12, "erdos_renyi_nm");
+    }
+
+    #[test]
+    fn updates_and_searches_interleave_on_preferential_attachment(
+        n in 8usize..40,
+        m_per_node in 2usize..4,
+        seed in 0u64..100_000,
+    ) {
+        let g = barabasi_albert(n, m_per_node, seed);
+        run_interleaving(g, seed, 12, "barabasi_albert");
+    }
+
+    /// Readers holding a pre-update engine clone must keep answering from
+    /// the old graph — the frozen-view guarantee concurrent `/search`
+    /// workers rely on while a batch republishes.
+    #[test]
+    fn pre_update_clones_answer_from_the_old_graph(
+        n in 6usize..28,
+        edges_per_vertex in 1usize..4,
+        seed in 0u64..100_000,
+    ) {
+        let g = erdos_renyi_nm(n, n * edges_per_vertex, seed);
+        let n = g.num_vertices();
+        let before_edges: BTreeSet<(u32, u32)> =
+            g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        if before_edges.is_empty() {
+            return Ok(());
+        }
+        let mut engine = CommunityEngine::build(g);
+        let reader = engine.frozen_clone();
+
+        // Mutate: drop a few edges, insert one.
+        let mut rng = seed;
+        let victims: Vec<(u32, u32)> = before_edges
+            .iter()
+            .copied()
+            .filter(|_| splitmix(&mut rng).is_multiple_of(3))
+            .take(4)
+            .collect();
+        let batch: Vec<EngineUpdate> = victims
+            .iter()
+            .map(|&(u, v)| EngineUpdate::delete(VertexId(u), VertexId(v)))
+            .collect();
+        let report = engine.apply_batch(&batch).unwrap();
+        prop_assert_eq!(report.applied, victims.len());
+
+        // The stale reader matches a cold build of the OLD edge set; the
+        // mutated engine matches a cold build of the NEW edge set.
+        let mut after_edges = before_edges.clone();
+        for v in &victims {
+            after_edges.remove(v);
+        }
+        let mut rng2 = seed ^ 0xbeef;
+        let queries = sample_queries(n, &mut rng2);
+        assert_answers_match(&reader, &fresh_engine(n, &before_edges), &queries, "stale reader");
+        assert_answers_match(&engine, &fresh_engine(n, &after_edges), &queries, "mutated engine");
+    }
+}

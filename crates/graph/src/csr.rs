@@ -87,6 +87,45 @@ impl CsrGraph {
         }
     }
 
+    /// Builds from a canonical edge list (`u < v`, strictly ascending, all
+    /// endpoints `< n`), validating those preconditions — the entry point
+    /// for callers that maintain a canonical edge set themselves (the
+    /// dynamic truss index) and need the exact edge-id assignment
+    /// [`GraphBuilder`](crate::GraphBuilder) would produce, without paying
+    /// its sort/dedup pass.
+    ///
+    /// Violations yield [`GraphError::Corrupt`] /
+    /// [`GraphError::VertexOutOfRange`], never a panic.
+    ///
+    /// ```
+    /// use ctc_graph::{CsrGraph, VertexId};
+    ///
+    /// let g = CsrGraph::from_canonical_edges(4, vec![(0, 1), (0, 2), (1, 2)]).unwrap();
+    /// assert_eq!(g.num_edges(), 3);
+    /// assert_eq!(g.neighbors(VertexId(0)), &[1, 2]);
+    /// assert!(CsrGraph::from_canonical_edges(2, vec![(1, 0)]).is_err());
+    /// ```
+    pub fn from_canonical_edges(n: usize, edges: Vec<(u32, u32)>) -> Result<Self> {
+        let mut prev: Option<(u32, u32)> = None;
+        for &(u, v) in &edges {
+            if u >= v {
+                return Err(GraphError::Corrupt(format!(
+                    "edge ({u},{v}) not canonical (u < v)"
+                )));
+            }
+            if v as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n });
+            }
+            if prev.is_some_and(|p| p >= (u, v)) {
+                return Err(GraphError::Corrupt(format!(
+                    "edge list not strictly ascending at ({u},{v})"
+                )));
+            }
+            prev = Some((u, v));
+        }
+        Ok(Self::from_sorted_dedup_edges(n, edges))
+    }
+
     /// Reassembles a graph from its four raw CSR arrays, validating every
     /// structural invariant (used by the snapshot loader, where the arrays
     /// come from an untrusted file).

@@ -37,6 +37,26 @@ pub enum GraphError {
         /// Newest version this build can read.
         supported: u32,
     },
+    /// An edge insertion named an edge the graph already carries.
+    DuplicateEdge {
+        /// Smaller endpoint (canonical order).
+        u: u32,
+        /// Larger endpoint (canonical order).
+        v: u32,
+    },
+    /// An edge deletion (or lookup) named an edge the graph does not carry.
+    MissingEdge {
+        /// Smaller endpoint (canonical order).
+        u: u32,
+        /// Larger endpoint (canonical order).
+        v: u32,
+    },
+    /// An update named the same vertex as both endpoints; the graphs here
+    /// are simple (no self-loops).
+    SelfLoop {
+        /// The repeated endpoint.
+        v: u32,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -59,6 +79,15 @@ impl fmt::Display for GraphError {
                 f,
                 "unsupported format version {found} (this build reads up to {supported})"
             ),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u},{v}) is already present")
+            }
+            GraphError::MissingEdge { u, v } => {
+                write!(f, "edge ({u},{v}) is not present")
+            }
+            GraphError::SelfLoop { v } => {
+                write!(f, "self-loop ({v},{v}) is not allowed")
+            }
         }
     }
 }
@@ -99,6 +128,18 @@ mod tests {
         };
         assert!(e.to_string().contains("7"));
         assert!(e.to_string().contains("1"));
+    }
+
+    #[test]
+    fn update_rejections_name_the_edge() {
+        let d = GraphError::DuplicateEdge { u: 3, v: 17 };
+        assert!(d.to_string().contains("(3,17)"));
+        assert!(d.to_string().contains("already"));
+        let m = GraphError::MissingEdge { u: 5, v: 9 };
+        assert!(m.to_string().contains("(5,9)"));
+        assert!(m.to_string().contains("not present"));
+        let s = GraphError::SelfLoop { v: 4 };
+        assert!(s.to_string().contains("(4,4)"));
     }
 
     #[test]

@@ -96,6 +96,14 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     pub fn clear(&mut self) {
         self.map.clear();
     }
+
+    /// Keeps only the entries for which `keep` returns `true` — the
+    /// invalidation primitive for online updates, where only answers in
+    /// affected trussness classes need to go. Recency stamps of the
+    /// survivors are untouched, so eviction order among them is stable.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) {
+        self.map.retain(|k, (_, v)| keep(k, v));
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +167,23 @@ mod tests {
             assert_eq!(c.len(), 1);
             assert_eq!(c.get(&i), Some(i * 10));
         }
+    }
+
+    #[test]
+    fn retain_drops_matching_entries_and_keeps_order() {
+        let mut c = LruCache::new(3);
+        c.insert('a', 1);
+        c.insert('b', 2);
+        c.insert('c', 3);
+        c.retain(|_, v| *v != 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&'b'), None);
+        // Survivors keep their stamps: 'a' is still the LRU victim
+        // relative to 'c' after an unrelated insert fills the cache.
+        c.insert('d', 4);
+        c.insert('e', 5); // evicts 'a' (oldest surviving stamp)
+        assert_eq!(c.get(&'a'), None);
+        assert_eq!(c.get(&'c'), Some(3));
     }
 
     #[test]

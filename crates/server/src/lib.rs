@@ -13,14 +13,17 @@
 //!   escaping and a nesting-depth cap;
 //! * [`cache`] — a deterministic LRU over normalized query keys, so hot
 //!   queries skip the search path entirely;
-//! * [`wire`] — the `/search` request/response schemas and the
-//!   [`wire::QueryKey`] a request normalizes to;
+//! * [`wire`] — the `/search` and `/update` request/response schemas and
+//!   the [`wire::QueryKey`] a request normalizes to;
 //! * [`server`] — the daemon: acceptor + fixed worker pool built on the
 //!   [`ctc_graph::Parallelism`] fork-join substrate, keep-alive
-//!   connection loops, and graceful drain-then-exit shutdown.
+//!   connection loops, and graceful drain-then-exit shutdown. Online
+//!   edge updates (`POST /update`) maintain the truss index in place on
+//!   a writer-serialized primary engine and republish frozen clones to
+//!   readers, with class-keyed answer-cache invalidation.
 //!
-//! Endpoints: `POST /search`, `GET /healthz`, `GET /stats`,
-//! `POST /shutdown` — specified in `docs/SERVING.md`.
+//! Endpoints: `POST /search`, `POST /update`, `GET /healthz`,
+//! `GET /stats`, `POST /shutdown` — specified in `docs/SERVING.md`.
 //!
 //! The full request path is also callable without any socket, which is
 //! how the fuzz battery and the latency bench drive it:
@@ -51,7 +54,10 @@ pub mod wire;
 pub use cache::LruCache;
 pub use json::Json;
 pub use server::{AppState, CountersSnapshot, CtcServer, ServeConfig, ServeReport, ServerHandle};
-pub use wire::{decode_search_request, encode_community, encode_error, QueryKey, SearchRequest};
+pub use wire::{
+    decode_search_request, decode_update_request, encode_community, encode_error,
+    encode_update_response, QueryKey, SearchRequest, UpdateOutcome, UpdateRequest, WireUpdate,
+};
 
 // Re-exported so downstreams of the server crate name the engine types
 // without an extra dependency edge.

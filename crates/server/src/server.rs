@@ -31,15 +31,16 @@ use crate::cache::LruCache;
 use crate::http::{parse_request, HttpError, Parse, Request, Response, DEFAULT_MAX_BODY};
 use crate::json::Json;
 use crate::wire::{
-    decode_search_request, encode_community, encode_error, search_error_response, QueryKey,
+    decode_search_request, decode_update_request, encode_community, encode_error,
+    encode_update_response, search_error_response, QueryKey, UpdateOutcome,
 };
-use ctc_core::CommunityEngine;
+use ctc_core::{CommunityEngine, EngineUpdate, SearchAlgo};
 use ctc_graph::Parallelism;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
@@ -94,6 +95,20 @@ pub struct Counters {
     pub stats: AtomicU64,
     /// Byte streams rejected by the HTTP parser.
     pub http_rejects: AtomicU64,
+    /// `/update` batches answered `200` (individual ops inside may still
+    /// have been rejected — see `updates_applied` / `updates_rejected`).
+    pub update_ok: AtomicU64,
+    /// `/update` requests whose body failed to decode (`400`) or whose
+    /// batch failed internally (`500`).
+    pub update_err: AtomicU64,
+    /// Individual edge updates applied across all `200` batches. Together
+    /// with `updates_rejected` this sums exactly to the per-op outcomes
+    /// reported in `/update` response bodies — the invariant the soak
+    /// test pins.
+    pub updates_applied: AtomicU64,
+    /// Individual edge updates rejected (duplicate edge, missing edge,
+    /// unknown label, self-loop) across all `200` batches.
+    pub updates_rejected: AtomicU64,
     /// Cumulative microseconds spent locating `G0`/`Gt` across uncached
     /// `/search` answers. With `phase_peel_us`, `phase_finish_us` and
     /// `phase_total_us` this makes phase regressions visible in production
@@ -131,6 +146,14 @@ pub struct CountersSnapshot {
     pub stats: u64,
     /// See [`Counters::http_rejects`].
     pub http_rejects: u64,
+    /// See [`Counters::update_ok`].
+    pub update_ok: u64,
+    /// See [`Counters::update_err`].
+    pub update_err: u64,
+    /// See [`Counters::updates_applied`].
+    pub updates_applied: u64,
+    /// See [`Counters::updates_rejected`].
+    pub updates_rejected: u64,
     /// See [`Counters::phase_locate_us`].
     pub phase_locate_us: u64,
     /// See [`Counters::phase_peel_us`].
@@ -152,6 +175,10 @@ impl Counters {
             healthz: self.healthz.load(Ordering::Relaxed),
             stats: self.stats.load(Ordering::Relaxed),
             http_rejects: self.http_rejects.load(Ordering::Relaxed),
+            update_ok: self.update_ok.load(Ordering::Relaxed),
+            update_err: self.update_err.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            updates_rejected: self.updates_rejected.load(Ordering::Relaxed),
             phase_locate_us: self.phase_locate_us.load(Ordering::Relaxed),
             phase_peel_us: self.phase_peel_us.load(Ordering::Relaxed),
             phase_finish_us: self.phase_finish_us.load(Ordering::Relaxed),
@@ -160,14 +187,43 @@ impl Counters {
     }
 }
 
+/// A cached `/search` answer: the encoded body plus the answer's
+/// trussness `k`, the class-keyed invalidation handle — an applied
+/// update with `max_class < k` provably cannot change this answer (for
+/// the exact algorithms), so the entry survives the update.
+#[derive(Clone)]
+struct CachedAnswer {
+    k: u32,
+    body: Arc<Vec<u8>>,
+}
+
 /// Everything a request needs, shared across workers behind one [`Arc`]:
 /// the engine (itself `Arc`-backed), the answer cache, counters and the
 /// shutdown flag. Also usable standalone — without any socket — via
 /// [`AppState::respond`], which is how the fuzz battery and the serve
 /// bench drive the full parse → dispatch → encode path in-process.
+///
+/// Online updates split the engine in two:
+///
+/// * `primary` — the writer's engine, holding the warm [`DynamicIndex`]
+///   maintenance state. Every `/update` serializes through this mutex.
+/// * `serving` — the readers' engine, a frozen clone republished after
+///   each applied batch. A `/search` clones it (Arc bumps) under a short
+///   read lock and computes against that immutable view, so readers are
+///   never blocked by a writer mid-maintenance and never observe a
+///   half-applied batch.
+///
+/// [`DynamicIndex`]: ctc_truss::DynamicIndex
 pub struct AppState {
-    engine: CommunityEngine,
-    cache: Mutex<LruCache<QueryKey, Arc<Vec<u8>>>>,
+    primary: Mutex<CommunityEngine>,
+    serving: RwLock<CommunityEngine>,
+    /// Bumped (under the `serving` write lock) on every publication. A
+    /// reader that captured the engine before an update re-checks the
+    /// epoch before inserting its answer into the cache; on a mismatch
+    /// it skips the insert, so a stale answer computed against the old
+    /// graph can never land *after* the update's invalidation pass.
+    epoch: AtomicU64,
+    cache: Mutex<LruCache<QueryKey, CachedAnswer>>,
     counters: Counters,
     shutdown: AtomicBool,
     max_body: usize,
@@ -178,8 +234,11 @@ pub struct AppState {
 impl AppState {
     /// State over `engine` with the given tuning (no socket required).
     pub fn new(engine: CommunityEngine, cfg: &ServeConfig) -> Self {
+        let serving = engine.frozen_clone();
         AppState {
-            engine,
+            primary: Mutex::new(engine),
+            serving: RwLock::new(serving),
+            epoch: AtomicU64::new(0),
             cache: Mutex::new(LruCache::new(cfg.cache_cap)),
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
@@ -188,9 +247,17 @@ impl AppState {
         }
     }
 
-    /// The served engine.
-    pub fn engine(&self) -> &CommunityEngine {
-        &self.engine
+    /// A clone of the currently served (read-side) engine — Arc bumps,
+    /// not a data copy. The clone is an immutable consistent view: later
+    /// `/update`s republish rather than mutate in place.
+    pub fn engine(&self) -> CommunityEngine {
+        self.serving.read().expect("serving poisoned").clone()
+    }
+
+    /// The publication epoch: how many update batches have republished
+    /// the serving engine so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// Current counter values.
@@ -266,6 +333,7 @@ impl AppState {
         self.counters.total.fetch_add(1, Ordering::Relaxed);
         match (req.method.as_str(), req.target.as_str()) {
             ("POST", "/search") => self.handle_search(req),
+            ("POST", "/update") => self.handle_update(req),
             ("GET", "/healthz") => {
                 self.counters.healthz.fetch_add(1, Ordering::Relaxed);
                 Response::ok(
@@ -286,7 +354,7 @@ impl AppState {
                         .into_bytes(),
                 )
             }
-            (_, "/search" | "/healthz" | "/stats" | "/shutdown") => Response::error(
+            (_, "/search" | "/update" | "/healthz" | "/stats" | "/shutdown") => Response::error(
                 405,
                 "Method Not Allowed",
                 encode_error("method not allowed for this endpoint"),
@@ -297,14 +365,21 @@ impl AppState {
 
     /// `POST /search`: decode → resolve labels → cache → engine → encode.
     fn handle_search(&self, req: &Request) -> Response {
-        let parsed = match decode_search_request(&req.body, self.engine.config()) {
+        // Capture the serving engine and the publication epoch under one
+        // read lock: the pair is what makes "which graph answered this"
+        // well-defined while /update batches republish concurrently.
+        let (snapshot, epoch) = {
+            let guard = self.serving.read().expect("serving poisoned");
+            (guard.clone(), self.epoch.load(Ordering::SeqCst))
+        };
+        let parsed = match decode_search_request(&req.body, snapshot.config()) {
             Ok(p) => p,
             Err(e) => {
                 self.counters.search_err.fetch_add(1, Ordering::Relaxed);
                 return Response::error(e.status, "Bad Request", encode_error(&e.message));
             }
         };
-        let q = match self.engine.resolve_labels(&parsed.labels) {
+        let q = match snapshot.resolve_labels(&parsed.labels) {
             Ok(q) => q,
             Err(label) => {
                 self.counters.search_err.fetch_add(1, Ordering::Relaxed);
@@ -321,16 +396,16 @@ impl AppState {
         // lock a hit is only an Arc bump, so concurrent workers never
         // serialize on a large-body memcpy.
         let hit = self.cache.lock().expect("cache poisoned").get(&key);
-        if let Some(body) = hit {
+        if let Some(ans) = hit {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.counters.search_ok.fetch_add(1, Ordering::Relaxed);
-            return Response::ok(body.as_ref().clone()).with_header("x-cache", "hit");
+            return Response::ok(ans.body.as_ref().clone()).with_header("x-cache", "hit");
         }
         // Miss: run the search under the per-request config. The engine
         // clone is three Arc bumps; per-query inner parallelism stays
         // whatever the base config says (serial for serving — the pool
         // already owns the cores).
-        let engine = self.engine.clone().with_config(parsed.cfg);
+        let engine = snapshot.clone().with_config(parsed.cfg);
         match engine.search(&q, parsed.algo) {
             Ok(c) => {
                 self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -354,11 +429,24 @@ impl AppState {
                 // Cache the *encoded* body: a hit costs one memcpy, never
                 // a re-encode of the whole community (encoding dominates
                 // per-hit cost for large answers).
-                let body = Arc::new(encode_community(&self.engine, &c));
-                self.cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .insert(key, Arc::clone(&body));
+                let body = Arc::new(encode_community(&snapshot, &c));
+                {
+                    let mut cache = self.cache.lock().expect("cache poisoned");
+                    // Re-check the epoch under the cache lock: if an
+                    // update published while this search ran, the answer
+                    // was computed against a superseded graph. Inserting
+                    // it after the update's invalidation pass would poison
+                    // the cache; skipping the insert is always safe.
+                    if self.epoch.load(Ordering::SeqCst) == epoch {
+                        cache.insert(
+                            key,
+                            CachedAnswer {
+                                k: c.k,
+                                body: Arc::clone(&body),
+                            },
+                        );
+                    }
+                }
                 Response::ok(body.as_ref().clone()).with_header("x-cache", "miss")
             }
             Err(e) => {
@@ -369,9 +457,110 @@ impl AppState {
         }
     }
 
+    /// `POST /update`: decode → resolve labels per-op → maintain the
+    /// primary index → republish a frozen clone → invalidate affected
+    /// cache classes. Always `200` with per-op outcomes when the body
+    /// decodes; individual ops reject independently.
+    fn handle_update(&self, req: &Request) -> Response {
+        let parsed = match decode_update_request(&req.body) {
+            Ok(p) => p,
+            Err(e) => {
+                self.counters.update_err.fetch_add(1, Ordering::Relaxed);
+                return Response::error(e.status, "Bad Request", encode_error(&e.message));
+            }
+        };
+        // One writer at a time: the whole resolve → maintain → publish
+        // sequence holds the primary lock, so batches are serialized and
+        // the serving engine always corresponds to a prefix of batches.
+        let mut primary = self.primary.lock().expect("primary poisoned");
+        // Resolve labels per-op. An unknown label rejects that op alone;
+        // resolved ops keep their batch position so outcomes line up.
+        let mut slots: Vec<Result<EngineUpdate, String>> = Vec::with_capacity(parsed.ops.len());
+        for op in &parsed.ops {
+            let resolve = |label: u64| {
+                primary
+                    .resolve_labels(&[label])
+                    .map(|v| v[0])
+                    .map_err(|l| format!("label {l} not in graph"))
+            };
+            slots.push(resolve(op.u).and_then(|u| {
+                resolve(op.v).map(|v| {
+                    if op.insert {
+                        EngineUpdate::insert(u, v)
+                    } else {
+                        EngineUpdate::delete(u, v)
+                    }
+                })
+            }));
+        }
+        let batch: Vec<EngineUpdate> = slots.iter().filter_map(|s| s.clone().ok()).collect();
+        let report = match primary.apply_batch(&batch) {
+            Ok(r) => r,
+            Err(e) => {
+                // Internal failure (the maintained state could not be
+                // re-materialized) — nothing was published.
+                self.counters.update_err.fetch_add(1, Ordering::Relaxed);
+                let (status, reason, body) = search_error_response(&e);
+                return Response::error(status, reason, body);
+            }
+        };
+        if report.applied > 0 {
+            // Publish a frozen clone for readers, then drop the affected
+            // cache classes. The epoch bump happens under the write lock,
+            // so a reader's (engine, epoch) capture is always consistent.
+            let frozen = primary.frozen_clone();
+            {
+                let mut serving = self.serving.write().expect("serving poisoned");
+                *serving = frozen;
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+            }
+            let max_class = report.max_class;
+            // Exact algorithms answer from τ ≥ k subgraphs, which are
+            // untouched for k > max_class; LCTC explores the raw graph
+            // around the query, so any applied update invalidates it.
+            self.cache
+                .lock()
+                .expect("cache poisoned")
+                .retain(|key, ans| key.algo != SearchAlgo::Local && ans.k > max_class);
+        }
+        // Zip engine results back into batch positions.
+        let mut engine_results = report.results.into_iter();
+        let outcomes: Vec<UpdateOutcome> = slots
+            .into_iter()
+            .map(|slot| match slot {
+                Err(error) => UpdateOutcome::Rejected { error },
+                Ok(_) => match engine_results.next().expect("one result per applied op") {
+                    Ok(r) => UpdateOutcome::Applied {
+                        trussness: r.edge_truss,
+                        changed: r.changed as u64,
+                    },
+                    Err(e) => UpdateOutcome::Rejected {
+                        error: e.to_string(),
+                    },
+                },
+            })
+            .collect();
+        drop(primary);
+        let applied = report.applied as u64;
+        let rejected = (outcomes.len() - report.applied) as u64;
+        self.counters.update_ok.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .updates_applied
+            .fetch_add(applied, Ordering::Relaxed);
+        self.counters
+            .updates_rejected
+            .fetch_add(rejected, Ordering::Relaxed);
+        Response::ok(encode_update_response(
+            applied,
+            rejected,
+            report.max_class,
+            &outcomes,
+        ))
+    }
+
     /// The `/stats` body: graph/index summary + request counters.
     fn encode_stats(&self) -> Vec<u8> {
-        let s = self.engine.stats();
+        let s = self.engine().stats();
         let c = self.counters.snapshot();
         let cache = self.cache.lock().expect("cache poisoned");
         Json::Object(vec![
@@ -402,6 +591,20 @@ impl AppState {
                     ("healthz".into(), Json::Uint(c.healthz)),
                     ("stats".into(), Json::Uint(c.stats)),
                     ("http_rejects".into(), Json::Uint(c.http_rejects)),
+                ]),
+            ),
+            // Online-update accounting: batches_ok + batches_err covers
+            // every /update request; applied + rejected sums exactly over
+            // the per-op outcomes of the 200 responses (the soak test
+            // pins this), and epoch counts publications.
+            (
+                "updates".into(),
+                Json::Object(vec![
+                    ("batches_ok".into(), Json::Uint(c.update_ok)),
+                    ("batches_err".into(), Json::Uint(c.update_err)),
+                    ("applied".into(), Json::Uint(c.updates_applied)),
+                    ("rejected".into(), Json::Uint(c.updates_rejected)),
+                    ("epoch".into(), Json::Uint(self.epoch())),
                 ]),
             ),
             // Cumulative per-phase search time over uncached answers:
@@ -738,7 +941,7 @@ mod tests {
             .engine()
             .search(&[f.q1, f.q2, f.q3], SearchAlgo::Basic)
             .unwrap();
-        assert_eq!(payload, encode_community(s.engine(), &direct));
+        assert_eq!(payload, encode_community(&s.engine(), &direct));
         // Second identical request: byte-identical body, served by cache.
         let second = s.respond(&req("POST", "/search", &body)).unwrap();
         let (head2, payload2) = split(&second);
@@ -824,6 +1027,121 @@ mod tests {
             c.phase_total_us,
             "locate + peel + finish must equal total: {c:?}"
         );
+    }
+
+    #[test]
+    fn update_applies_and_reports_per_op_outcomes() {
+        let s = state(8);
+        let f = Figure1Ids::default();
+        let (q1, q2, t) = (f.q1.0, f.q2.0, f.t.0);
+        // Four ops: a real delete, its re-insert, an unknown label, and a
+        // duplicate insert. The rejections must not poison the batch.
+        let body = format!(
+            r#"{{"updates":[{{"op":"delete","u":{q1},"v":{t}}},{{"op":"insert","u":{q1},"v":{t}}},{{"op":"insert","u":{q1},"v":9999}},{{"op":"insert","u":{q1},"v":{q2}}}]}}"#
+        );
+        let (head, payload) = split(&s.respond(&req("POST", "/update", &body)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let text = String::from_utf8(payload).unwrap();
+        assert!(
+            text.starts_with(r#"{"applied":2,"rejected":2,"max_class":2,"#),
+            "{text}"
+        );
+        // The bridge is a support-0 edge: trussness 2, no cascade.
+        assert!(
+            text.contains(r#"{"status":"applied","trussness":2,"changed":0}"#),
+            "{text}"
+        );
+        assert!(text.contains("label 9999 not in graph"), "{text}");
+        assert!(text.contains("already present"), "{text}");
+        let c = s.counters();
+        assert_eq!((c.update_ok, c.update_err), (1, 0));
+        assert_eq!((c.updates_applied, c.updates_rejected), (2, 2));
+        // One publication for the batch; the graph ends where it began.
+        assert_eq!(s.epoch(), 1);
+        let (_, stats) = split(&s.respond(&req("GET", "/stats", "")).unwrap());
+        let stats = String::from_utf8(stats).unwrap();
+        assert!(stats.contains(r#""num_edges":25"#), "{stats}");
+        assert!(
+            stats.contains(
+                r#""updates":{"batches_ok":1,"batches_err":0,"applied":2,"rejected":2,"epoch":1}"#
+            ),
+            "{stats}"
+        );
+    }
+
+    #[test]
+    fn update_rejections_and_bad_bodies() {
+        let s = state(8);
+        let f = Figure1Ids::default();
+        // Malformed body: 400, no publication.
+        let (head, _) = split(&s.respond(&req("POST", "/update", "{nope")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        // All ops rejected: still 200, but nothing published.
+        let body = format!(
+            r#"{{"updates":[{{"op":"delete","u":{},"v":{}}}]}}"#,
+            f.q1.0, f.q3.0
+        );
+        let (head, payload) = split(&s.respond(&req("POST", "/update", &body)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let text = String::from_utf8(payload).unwrap();
+        assert!(
+            text.starts_with(r#"{"applied":0,"rejected":1,"max_class":0,"#),
+            "{text}"
+        );
+        assert!(text.contains("is not present"), "{text}");
+        assert_eq!(s.epoch(), 0, "an all-rejected batch must not republish");
+        let c = s.counters();
+        assert_eq!((c.update_ok, c.update_err), (1, 1));
+        // Wrong method on /update is 405, not 404.
+        let (head, _) = split(&s.respond(&req("GET", "/update", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+    }
+
+    #[test]
+    fn update_invalidates_by_class_and_keeps_unaffected_answers() {
+        let s = state(8);
+        let f = Figure1Ids::default();
+        let (q1, q2, q3, t) = (f.q1.0, f.q2.0, f.q3.0, f.t.0);
+        let basic = format!(r#"{{"query":[{q1},{q2},{q3}],"algo":"basic"}}"#);
+        let lctc = format!(r#"{{"query":[{q1},{q2},{q3}],"algo":"lctc"}}"#);
+        s.respond(&req("POST", "/search", &basic)).unwrap();
+        s.respond(&req("POST", "/search", &lctc)).unwrap();
+        // Deleting the bridge touches only class 2; the k=4 Basic answer
+        // is provably unaffected and must survive, while the heuristic
+        // LCTC answer (graph-shape dependent) must be dropped.
+        let update = format!(r#"{{"updates":[{{"op":"delete","u":{q1},"v":{t}}}]}}"#);
+        let (head, _) = split(&s.respond(&req("POST", "/update", &update)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let (head, _) = split(&s.respond(&req("POST", "/search", &basic)).unwrap());
+        assert!(head.contains("x-cache: hit"), "k=4 > max_class=2: {head}");
+        let (head, _) = split(&s.respond(&req("POST", "/search", &lctc)).unwrap());
+        assert!(head.contains("x-cache: miss"), "LCTC always drops: {head}");
+        // A deletion inside the community touches class 4: the Basic
+        // entry now goes too.
+        let update = format!(r#"{{"updates":[{{"op":"delete","u":{q1},"v":{q2}}}]}}"#);
+        s.respond(&req("POST", "/update", &update)).unwrap();
+        let (head, _) = split(&s.respond(&req("POST", "/search", &basic)).unwrap());
+        assert!(head.contains("x-cache: miss"), "{head}");
+    }
+
+    #[test]
+    fn readers_observe_published_updates() {
+        let s = state(0);
+        let f = Figure1Ids::default();
+        let before = s.engine();
+        let update = format!(
+            r#"{{"updates":[{{"op":"delete","u":{},"v":{}}}]}}"#,
+            f.q1.0, f.t.0
+        );
+        s.respond(&req("POST", "/update", &update)).unwrap();
+        // A clone captured before the update keeps its consistent view;
+        // fresh captures see the mutated graph.
+        assert_eq!(before.stats().num_edges, 25);
+        assert_eq!(s.engine().stats().num_edges, 24);
+        let (_, stats) = split(&s.respond(&req("GET", "/stats", "")).unwrap());
+        assert!(String::from_utf8(stats)
+            .unwrap()
+            .contains(r#""num_edges":24"#));
     }
 
     #[test]

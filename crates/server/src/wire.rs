@@ -22,6 +22,11 @@ use ctc_graph::error::GraphError;
 /// bug, not a workload).
 pub const MAX_QUERY_LABELS: usize = 1024;
 
+/// Hard cap on edge updates per `/update` batch. Bigger reshapes belong
+/// offline (rebuild the snapshot); a bounded batch keeps the writer's
+/// critical section — and therefore reader staleness — bounded too.
+pub const MAX_BATCH_UPDATES: usize = 4096;
+
 /// A decoded, validated `/search` request body.
 #[derive(Clone, Debug)]
 pub struct SearchRequest {
@@ -188,6 +193,174 @@ pub fn decode_search_request(body: &[u8], base: &CtcConfig) -> Result<SearchRequ
     Ok(SearchRequest { labels, algo, cfg })
 }
 
+/// One edge update from a `/update` batch, in *label* space (the server
+/// resolves labels to dense ids per-op, so an unknown endpoint rejects
+/// that op alone, not the batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireUpdate {
+    /// `true` for `"op":"insert"`, `false` for `"op":"delete"`.
+    pub insert: bool,
+    /// One endpoint, as an original vertex label.
+    pub u: u64,
+    /// The other endpoint, as an original vertex label.
+    pub v: u64,
+}
+
+/// A decoded, validated `/update` request body.
+#[derive(Clone, Debug)]
+pub struct UpdateRequest {
+    /// The batch, in request order.
+    pub ops: Vec<WireUpdate>,
+}
+
+/// Decodes and validates a `/update` body against the schema
+/// `{"updates": [{"op": "insert"|"delete", "u": label, "v": label}...]}`.
+/// Unknown and duplicate fields are rejected at both nesting levels —
+/// the same typo-safety stance as [`decode_search_request`].
+pub fn decode_update_request(body: &[u8]) -> Result<UpdateRequest, DecodeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| DecodeError::new("request body is not valid UTF-8"))?;
+    let root = Json::parse(text)?;
+    let Json::Object(pairs) = &root else {
+        return Err(DecodeError::new("request body must be a JSON object"));
+    };
+    for (key, _) in pairs {
+        if key != "updates" {
+            return Err(DecodeError::new(format!("unknown field {key:?}")));
+        }
+    }
+    if pairs.len() > 1 {
+        return Err(DecodeError::new("duplicate field \"updates\""));
+    }
+    let updates = root
+        .get("updates")
+        .ok_or_else(|| DecodeError::new("missing required field \"updates\""))?
+        .as_array()
+        .ok_or_else(|| DecodeError::new("\"updates\" must be an array of edge updates"))?;
+    if updates.is_empty() {
+        return Err(DecodeError::new("\"updates\" must not be empty"));
+    }
+    if updates.len() > MAX_BATCH_UPDATES {
+        return Err(DecodeError::new(format!(
+            "\"updates\" holds more than {MAX_BATCH_UPDATES} entries"
+        )));
+    }
+    let mut ops = Vec::with_capacity(updates.len());
+    for (i, entry) in updates.iter().enumerate() {
+        let Json::Object(fields) = entry else {
+            return Err(DecodeError::new(format!(
+                "updates[{i}] must be an object {{\"op\", \"u\", \"v\"}}"
+            )));
+        };
+        const KNOWN: [&str; 3] = ["op", "u", "v"];
+        for (key, _) in fields {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(DecodeError::new(format!(
+                    "updates[{i}]: unknown field {key:?}"
+                )));
+            }
+        }
+        if fields.len() > KNOWN.len() {
+            return Err(DecodeError::new(format!("updates[{i}]: duplicate fields")));
+        }
+        for (j, (key, _)) in fields.iter().enumerate() {
+            if fields[..j].iter().any(|(prev, _)| prev == key) {
+                return Err(DecodeError::new(format!(
+                    "updates[{i}]: duplicate field {key:?}"
+                )));
+            }
+        }
+        let op = entry
+            .get("op")
+            .ok_or_else(|| DecodeError::new(format!("updates[{i}]: missing field \"op\"")))?
+            .as_str()
+            .ok_or_else(|| {
+                DecodeError::new(format!(
+                    "updates[{i}]: \"op\" must be \"insert\" or \"delete\""
+                ))
+            })?;
+        let insert = match op {
+            "insert" => true,
+            "delete" => false,
+            other => {
+                return Err(DecodeError::new(format!(
+                    "updates[{i}]: unknown op {other:?} (expected \"insert\" or \"delete\")"
+                )))
+            }
+        };
+        let endpoint = |name: &str| {
+            entry
+                .get(name)
+                .ok_or_else(|| DecodeError::new(format!("updates[{i}]: missing field {name:?}")))?
+                .as_u64()
+                .ok_or_else(|| {
+                    DecodeError::new(format!(
+                        "updates[{i}]: {name:?} must be a non-negative integer label"
+                    ))
+                })
+        };
+        ops.push(WireUpdate {
+            insert,
+            u: endpoint("u")?,
+            v: endpoint("v")?,
+        });
+    }
+    Ok(UpdateRequest { ops })
+}
+
+/// Per-op outcome reported back in the `/update` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The update applied and the index was maintained in place.
+    Applied {
+        /// The edge's new trussness after an insertion, or its former
+        /// trussness after a deletion.
+        trussness: u32,
+        /// Edges whose trussness the cascade changed (the edge itself
+        /// included for an insertion).
+        changed: u64,
+    },
+    /// The update was rejected; the rest of the batch is unaffected.
+    Rejected {
+        /// Why (e.g. duplicate edge, unknown label, self-loop).
+        error: String,
+    },
+}
+
+/// Encodes the deterministic `/update` response body: batch counts, the
+/// cache-invalidation class, and per-op outcomes in request order.
+pub fn encode_update_response(
+    applied: u64,
+    rejected: u64,
+    max_class: u32,
+    results: &[UpdateOutcome],
+) -> Vec<u8> {
+    let results = Json::Array(
+        results
+            .iter()
+            .map(|r| match r {
+                UpdateOutcome::Applied { trussness, changed } => Json::Object(vec![
+                    ("status".into(), Json::Str("applied".into())),
+                    ("trussness".into(), Json::Uint(u64::from(*trussness))),
+                    ("changed".into(), Json::Uint(*changed)),
+                ]),
+                UpdateOutcome::Rejected { error } => Json::Object(vec![
+                    ("status".into(), Json::Str("rejected".into())),
+                    ("error".into(), Json::Str(error.clone())),
+                ]),
+            })
+            .collect(),
+    );
+    Json::Object(vec![
+        ("applied".into(), Json::Uint(applied)),
+        ("rejected".into(), Json::Uint(rejected)),
+        ("max_class".into(), Json::Uint(u64::from(max_class))),
+        ("results".into(), results),
+    ])
+    .encode()
+    .into_bytes()
+}
+
 /// Encodes a community as the deterministic `/search` response body.
 /// Vertices and edges are reported as *original labels* (the engine's
 /// label table applies); field order is fixed; no timings ride along, so
@@ -322,6 +495,111 @@ mod tests {
                 .join(",")
         );
         assert!(decode(&too_many).unwrap_err().message.contains("more than"));
+    }
+
+    #[test]
+    fn update_request_decodes_in_order() {
+        let r = decode_update_request(
+            br#"{"updates":[{"op":"insert","u":3,"v":7},{"op":"delete","v":1,"u":2}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.ops,
+            vec![
+                WireUpdate {
+                    insert: true,
+                    u: 3,
+                    v: 7
+                },
+                WireUpdate {
+                    insert: false,
+                    u: 2,
+                    v: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_update_bodies_are_rejected_with_reasons() {
+        for (body, needle) in [
+            ("", "json error"),
+            ("[]", "must be a JSON object"),
+            ("{}", "missing required field"),
+            (r#"{"updates":[]}"#, "must not be empty"),
+            (r#"{"updates":7}"#, "must be an array"),
+            (r#"{"updates":[7]}"#, "must be an object"),
+            (
+                r#"{"updates":[{"op":"insert","u":1,"v":2}],"x":1}"#,
+                "unknown field \"x\"",
+            ),
+            (
+                r#"{"updates":[{"op":"upsert","u":1,"v":2}]}"#,
+                "unknown op \"upsert\"",
+            ),
+            (
+                r#"{"updates":[{"op":"insert","u":1}]}"#,
+                "missing field \"v\"",
+            ),
+            (r#"{"updates":[{"u":1,"v":2}]}"#, "missing field \"op\""),
+            (
+                r#"{"updates":[{"op":"insert","u":-1,"v":2}]}"#,
+                "non-negative integer label",
+            ),
+            (
+                r#"{"updates":[{"op":"insert","u":1,"v":2,"w":3}]}"#,
+                "unknown field \"w\"",
+            ),
+            (
+                r#"{"updates":[{"op":"insert","u":1,"v":2,"u":3}]}"#,
+                "duplicate field",
+            ),
+            (
+                r#"{"updates":[{"op":"insert","u":1,"v":2}],"updates":[]}"#,
+                "duplicate field",
+            ),
+        ] {
+            let e = decode_update_request(body.as_bytes()).unwrap_err();
+            assert_eq!(e.status, 400, "{body}");
+            assert!(
+                e.message.contains(needle),
+                "{body}: {} should mention {needle:?}",
+                e.message
+            );
+        }
+        let huge = format!(
+            r#"{{"updates":[{}]}}"#,
+            (0..=MAX_BATCH_UPDATES)
+                .map(|i| format!(r#"{{"op":"insert","u":{i},"v":{}}}"#, i + 1))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        assert!(decode_update_request(huge.as_bytes())
+            .unwrap_err()
+            .message
+            .contains("more than"));
+    }
+
+    #[test]
+    fn update_response_encoding_is_fixed_order() {
+        let body = encode_update_response(
+            1,
+            1,
+            4,
+            &[
+                UpdateOutcome::Applied {
+                    trussness: 3,
+                    changed: 5,
+                },
+                UpdateOutcome::Rejected {
+                    error: "edge (1,2) is already present".into(),
+                },
+            ],
+        );
+        assert_eq!(
+            String::from_utf8(body).unwrap(),
+            r#"{"applied":1,"rejected":1,"max_class":4,"results":[{"status":"applied","trussness":3,"changed":5},{"status":"rejected","error":"edge (1,2) is already present"}]}"#
+        );
     }
 
     #[test]

@@ -71,7 +71,7 @@ impl TrussIndex {
         Self::from_parts(g, decomp.edge_truss.clone(), decomp.max_truss)
     }
 
-    fn from_parts(g: &CsrGraph, edge_truss: Vec<u32>, max_truss: u32) -> Self {
+    pub(crate) fn from_parts(g: &CsrGraph, edge_truss: Vec<u32>, max_truss: u32) -> Self {
         let n = g.num_vertices();
         let m = g.num_edges();
         debug_assert_eq!(edge_truss.len(), m);

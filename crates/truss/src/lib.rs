@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod decompose;
+pub mod dynamic;
 pub mod find_g0;
 pub mod fixtures;
 pub mod index;
@@ -55,11 +56,13 @@ pub mod ktruss;
 pub mod maintain;
 pub mod snapshot;
 pub mod tcp;
+pub mod wal;
 
 pub use decompose::{
     graph_trussness, is_k_truss, naive_truss_decomposition, truss_decomposition,
     truss_decomposition_par, truss_decomposition_with, DecomposeScratch, TrussDecomposition,
 };
+pub use dynamic::{DynamicIndex, UpdateReport};
 pub use find_g0::{
     find_g0, find_g0_with, find_ktruss_containing, find_ktruss_containing_with, g0_subgraph,
     FindScratch, G0,
@@ -69,3 +72,6 @@ pub use ktruss::{connected_ktruss_components, edge_list_vertices, ktruss_edges};
 pub use maintain::{CascadeReport, TrussMaintainer};
 pub use snapshot::{snapshot_from_bytes, snapshot_to_bytes, Snapshot};
 pub use tcp::{tcp_communities, tcp_feasible, TcpCommunity};
+pub use wal::{
+    delta_log_from_bytes, delta_log_to_bytes, DeltaLog, DeltaLogFile, DeltaOp, DeltaRecord,
+};

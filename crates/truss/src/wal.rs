@@ -1,0 +1,504 @@
+//! The `.ctcd` write-ahead delta log: durable edge updates on top of a
+//! `.ctci` snapshot.
+//!
+//! A [`DynamicIndex`] makes a loaded snapshot mutable
+//! in memory; the delta log makes those mutations durable without
+//! rewriting the snapshot per update. Updates append fixed-size records to
+//! a sidecar `.ctcd` file; on restart the log replays over the freshly
+//! loaded snapshot; compaction folds the replayed state back into a clean
+//! snapshot and resets the log.
+//!
+//! Byte-level layout (specified independently in `docs/INDEX_FORMAT.md`):
+//!
+//! ```text
+//! magic       "CTCL"                                   4 bytes
+//! version     u32 LE                                   (currently 1)
+//! base        u64 LE — FNV-1a 64 of the bound          8 bytes
+//!             snapshot file's bytes
+//! hdr check   u64 LE — FNV-1a 64 over the 16           8 bytes
+//!             header bytes above
+//! records     op u8 (1=insert, 2=delete),              17 bytes each
+//!             u u32 LE, v u32 LE (dense ids),
+//!             chain u64 LE
+//! trailer     record count u64 LE, final chain u64 LE  16 bytes
+//! ```
+//!
+//! Every record's `chain` is `FNV-1a 64` over the previous chain value
+//! (little-endian, seeded with `base`) concatenated with the record's 9
+//! payload bytes — so records validate in sequence against the snapshot
+//! they extend, and any bit flip poisons every later checksum. The trailer
+//! repeats the count and final chain, so truncation *at a record boundary*
+//! (which per-record checksums alone cannot see) is also rejected. Torn or
+//! corrupt logs yield typed [`GraphError`]s, never panics, mirroring the
+//! snapshot loader's discipline.
+//!
+//! ```
+//! use ctc_truss::{DeltaLog, DeltaOp, DeltaRecord};
+//!
+//! let mut log = DeltaLog::new(0xfeed);
+//! log.append(DeltaRecord::new(DeltaOp::Insert, 3, 17));
+//! log.append(DeltaRecord::new(DeltaOp::Delete, 5, 9));
+//! let loaded = DeltaLog::from_bytes(&log.to_bytes()).unwrap();
+//! assert_eq!(loaded, log);
+//! assert_eq!(loaded.records().len(), 2);
+//! ```
+
+use crate::dynamic::DynamicIndex;
+use crate::snapshot::Snapshot;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ctc_graph::error::{GraphError, Result};
+use ctc_graph::io::fnv1a64;
+use ctc_graph::VertexId;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening a `.ctcd` delta-log file.
+pub const DELTA_MAGIC: &[u8; 4] = b"CTCL";
+/// Newest delta-log format version this build reads and writes.
+pub const DELTA_VERSION: u32 = 1;
+/// Header bytes: magic + version + base checksum + header checksum.
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+/// Bytes of one encoded record.
+const RECORD_LEN: usize = 1 + 4 + 4 + 8;
+/// Trailer bytes: record count + final chain value.
+const TRAILER_LEN: usize = 8 + 8;
+
+/// The two update operations a delta log records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Edge insertion.
+    Insert,
+    /// Edge deletion.
+    Delete,
+}
+
+impl DeltaOp {
+    fn to_byte(self) -> u8 {
+        match self {
+            DeltaOp::Insert => 1,
+            DeltaOp::Delete => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(DeltaOp::Insert),
+            2 => Some(DeltaOp::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// One logged update: an operation on the edge `{u, v}` (dense ids of the
+/// bound snapshot's vertex space).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaRecord {
+    /// Insert or delete.
+    pub op: DeltaOp,
+    /// One endpoint (dense id).
+    pub u: u32,
+    /// The other endpoint (dense id).
+    pub v: u32,
+}
+
+impl DeltaRecord {
+    /// A record for the edge `{u, v}`.
+    pub fn new(op: DeltaOp, u: u32, v: u32) -> Self {
+        DeltaRecord { op, u, v }
+    }
+}
+
+/// Chains `prev` with a record's payload bytes: FNV-1a 64 over
+/// `prev_le ‖ op ‖ u_le ‖ v_le`.
+fn chain_of(prev: u64, rec: DeltaRecord) -> u64 {
+    let mut buf = [0u8; 17];
+    buf[..8].copy_from_slice(&prev.to_le_bytes());
+    buf[8] = rec.op.to_byte();
+    buf[9..13].copy_from_slice(&rec.u.to_le_bytes());
+    buf[13..17].copy_from_slice(&rec.v.to_le_bytes());
+    fnv1a64(&buf)
+}
+
+/// An in-memory delta log: the record sequence plus the running chain
+/// checksum, bound to a base snapshot by that snapshot's file checksum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaLog {
+    base: u64,
+    chain: u64,
+    records: Vec<DeltaRecord>,
+}
+
+impl DeltaLog {
+    /// An empty log bound to the snapshot whose file bytes hash (FNV-1a
+    /// 64) to `base_checksum`.
+    pub fn new(base_checksum: u64) -> Self {
+        DeltaLog {
+            base: base_checksum,
+            chain: base_checksum,
+            records: Vec::new(),
+        }
+    }
+
+    /// The bound snapshot's file checksum.
+    pub fn base_checksum(&self) -> u64 {
+        self.base
+    }
+
+    /// The logged records, oldest first.
+    pub fn records(&self) -> &[DeltaRecord] {
+        &self.records
+    }
+
+    /// Number of logged records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no records are logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record, advancing the chain checksum. Returns the
+    /// record's encoded bytes (what [`DeltaLogFile::append`] writes).
+    pub fn append(&mut self, rec: DeltaRecord) -> [u8; RECORD_LEN] {
+        self.chain = chain_of(self.chain, rec);
+        self.records.push(rec);
+        let mut out = [0u8; RECORD_LEN];
+        out[0] = rec.op.to_byte();
+        out[1..5].copy_from_slice(&rec.u.to_le_bytes());
+        out[5..9].copy_from_slice(&rec.v.to_le_bytes());
+        out[9..17].copy_from_slice(&self.chain.to_le_bytes());
+        out
+    }
+
+    /// The 16 trailer bytes for the log's current state.
+    fn trailer_bytes(&self) -> [u8; TRAILER_LEN] {
+        let mut out = [0u8; TRAILER_LEN];
+        out[..8].copy_from_slice(&(self.records.len() as u64).to_le_bytes());
+        out[8..].copy_from_slice(&self.chain.to_le_bytes());
+        out
+    }
+
+    /// Serializes to the `.ctcd` byte image.
+    pub fn to_bytes(&self) -> Bytes {
+        delta_log_to_bytes(self)
+    }
+
+    /// Parses and fully validates a `.ctcd` byte image.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        delta_log_from_bytes(data)
+    }
+
+    /// Replays every logged record onto `dynx`, in order. A record the
+    /// index rejects (duplicate insert, missing delete, bad endpoint)
+    /// means the log does not belong to this snapshot state — the typed
+    /// rejection is surfaced as-is and `dynx` is left mid-replay.
+    pub fn replay(&self, dynx: &mut DynamicIndex) -> Result<()> {
+        for rec in &self.records {
+            let (u, v) = (VertexId(rec.u), VertexId(rec.v));
+            match rec.op {
+                DeltaOp::Insert => dynx.insert_edge(u, v)?,
+                DeltaOp::Delete => dynx.delete_edge(u, v)?,
+            };
+        }
+        Ok(())
+    }
+}
+
+/// Serializes a delta log to its `.ctcd` byte image.
+pub fn delta_log_to_bytes(log: &DeltaLog) -> Bytes {
+    let mut buf =
+        BytesMut::with_capacity(HEADER_LEN + log.records.len() * RECORD_LEN + TRAILER_LEN);
+    buf.put_slice(DELTA_MAGIC);
+    buf.put_u32_le(DELTA_VERSION);
+    buf.put_u64_le(log.base);
+    buf.put_u64_le(fnv1a64(&buf[..16]));
+    let mut chain = log.base;
+    for &rec in &log.records {
+        chain = chain_of(chain, rec);
+        buf.put_slice(&[rec.op.to_byte()]);
+        buf.put_u32_le(rec.u);
+        buf.put_u32_le(rec.v);
+        buf.put_u64_le(chain);
+    }
+    debug_assert_eq!(chain, log.chain);
+    buf.put_slice(&log.trailer_bytes());
+    buf.freeze()
+}
+
+/// Parses and fully validates a `.ctcd` byte image: magic, header
+/// checksum, version, per-record chained checksums, op tags, and the
+/// count/chain trailer. Every violation is a typed error, never a panic;
+/// in particular truncation at a record boundary — invisible to the
+/// per-record checksums — is caught by the trailer.
+pub fn delta_log_from_bytes(mut data: &[u8]) -> Result<DeltaLog> {
+    let corrupt = |msg: &str| GraphError::Corrupt(format!("delta log: {msg}"));
+    if data.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(corrupt("shorter than header + trailer"));
+    }
+    if &data[..4] != DELTA_MAGIC {
+        return Err(corrupt("bad magic (want \"CTCL\")"));
+    }
+    let header_check = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
+    if header_check != fnv1a64(&data[..16]) {
+        return Err(corrupt("header checksum mismatch"));
+    }
+    let body = data.len() - HEADER_LEN - TRAILER_LEN;
+    if !body.is_multiple_of(RECORD_LEN) {
+        return Err(corrupt("torn record (body is not a whole record count)"));
+    }
+    let count = body / RECORD_LEN;
+    data = &data[4..]; // magic, validated above
+    let version = data.get_u32_le();
+    if version != DELTA_VERSION {
+        return Err(GraphError::UnsupportedVersion {
+            found: version,
+            supported: DELTA_VERSION,
+        });
+    }
+    let base = data.get_u64_le();
+    data = &data[8..]; // header checksum, validated above
+    let mut log = DeltaLog::new(base);
+    for i in 0..count {
+        let op_byte = data[0];
+        data = &data[1..];
+        let op = DeltaOp::from_byte(op_byte)
+            .ok_or_else(|| corrupt(&format!("record {i}: unknown op tag")))?;
+        let u = data.get_u32_le();
+        let v = data.get_u32_le();
+        let chain = data.get_u64_le();
+        log.append(DeltaRecord::new(op, u, v));
+        if chain != log.chain {
+            return Err(corrupt(&format!("record {i}: chain checksum mismatch")));
+        }
+    }
+    let trailer_count = data.get_u64_le();
+    let trailer_chain = data.get_u64_le();
+    if trailer_count != count as u64 {
+        return Err(corrupt("trailer record count mismatch"));
+    }
+    if trailer_chain != log.chain {
+        return Err(corrupt("trailer chain mismatch"));
+    }
+    Ok(log)
+}
+
+/// A delta log with an on-disk home: appends go straight to the file
+/// (record + rewritten trailer), loads validate the full image, and
+/// [`compact`](DeltaLogFile::compact) folds the current state back into a
+/// fresh snapshot.
+///
+/// No file handle is held between calls; every operation opens, writes and
+/// syncs, so a crash at any point leaves either the old or the new image —
+/// a torn tail is rejected (typed) on the next open.
+#[derive(Clone, Debug)]
+pub struct DeltaLogFile {
+    path: PathBuf,
+    log: DeltaLog,
+}
+
+impl DeltaLogFile {
+    /// Creates a fresh, empty log at `path`, bound to `base_checksum`.
+    /// Overwrites any existing file.
+    pub fn create<P: AsRef<Path>>(path: P, base_checksum: u64) -> Result<Self> {
+        let log = DeltaLog::new(base_checksum);
+        std::fs::write(path.as_ref(), log.to_bytes())?;
+        Ok(DeltaLogFile {
+            path: path.as_ref().to_path_buf(),
+            log,
+        })
+    }
+
+    /// Loads and validates the log at `path`, additionally checking that
+    /// it is bound to the snapshot hashing to `expected_base`.
+    pub fn open<P: AsRef<Path>>(path: P, expected_base: u64) -> Result<Self> {
+        let bytes = std::fs::read(path.as_ref())?;
+        let log = DeltaLog::from_bytes(&bytes)?;
+        if log.base_checksum() != expected_base {
+            return Err(GraphError::Corrupt(format!(
+                "delta log bound to snapshot {:016x}, but the loaded snapshot hashes to {:016x}",
+                log.base_checksum(),
+                expected_base
+            )));
+        }
+        Ok(DeltaLogFile {
+            path: path.as_ref().to_path_buf(),
+            log,
+        })
+    }
+
+    /// Opens the log at `path` if it exists (validating the binding),
+    /// otherwise creates a fresh one.
+    pub fn open_or_create<P: AsRef<Path>>(path: P, base_checksum: u64) -> Result<Self> {
+        if path.as_ref().exists() {
+            Self::open(path, base_checksum)
+        } else {
+            Self::create(path, base_checksum)
+        }
+    }
+
+    /// The log's on-disk location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The in-memory view of the log.
+    pub fn log(&self) -> &DeltaLog {
+        &self.log
+    }
+
+    /// Appends one record durably: the encoded record overwrites the old
+    /// trailer position, a fresh trailer follows, and the file is synced
+    /// before returning.
+    pub fn append(&mut self, rec: DeltaRecord) -> Result<()> {
+        let encoded = self.log.append(rec);
+        let mut file = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
+        file.write_all(&encoded)?;
+        file.write_all(&self.log.trailer_bytes())?;
+        file.sync_data()?;
+        Ok(())
+    }
+
+    /// Compacts: writes `snap` (the fully replayed state) to
+    /// `snapshot_path` via temp-file + rename, then resets this log to
+    /// empty, bound to the new snapshot's checksum. Returns that checksum.
+    pub fn compact<P: AsRef<Path>>(&mut self, snapshot_path: P, snap: &Snapshot) -> Result<u64> {
+        let bytes = snap.to_bytes();
+        let base = fnv1a64(&bytes);
+        let snapshot_path = snapshot_path.as_ref();
+        let tmp = snapshot_path.with_extension("ctci.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, snapshot_path)?;
+        *self = Self::create(&self.path, base)?;
+        Ok(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_graph;
+
+    fn sample_log() -> DeltaLog {
+        let mut log = DeltaLog::new(0xdead_beef_cafe_f00d);
+        log.append(DeltaRecord::new(DeltaOp::Insert, 0, 7));
+        log.append(DeltaRecord::new(DeltaOp::Delete, 3, 4));
+        log.append(DeltaRecord::new(DeltaOp::Insert, 1, 2));
+        log
+    }
+
+    #[test]
+    fn roundtrip() {
+        let log = sample_log();
+        let parsed = DeltaLog::from_bytes(&log.to_bytes()).unwrap();
+        assert_eq!(parsed, log);
+        let empty = DeltaLog::new(42);
+        assert_eq!(DeltaLog::from_bytes(&empty.to_bytes()).unwrap(), empty);
+        assert!(empty.is_empty());
+        assert_eq!(sample_log().len(), 3);
+    }
+
+    #[test]
+    fn unsupported_version_is_typed() {
+        let log = DeltaLog::new(9);
+        let mut bytes = log.to_bytes().to_vec();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        // Re-seal the header checksum so only the version differs.
+        let hc = fnv1a64(&bytes[..16]);
+        bytes[16..24].copy_from_slice(&hc.to_le_bytes());
+        assert_eq!(
+            DeltaLog::from_bytes(&bytes),
+            Err(GraphError::UnsupportedVersion {
+                found: 99,
+                supported: DELTA_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn boundary_truncation_is_rejected() {
+        let log = sample_log();
+        let bytes = log.to_bytes();
+        // Drop the last record but keep a byte-count that still parses as
+        // header + 2 records + trailer: the per-record chains all pass,
+        // only the trailer can catch it.
+        let mut cut = bytes[..bytes.len() - TRAILER_LEN - RECORD_LEN].to_vec();
+        cut.extend_from_slice(&2u64.to_le_bytes());
+        let chain_two = {
+            let mut l = DeltaLog::new(log.base_checksum());
+            l.append(log.records()[0]);
+            l.append(log.records()[1]);
+            l.chain
+        };
+        cut.extend_from_slice(&chain_two.to_le_bytes());
+        // A forged trailer *does* parse (it is a valid 2-record log)…
+        assert!(DeltaLog::from_bytes(&cut).is_ok());
+        // …but naive boundary truncation (no forged trailer) is rejected.
+        let naive = &bytes[..bytes.len() - RECORD_LEN];
+        assert!(matches!(
+            DeltaLog::from_bytes(naive),
+            Err(GraphError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn file_append_and_reload() {
+        let dir = std::env::temp_dir().join("ctc_wal_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("append.ctcd");
+        let mut f = DeltaLogFile::create(&path, 77).unwrap();
+        for i in 0..5u32 {
+            f.append(DeltaRecord::new(DeltaOp::Insert, i, i + 1))
+                .unwrap();
+        }
+        let reloaded = DeltaLogFile::open(&path, 77).unwrap();
+        assert_eq!(reloaded.log(), f.log());
+        assert_eq!(reloaded.log().len(), 5);
+        assert!(matches!(
+            DeltaLogFile::open(&path, 78),
+            Err(GraphError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn compact_resets_log_and_rewrites_snapshot() {
+        let dir = std::env::temp_dir().join("ctc_wal_compact_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("g.ctci");
+        let log_path = dir.join("g.ctcd");
+        let snap = Snapshot::build(figure1_graph());
+        std::fs::write(&snap_path, snap.to_bytes()).unwrap();
+        let base = fnv1a64(&std::fs::read(&snap_path).unwrap());
+        let mut f = DeltaLogFile::create(&log_path, base).unwrap();
+        f.append(DeltaRecord::new(DeltaOp::Delete, 0, 1)).unwrap();
+        let new_base = f.compact(&snap_path, &snap).unwrap();
+        assert_eq!(new_base, fnv1a64(&std::fs::read(&snap_path).unwrap()));
+        let reopened = DeltaLogFile::open(&log_path, new_base).unwrap();
+        assert!(reopened.log().is_empty());
+    }
+
+    #[test]
+    fn replay_applies_in_order_and_surfaces_rejections() {
+        let g = figure1_graph();
+        let mut dynx = DynamicIndex::build(&g);
+        let (a, b) = {
+            let (_, u, v) = g.edges().next().unwrap();
+            (u, v)
+        };
+        let mut log = DeltaLog::new(1);
+        log.append(DeltaRecord::new(DeltaOp::Delete, a.0, b.0));
+        log.append(DeltaRecord::new(DeltaOp::Insert, a.0, b.0));
+        log.replay(&mut dynx).unwrap();
+        assert_eq!(dynx.num_edges(), g.num_edges());
+        // A log that does not belong to this state (inserting an edge the
+        // graph already carries) surfaces the typed rejection.
+        let mut bad = DeltaLog::new(1);
+        bad.append(DeltaRecord::new(DeltaOp::Insert, a.0, b.0));
+        assert!(matches!(
+            bad.replay(&mut dynx),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+}

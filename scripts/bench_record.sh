@@ -1,30 +1,46 @@
 #!/bin/sh
-# Record (or check) the phase benchmark trajectory in BENCH_6.json.
+# Record (or check) the committed benchmark trajectories.
 #
-#   scripts/bench_record.sh            re-measure and update the "after"
-#                                      section (the committed "before"
-#                                      baseline is preserved)
-#   scripts/bench_record.sh --check    CI mode: validate the committed
-#                                      file's schema and recorded bars
-#                                      (>=2x peel on bd/lctc, >=2x locate
-#                                      on lctc, no basic/truss locate
-#                                      regression), and smoke the recorder
-#                                      harness with one quick pass
+#   scripts/bench_record.sh            re-measure BENCH_7.json (search
+#                                      phases + online-update medians);
+#                                      the committed BENCH_6.json is the
+#                                      frozen PR-6 baseline and is NOT
+#                                      rewritten
+#   scripts/bench_record.sh --bench6   re-measure BENCH_6.json's "after"
+#                                      section instead (the committed
+#                                      "before" baseline is preserved)
+#   scripts/bench_record.sh --check    CI mode: validate BOTH committed
+#                                      files — BENCH_6.json (schema, >=2x
+#                                      lctc locate bar, no locate/peel
+#                                      regressions) and BENCH_7.json
+#                                      (schema, >=10x maintain-vs-rebuild
+#                                      bar on mini-facebook, search phases
+#                                      within 10% of the BENCH_6 bars) —
+#                                      and smoke both measurement
+#                                      harnesses with one quick pass each
 #
 # Methodology (see docs/PERF.md): median locate/peel/finish/total
 # microseconds per algorithm over the mini presets, measured through the
-# PhaseTimings every search reports, on a warm CommunityEngine. The
-# "before" section of BENCH_6.json is the pre-bitset-kernel baseline
-# captured on the same machine; BENCH_5.json pins the previous (peel
-# refactor) trajectory.
+# PhaseTimings every search reports, on a warm CommunityEngine; plus, for
+# BENCH_7, the median wall time of 32 single-edge updates (delete+insert
+# restore cycles) through the maintained DynamicIndex against one full
+# TrussIndex::build — the cost a rebuild-per-update design pays per op.
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release -p ctc-bench --bin bench_record
 
 if [ "${1:-}" = "--check" ]; then
-    exec ./target/release/bench_record --check BENCH_6.json
+    ./target/release/bench_record --check BENCH_6.json
+    exec ./target/release/bench_record --check BENCH_7.json
 fi
 
-./target/release/bench_record --out BENCH_6.json "$@"
-echo "BENCH_6.json updated; review the after/ section before committing."
+if [ "${1:-}" = "--bench6" ]; then
+    shift
+    ./target/release/bench_record --out BENCH_6.json "$@"
+    echo "BENCH_6.json updated; review the after/ section before committing."
+    exit 0
+fi
+
+./target/release/bench_record --out7 BENCH_7.json "$@"
+echo "BENCH_7.json updated; review before committing."

@@ -5,12 +5,14 @@
 //! ctc-cli decompose <edge-list> [--threads N]
 //! ctc-cli index build <edge-list> -o graph.ctci [--threads N]
 //! ctc-cli index info graph.ctci
+//! ctc-cli index update graph.ctci [--insert U,V]... [--delete U,V]...
+//!                                 [--log graph.ctcd] [--compact]
 //! ctc-cli search <edge-list> --query 3,17,42 [--algo basic|bd|lctc|truss]
 //!                            [--gamma 3] [--eta 1000] [--k K] [--threads N]
 //!                            [--timings]
 //! ctc-cli search --index graph.ctci --query 3,17,42 [...same flags]
 //! ctc-cli serve graph.ctci [--addr 127.0.0.1:7341] [--threads N]
-//!                          [--cache-cap C]
+//!                          [--cache-cap C] [--log graph.ctcd]
 //! ctc-cli generate <preset> <out-path>    # facebook|amazon|dblp|youtube|...
 //!                                         # mini-facebook|mini-dblp
 //! ```
@@ -25,10 +27,16 @@
 //!
 //! `index build` pays the offline `O(ρ·m)` construction once and writes a
 //! checksummed snapshot; `search --index` then skips straight to the
-//! online query phase. `serve` goes one step further and keeps the warm
-//! engine resident: a std-only HTTP daemon (`POST /search`,
-//! `GET /healthz`, `GET /stats`, `POST /shutdown` — see
-//! `docs/SERVING.md`) with a fixed worker pool and an LRU answer cache.
+//! online query phase. `index update` applies edge insertions/deletions
+//! to an existing snapshot with *local* truss maintenance — no `O(ρ·m)`
+//! rebuild. With `--log` the updates append to a `.ctcd` write-ahead
+//! delta log and the snapshot stays untouched until `--compact` folds the
+//! log back in; without `--log` the snapshot is rewritten in place
+//! (temp-file + rename). `serve` keeps the warm engine resident: a
+//! std-only HTTP daemon (`POST /search`, `POST /update`, `GET /healthz`,
+//! `GET /stats`, `POST /shutdown` — see `docs/SERVING.md`) with a fixed
+//! worker pool and a class-invalidated LRU answer cache; `serve --log`
+//! replays a delta log over the snapshot before binding.
 
 use ctc::prelude::*;
 use ctc_graph::io::{load_edge_list_path, save_edge_list_path};
@@ -52,6 +60,9 @@ fn main() -> ExitCode {
                  index build <edge-list> -o g.ctci     build + persist the truss index\n\
                         [--threads N]\n\
                  index info g.ctci                     inspect a snapshot\n\
+                 index update g.ctci                   apply edge updates with local\n\
+                        [--insert U,V]... [--delete U,V]...   truss maintenance\n\
+                        [--log g.ctcd] [--compact]     (see docs/INDEX_FORMAT.md)\n\
                  search <edge-list> --query a,b,c      find the closest truss community\n\
                         [--algo basic|bd|lctc|truss] [--gamma G] [--eta N] [--k K]\n\
                         [--threads N] [--timings]      (--timings: per-phase breakdown)\n\
@@ -143,7 +154,8 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("build") => cmd_index_build(&args[1..]),
         Some("info") => cmd_index_info(&args[1..]),
-        _ => Err("usage: index <build|info> ...".into()),
+        Some("update") => cmd_index_update(&args[1..]),
+        _ => Err("usage: index <build|info|update> ...".into()),
     }
 }
 
@@ -199,6 +211,177 @@ fn cmd_index_info(args: &[String]) -> Result<(), String> {
         format!("{:.1}ms", loaded.as_secs_f64() * 1e3),
     ]);
     println!("{}", t.render());
+    Ok(())
+}
+
+/// Parses one `--insert U,V` / `--delete U,V` value into a label pair.
+fn parse_edge_pair(raw: &str) -> Result<(u64, u64), String> {
+    let (u, v) = raw
+        .split_once(',')
+        .ok_or(format!("bad edge {raw:?} (want U,V)"))?;
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<u64>()
+            .map_err(|_| format!("bad vertex label {s:?} in {raw:?}"))
+    };
+    Ok((parse(u)?, parse(v)?))
+}
+
+/// `index update`: edge insertions/deletions over a snapshot with local
+/// truss maintenance (never an `O(ρ·m)` rebuild). Persistence modes:
+///
+/// * no `--log` — the maintained state is rewritten into the snapshot
+///   (temp-file + rename, so a crash leaves old or new, never torn);
+/// * `--log g.ctcd` — updates append to the write-ahead delta log (and
+///   replay any records already in it first); the snapshot stays as-is;
+/// * `--log g.ctcd --compact` — after applying, the replayed state is
+///   folded into a fresh snapshot and the log resets to empty.
+fn cmd_index_update(args: &[String]) -> Result<(), String> {
+    use ctc::truss::{DeltaLogFile, DeltaOp, DeltaRecord, DynamicIndex};
+    use ctc_graph::io::fnv1a64;
+
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing snapshot path")?;
+    // Collect updates in command-line order: interleaved --insert /
+    // --delete flags apply exactly as written.
+    let mut ops: Vec<(bool, u64, u64)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            flag @ ("--insert" | "--delete") => {
+                let raw = args.get(i + 1).ok_or(format!("missing value for {flag}"))?;
+                let (u, v) = parse_edge_pair(raw)?;
+                ops.push((flag == "--insert", u, v));
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    let log_path = flag_value(args, "--log");
+    let compact = args.iter().any(|a| a == "--compact");
+    if compact && log_path.is_none() {
+        return Err(
+            "--compact requires --log (without a log the snapshot is always rewritten)".into(),
+        );
+    }
+    if ops.is_empty() && !compact {
+        return Err(
+            "nothing to do: pass --insert U,V / --delete U,V (and/or --log ... --compact)".into(),
+        );
+    }
+
+    let bytes = std::fs::read(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let snap = Snapshot::from_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
+    let mut dynx = DynamicIndex::new(&snap.graph, &snap.index);
+    let mut logfile = match log_path {
+        Some(lp) => {
+            let lf = DeltaLogFile::open_or_create(lp, fnv1a64(&bytes))
+                .map_err(|e| format!("opening {lp}: {e}"))?;
+            lf.log()
+                .replay(&mut dynx)
+                .map_err(|e| format!("replaying {lp}: {e}"))?;
+            if !lf.log().is_empty() {
+                println!("replayed {} logged updates from {lp}", lf.log().len());
+            }
+            Some(lf)
+        }
+        None => None,
+    };
+
+    let (mut applied, mut rejected, mut max_class) = (0usize, 0usize, 0u32);
+    for &(insert, lu, lv) in &ops {
+        let verb = if insert { "insert" } else { "delete" };
+        let resolve = |label: u64| {
+            snap.vertex_of_label(label)
+                .ok_or(format!("label {label} not in graph"))
+        };
+        let outcome = resolve(lu)
+            .and_then(|u| Ok((u, resolve(lv)?)))
+            .and_then(|(u, v)| {
+                let r = if insert {
+                    dynx.insert_edge(u, v)
+                } else {
+                    dynx.delete_edge(u, v)
+                }
+                .map_err(|e| e.to_string())?;
+                if let Some(lf) = &mut logfile {
+                    let op = if insert {
+                        DeltaOp::Insert
+                    } else {
+                        DeltaOp::Delete
+                    };
+                    lf.append(DeltaRecord::new(op, u.0, v.0))
+                        .map_err(|e| format!("appending to {}: {e}", lf.path().display()))?;
+                }
+                Ok(r)
+            });
+        match outcome {
+            Ok(r) => {
+                applied += 1;
+                max_class = max_class.max(r.max_class);
+                println!(
+                    "{verb} {lu},{lv}: trussness {}, {} other edges retrussed (class {})",
+                    r.edge_truss, r.changed, r.max_class
+                );
+            }
+            Err(e) => {
+                rejected += 1;
+                println!("{verb} {lu},{lv}: rejected ({e})");
+            }
+        }
+    }
+
+    match &mut logfile {
+        Some(lf) if compact => {
+            let (graph, index) = dynx.materialize().map_err(|e| e.to_string())?;
+            let new_snap = Snapshot {
+                graph,
+                index,
+                labels: snap.labels.clone(),
+            };
+            let base = lf
+                .compact(path, &new_snap)
+                .map_err(|e| format!("compacting into {path}: {e}"))?;
+            println!(
+                "compacted {} into {path} ({} vertices, {} edges, max trussness {}); \
+                 log reset, bound to snapshot {base:016x}",
+                lf.path().display(),
+                new_snap.graph.num_vertices(),
+                new_snap.graph.num_edges(),
+                new_snap.index.max_truss(),
+            );
+        }
+        Some(lf) => println!(
+            "{} now holds {} updates over {path} (compact with: index update {path} --log {} --compact)",
+            lf.path().display(),
+            lf.log().len(),
+            lf.path().display(),
+        ),
+        None => {
+            if applied > 0 {
+                let (graph, index) = dynx.materialize().map_err(|e| e.to_string())?;
+                let new_snap = Snapshot {
+                    graph,
+                    index,
+                    labels: snap.labels.clone(),
+                };
+                let tmp = format!("{path}.tmp");
+                new_snap
+                    .save(&tmp)
+                    .map_err(|e| format!("writing {tmp}: {e}"))?;
+                std::fs::rename(&tmp, path).map_err(|e| format!("replacing {path}: {e}"))?;
+                println!(
+                    "rewrote {path}: {} vertices, {} edges, max trussness {}",
+                    new_snap.graph.num_vertices(),
+                    new_snap.graph.num_edges(),
+                    new_snap.index.max_truss(),
+                );
+            }
+        }
+    }
+    println!("applied {applied}, rejected {rejected}, max touched class {max_class}");
     Ok(())
 }
 
@@ -312,7 +495,43 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad --cache-cap {raw:?}"))?,
     };
-    let engine = CommunityEngine::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let snap = Snapshot::from_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
+    let mut engine = CommunityEngine::from_snapshot(snap);
+    // Replay a write-ahead delta log over the snapshot before binding, so
+    // a server restarted after online updates serves the maintained
+    // state without waiting for a compaction.
+    if let Some(lp) = flag_value(args, "--log") {
+        use ctc::truss::DeltaLogFile;
+        let lf = DeltaLogFile::open(lp, ctc_graph::io::fnv1a64(&bytes))
+            .map_err(|e| format!("opening {lp}: {e}"))?;
+        let updates: Vec<ctc::core::EngineUpdate> = lf
+            .log()
+            .records()
+            .iter()
+            .map(|r| {
+                let (u, v) = (VertexId(r.u), VertexId(r.v));
+                match r.op {
+                    ctc::truss::DeltaOp::Insert => ctc::core::EngineUpdate::insert(u, v),
+                    ctc::truss::DeltaOp::Delete => ctc::core::EngineUpdate::delete(u, v),
+                }
+            })
+            .collect();
+        if !updates.is_empty() {
+            let report = engine
+                .apply_batch(&updates)
+                .map_err(|e| format!("replaying {lp}: {e}"))?;
+            if report.rejected > 0 {
+                return Err(format!(
+                    "replaying {lp}: {} of {} logged updates rejected — \
+                     the log does not belong to this snapshot",
+                    report.rejected,
+                    updates.len()
+                ));
+            }
+            println!("replayed {} logged updates from {lp}", report.applied);
+        }
+    }
     let stats = engine.stats();
     let server = CtcServer::bind(
         engine,

@@ -206,6 +206,242 @@ fn soak_concurrent_clients_get_byte_identical_answers_then_clean_shutdown() {
     );
 }
 
+/// Extracts `"key":<uint>` from a JSON fragment (enough for the fixed
+/// server encodings; no full parser needed client-side).
+fn json_uint(fragment: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let i = fragment.find(&pat).expect(key) + pat.len();
+    fragment[i..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect(key)
+}
+
+/// Concurrent online updates racing live searches: writer threads toggle
+/// one structurally load-bearing edge (`v1`–`v2` of the K4 in Figure 1)
+/// through `POST /update` while reader threads hammer `POST /search`.
+/// Every served answer must be byte-identical to the direct engine answer
+/// on either the pre-update or the post-update graph — a torn read (any
+/// third byte sequence) fails the test. Afterwards the `/stats` update
+/// counters must sum exactly against the per-response outcomes.
+#[test]
+fn soak_updates_race_searches_without_torn_reads() {
+    const WRITERS: usize = 3;
+    const OPS_PER_WRITER: usize = 24;
+    const READERS: usize = 4;
+    const READS_PER_READER: usize = 32;
+
+    let f = ctc::truss::fixtures::Figure1Ids::default();
+    let algos = [
+        SearchAlgo::Basic,
+        SearchAlgo::BulkDelete,
+        SearchAlgo::Local,
+        SearchAlgo::TrussOnly,
+    ];
+    let query = [f.q1, f.q2];
+
+    // The two oracles: the graph with the toggled edge, and without it.
+    // Deleting (v1, v2) breaks the K4 {q1, q2, v1, v2}, so the answer for
+    // {q1, q2} genuinely changes between the two states.
+    let with_engine = CommunityEngine::build(ctc::truss::fixtures::figure1_graph());
+    let without_engine = {
+        let mut e = CommunityEngine::build(ctc::truss::fixtures::figure1_graph());
+        e.delete_edge(f.v1, f.v2).expect("edge exists in figure 1");
+        e
+    };
+    let mut oracle_with = Vec::new();
+    let mut oracle_without = Vec::new();
+    for algo in algos {
+        let a = with_engine.search(&query, algo).unwrap();
+        let b = without_engine.search(&query, algo).unwrap();
+        oracle_with.push(encode_community(&with_engine, &a));
+        oracle_without.push(encode_community(&without_engine, &b));
+    }
+    assert_ne!(
+        oracle_with, oracle_without,
+        "the toggled edge must change at least one answer"
+    );
+
+    let server = CtcServer::bind(
+        CommunityEngine::build(ctc::truss::fixtures::figure1_graph()),
+        "127.0.0.1:0",
+        ServeConfig {
+            pool: Parallelism::threads(4),
+            cache_cap: 32,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serve_thread = std::thread::spawn(move || server.serve());
+
+    let delete_body = format!(
+        r#"{{"updates":[{{"op":"delete","u":{},"v":{}}}]}}"#,
+        f.v1.0, f.v2.0
+    );
+    let insert_body = format!(
+        r#"{{"updates":[{{"op":"insert","u":{},"v":{}}}]}}"#,
+        f.v1.0, f.v2.0
+    );
+
+    // (applied, rejected, publications) tallied from every 200 response.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let applied = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let publications = AtomicU64::new(0);
+    let bad_batches = AtomicU64::new(0);
+    let ok_batches = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let (delete_body, insert_body) = (&delete_body, &insert_body);
+            let (applied, rejected, publications, bad_batches, ok_batches) = (
+                &applied,
+                &rejected,
+                &publications,
+                &bad_batches,
+                &ok_batches,
+            );
+            scope.spawn(move || {
+                for i in 0..OPS_PER_WRITER {
+                    // Alternate single-op delete/insert requests; with
+                    // three writers racing on one edge, a share of ops is
+                    // rejected (duplicate/missing) — by design, so the
+                    // accounting below covers both outcome paths.
+                    let body = if (w + i) % 2 == 0 {
+                        delete_body
+                    } else {
+                        insert_body
+                    };
+                    if i == OPS_PER_WRITER / 2 {
+                        // One malformed batch per writer: must 400 without
+                        // disturbing the graph or the counters' arithmetic.
+                        let (status, _) = roundtrip(addr, "POST", "/update", r#"{"updates":[]}"#);
+                        assert_eq!(status, "HTTP/1.1 400 Bad Request");
+                        bad_batches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let (status, payload) = roundtrip(addr, "POST", "/update", body);
+                    assert_eq!(status, "HTTP/1.1 200 OK", "writer {w} op {i}");
+                    let text = String::from_utf8(payload).unwrap();
+                    let a = json_uint(&text, "applied");
+                    let r = json_uint(&text, "rejected");
+                    assert_eq!(a + r, 1, "single-op batch: {text}");
+                    applied.fetch_add(a, Ordering::Relaxed);
+                    rejected.fetch_add(r, Ordering::Relaxed);
+                    if a > 0 {
+                        publications.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ok_batches.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        for r in 0..READERS {
+            let (oracle_with, oracle_without) = (&oracle_with, &oracle_without);
+            scope.spawn(move || {
+                for i in 0..READS_PER_READER {
+                    let ai = (r + i) % algos.len();
+                    let body = format!(
+                        r#"{{"query":[{},{}],"algo":"{}"}}"#,
+                        f.q1.0,
+                        f.q2.0,
+                        algo_name(algos[ai])
+                    );
+                    let (status, payload) = roundtrip(addr, "POST", "/search", &body);
+                    assert_eq!(status, "HTTP/1.1 200 OK", "reader {r} read {i}");
+                    assert!(
+                        payload == oracle_with[ai] || payload == oracle_without[ai],
+                        "reader {r} read {i} ({}): torn read — answer matches neither \
+                         the pre-update nor the post-update oracle: {}",
+                        algo_name(algos[ai]),
+                        String::from_utf8_lossy(&payload)
+                    );
+                }
+            });
+        }
+    });
+
+    // Reconcile: force the edge back to present (applied or rejected-as-
+    // duplicate are both fine), after which every algorithm must answer
+    // exactly the with-edge oracle again — including through the cache.
+    let (status, payload) = roundtrip(addr, "POST", "/update", &insert_body);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let text = String::from_utf8(payload).unwrap();
+    let a = json_uint(&text, "applied");
+    applied.fetch_add(a, Ordering::Relaxed);
+    rejected.fetch_add(json_uint(&text, "rejected"), Ordering::Relaxed);
+    if a > 0 {
+        publications.fetch_add(1, Ordering::Relaxed);
+    }
+    ok_batches.fetch_add(1, Ordering::Relaxed);
+    for (ai, algo) in algos.into_iter().enumerate() {
+        let body = format!(
+            r#"{{"query":[{},{}],"algo":"{}"}}"#,
+            f.q1.0,
+            f.q2.0,
+            algo_name(algo)
+        );
+        for round in 0..2 {
+            // Twice: a cache miss then a guaranteed hit, same bytes.
+            let (status, payload) = roundtrip(addr, "POST", "/search", &body);
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert_eq!(
+                payload,
+                oracle_with[ai],
+                "post-reconcile answer for {} (round {round}) must match the \
+                 with-edge oracle",
+                algo_name(algo)
+            );
+        }
+    }
+
+    // Counter arithmetic: the /stats updates object sums exactly against
+    // the per-response outcomes observed client-side.
+    let (status, payload) = roundtrip(addr, "GET", "/stats", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let stats_text = String::from_utf8(payload).unwrap();
+    let upd_start = stats_text.find(r#""updates":{"#).expect("updates object");
+    let upd = &stats_text[upd_start..stats_text[upd_start..].find('}').unwrap() + upd_start + 1];
+    assert_eq!(
+        json_uint(upd, "applied"),
+        applied.load(Ordering::Relaxed),
+        "{upd}"
+    );
+    assert_eq!(
+        json_uint(upd, "rejected"),
+        rejected.load(Ordering::Relaxed),
+        "{upd}"
+    );
+    assert_eq!(
+        json_uint(upd, "batches_ok"),
+        ok_batches.load(Ordering::Relaxed),
+        "{upd}"
+    );
+    assert_eq!(
+        json_uint(upd, "batches_err"),
+        bad_batches.load(Ordering::Relaxed),
+        "{upd}"
+    );
+    assert_eq!(
+        json_uint(upd, "epoch"),
+        publications.load(Ordering::Relaxed),
+        "{upd}"
+    );
+    assert!(
+        applied.load(Ordering::Relaxed) > 0,
+        "some toggles must land"
+    );
+    assert!(
+        rejected.load(Ordering::Relaxed) > 0,
+        "racing writers on one edge must produce rejections"
+    );
+
+    handle.shutdown();
+    serve_thread.join().expect("serve thread panicked");
+}
+
 #[test]
 fn keep_alive_connection_serves_sequential_requests() {
     let engine = CommunityEngine::build(ctc::truss::fixtures::figure1_graph());
