@@ -15,7 +15,7 @@
 //!
 //! ```text
 //! bench_record [--samples N] [--quick] [--out BENCH_6.json]
-//!              [--out7 BENCH_7.json] [--check FILE]
+//!              [--out7 BENCH_7.json] [--out8 BENCH_8.json] [--check FILE]
 //! ```
 //!
 //! * default: measure and print the JSON measurement object to stdout;
@@ -25,6 +25,9 @@
 //!   measurement;
 //! * `--out7 FILE`: measure searches *and* updates, writing the
 //!   `ctc-bench-7` document;
+//! * `--out8 FILE`: drive the evented serving stack with the zipfian
+//!   two-tenant load harness ([`ctc_bench::serveload`]), writing the
+//!   `ctc-bench-8` p50/p99 concurrency trajectory;
 //! * `--check FILE`: no full measurement — parse the committed file,
 //!   dispatch on its `schema` field, and validate its recorded bars. For
 //!   `ctc-bench-6`: the ≥ 2× locate bar (mini-facebook lctc) and the
@@ -43,6 +46,7 @@
 //! medians may be off-by-a-few from summing; the invariant lives at the
 //! sample level and in the server's `/stats` counters.
 
+use ctc_bench::serveload;
 use ctc_core::{CommunityEngine, SearchAlgo};
 use ctc_gen::{mini_network, DegreeRank, QueryGenerator};
 use ctc_server::Json;
@@ -241,6 +245,26 @@ fn document7(search: Json, updates: Json, samples: usize) -> Json {
     ])
 }
 
+/// The `ctc-bench-8` document: the serving-stack p50/p99 trajectory
+/// under a zipfian two-tenant query mix at rising concurrency.
+fn document8(spec: &serveload::LoadSpec, results: &[serveload::LevelResult]) -> Json {
+    Json::Object(vec![
+        ("schema".into(), Json::Str("ctc-bench-8".into())),
+        ("unit".into(), Json::Str("microseconds_percentile".into())),
+        ("zipf_s".into(), Json::Float(spec.zipf_s)),
+        ("pool_size".into(), Json::Uint(spec.pool_size as u64)),
+        (
+            "requests_per_level".into(),
+            Json::Uint(spec.requests_per_level as u64),
+        ),
+        (
+            "tenants".into(),
+            Json::Uint(serveload::TENANTS.len() as u64),
+        ),
+        ("levels".into(), serveload::encode_levels(results)),
+    ])
+}
+
 fn phase_of<'a>(
     doc: &'a Json,
     section: &str,
@@ -267,8 +291,9 @@ fn check(path: &str) -> Result<(), String> {
     match doc.get("schema").and_then(Json::as_str) {
         Some("ctc-bench-6") => check6(path, &doc),
         Some("ctc-bench-7") => check7(path, &doc),
+        Some("ctc-bench-8") => check8(path, &doc),
         other => Err(format!(
-            "unknown schema {other:?} (want \"ctc-bench-6\" or \"ctc-bench-7\")"
+            "unknown schema {other:?} (want \"ctc-bench-6/7/8\")"
         )),
     }
 }
@@ -418,6 +443,66 @@ fn check7(path: &str, doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// The `ctc-bench-8` bars: structural, not absolute — latency medians are
+/// machine-bound, so the committed document is validated for shape
+/// (schema, every level accounted, p50 ≤ p99, concurrency strictly
+/// rising) and the load harness is smoked end-to-end against a live
+/// server so it cannot silently rot.
+fn check8(path: &str, doc: &Json) -> Result<(), String> {
+    let levels = match doc.get("levels") {
+        Some(Json::Array(levels)) if !levels.is_empty() => levels,
+        _ => return Err("levels must be a non-empty array".into()),
+    };
+    let requests = doc
+        .get("requests_per_level")
+        .and_then(Json::as_u64)
+        .ok_or("requests_per_level missing")?;
+    let mut prev_conc = 0u64;
+    for (i, level) in levels.iter().enumerate() {
+        let field = |name: &str| -> Result<u64, String> {
+            level
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("levels[{i}].{name} missing"))
+        };
+        let conc = field("concurrency")?;
+        if conc <= prev_conc {
+            return Err(format!(
+                "levels[{i}]: concurrency {conc} must rise past {prev_conc}"
+            ));
+        }
+        prev_conc = conc;
+        let (ok, s429, s503) = (field("ok")?, field("shed_429")?, field("shed_503")?);
+        if ok + s429 + s503 != requests {
+            return Err(format!(
+                "levels[{i}]: ok {ok} + sheds {s429}+{s503} ≠ requests_per_level {requests}"
+            ));
+        }
+        let (p50, p99) = (field("p50_us")?, field("p99_us")?);
+        if p50 > p99 {
+            return Err(format!("levels[{i}]: p50 {p50}µs > p99 {p99}µs"));
+        }
+        if p99 == 0 {
+            return Err(format!("levels[{i}]: zero p99 means nothing was timed"));
+        }
+    }
+    // Smoke the load harness: a tiny zipfian run against a live server,
+    // every request accounted for.
+    let spec = serveload::LoadSpec::smoke();
+    let results = serveload::run(&spec);
+    for r in &results {
+        if r.ok + r.shed_429 + r.shed_503 != spec.requests_per_level as u64 {
+            return Err(format!("smoke run lost requests: {r:?}"));
+        }
+    }
+    println!(
+        "bench_record --check: {path} ok (schema, {} levels accounted, \
+         p50≤p99, live-server harness smoke)",
+        levels.len()
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| -> Option<String> {
@@ -436,6 +521,19 @@ fn run() -> Result<(), String> {
         None => 15,
     };
     let query_sets = if quick { 1 } else { QUERY_SETS };
+    if let Some(path) = flag("--out8") {
+        let spec = if quick {
+            serveload::LoadSpec::smoke()
+        } else {
+            serveload::LoadSpec::default()
+        };
+        let results = serveload::run(&spec);
+        let doc = document8(&spec, &results);
+        std::fs::write(&path, format!("{}\n", doc.encode()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+        return Ok(());
+    }
     if let Some(path) = flag("--out7") {
         // Updates first: the search sweep heats caches/allocator enough to
         // visibly skew the much smaller per-op update timings.

@@ -6,3 +6,4 @@
 
 pub mod common;
 pub mod experiments;
+pub mod serveload;

@@ -304,6 +304,17 @@ impl CommunityEngine {
         }
     }
 
+    /// Approximate resident bytes of the engine's immutable state: CSR
+    /// graph, truss index, and label table. This is the cost weight a
+    /// serving registry uses to decide which cold snapshot to evict under
+    /// a memory budget; scratch pools and dynamic-maintenance overlays are
+    /// transient and deliberately excluded.
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes()
+            + self.index.memory_bytes()
+            + self.labels.len() * std::mem::size_of::<u64>()
+    }
+
     /// A zero-cost searcher borrowing the engine's graph and index.
     pub fn searcher(&self) -> CtcSearcher<'_> {
         CtcSearcher::with_borrowed_index(&self.graph, &self.index)
@@ -574,6 +585,20 @@ mod tests {
         assert!(eng.stats().labeled);
         assert_eq!(eng.resolve_labels(&[1005]), Ok(vec![VertexId(5)]));
         assert_eq!(eng.resolve_labels(&[5]), Err(5));
+    }
+
+    #[test]
+    fn memory_bytes_counts_graph_index_and_labels() {
+        let bare = engine();
+        assert!(bare.memory_bytes() > 0);
+        let snap = Snapshot::build(figure1_graph())
+            .with_labels((0..12).map(|i| 1000 + i as u64).collect())
+            .unwrap();
+        let labeled = CommunityEngine::from_snapshot(snap);
+        assert_eq!(
+            labeled.memory_bytes(),
+            bare.memory_bytes() + 12 * std::mem::size_of::<u64>()
+        );
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! Keyed on the *normalized* query (sorted, deduplicated labels), the
 //! algorithm, and the answer-affecting config fingerprint — see
 //! [`crate::wire::QueryKey`] — so a repeated hot query skips the whole
-//! search path. Recency is a monotonic logical clock, making eviction
-//! order fully deterministic: no timestamps, no hash-iteration order.
+//! search path. Recency is an intrusive doubly-linked list threaded
+//! through a slab, making every operation `O(1)` and the eviction order
+//! fully deterministic: no timestamps, no hash-iteration order.
 //!
 //! ```
 //! use ctc_server::cache::LruCache;
@@ -22,26 +23,47 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+/// Sentinel slab index meaning "no neighbour".
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
 /// A least-recently-used cache with a fixed capacity.
 ///
 /// Capacity `0` disables caching entirely (every [`LruCache::insert`] is a
-/// no-op) — the switch the server's `--cache-cap 0` maps to. Eviction
-/// scans for the minimum logical stamp, which is `O(capacity)`; serving
-/// caches are small (thousands), so the scan is noise next to a search.
+/// no-op) — the switch the server's `--cache-cap 0` maps to. Entries live
+/// in a slab threaded by an intrusive doubly-linked recency list
+/// (most-recent at the head), so `get`, `insert`, and eviction are all
+/// `O(1)`; the previous min-stamp scan was `O(capacity)` under the global
+/// cache lock, which showed up once caches stopped being tiny. A miss does
+/// not touch recency at all.
 #[derive(Clone, Debug)]
 pub struct LruCache<K, V> {
     cap: usize,
-    clock: u64,
-    map: HashMap<K, (u64, V)>,
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     /// An empty cache holding at most `cap` entries.
     pub fn new(cap: usize) -> Self {
+        let prealloc = cap.min(1024);
         LruCache {
             cap,
-            clock: 0,
-            map: HashMap::with_capacity(cap.min(1024)),
+            map: HashMap::with_capacity(prealloc),
+            slots: Vec::with_capacity(prealloc),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
         }
     }
 
@@ -60,14 +82,42 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.map.is_empty()
     }
 
+    /// Unlinks slot `idx` from the recency list without freeing it.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Links slot `idx` at the head (most recently used).
+    fn link_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&mut self, key: &K) -> Option<V> {
-        self.clock += 1;
-        let clock = self.clock;
-        self.map.get_mut(key).map(|slot| {
-            slot.0 = clock;
-            slot.1.clone()
-        })
+        let idx = *self.map.get(key)?;
+        if self.head != idx {
+            self.unlink(idx);
+            self.link_front(idx);
+        }
+        Some(self.slots[idx].value.clone())
     }
 
     /// Inserts (or refreshes) `key → value`, evicting the least recently
@@ -76,33 +126,70 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         if self.cap == 0 {
             return;
         }
-        self.clock += 1;
-        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
-            // Evict the minimum stamp. Stamps are unique (every get and
-            // insert ticks the clock), so the victim is unambiguous.
-            if let Some(victim) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (stamp, _))| *stamp)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&victim);
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            if self.head != idx {
+                self.unlink(idx);
+                self.link_front(idx);
             }
+            return;
         }
-        self.map.insert(key, (self.clock, value));
+        if self.map.len() >= self.cap {
+            // Evict the list tail — the least recently touched entry.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.slots[victim].key = key.clone();
+            self.slots[victim].value = value;
+            self.map.insert(key, victim);
+            self.link_front(victim);
+            return;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx].key = key.clone();
+                self.slots[idx].value = value;
+                idx
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.link_front(idx);
     }
 
     /// Drops every entry (capacity is kept).
     pub fn clear(&mut self) {
         self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
     }
 
     /// Keeps only the entries for which `keep` returns `true` — the
     /// invalidation primitive for online updates, where only answers in
-    /// affected trussness classes need to go. Recency stamps of the
-    /// survivors are untouched, so eviction order among them is stable.
+    /// affected trussness classes need to go. Recency order of the
+    /// survivors is untouched, so eviction order among them is stable.
     pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) {
-        self.map.retain(|k, (_, v)| keep(k, v));
+        let mut idx = self.head;
+        while idx != NIL {
+            let next = self.slots[idx].next;
+            let slot = &self.slots[idx];
+            if !keep(&slot.key, &slot.value) {
+                self.map.remove(&self.slots[idx].key);
+                self.unlink(idx);
+                self.free.push(idx);
+            }
+            idx = next;
+        }
     }
 }
 
@@ -178,10 +265,10 @@ mod tests {
         c.retain(|_, v| *v != 2);
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&'b'), None);
-        // Survivors keep their stamps: 'a' is still the LRU victim
+        // Survivors keep their order: 'a' is still the LRU victim
         // relative to 'c' after an unrelated insert fills the cache.
         c.insert('d', 4);
-        c.insert('e', 5); // evicts 'a' (oldest surviving stamp)
+        c.insert('e', 5); // evicts 'a' (oldest survivor)
         assert_eq!(c.get(&'a'), None);
         assert_eq!(c.get(&'c'), Some(3));
     }
@@ -195,5 +282,89 @@ mod tests {
         assert_eq!(c.capacity(), 4);
         c.insert(2, 2);
         assert_eq!(c.get(&2), Some(2));
+    }
+
+    /// The old implementation, kept as an executable specification: a
+    /// logical clock with min-stamp eviction. The linked-list rewrite must
+    /// evict in exactly the same order for any operation sequence.
+    struct ModelLru {
+        cap: usize,
+        clock: u64,
+        map: HashMap<u32, (u64, u32)>,
+    }
+
+    impl ModelLru {
+        fn new(cap: usize) -> Self {
+            ModelLru {
+                cap,
+                clock: 0,
+                map: HashMap::new(),
+            }
+        }
+
+        fn get(&mut self, key: &u32) -> Option<u32> {
+            self.clock += 1;
+            let clock = self.clock;
+            self.map.get_mut(key).map(|slot| {
+                slot.0 = clock;
+                slot.1
+            })
+        }
+
+        fn insert(&mut self, key: u32, value: u32) {
+            if self.cap == 0 {
+                return;
+            }
+            self.clock += 1;
+            if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+                if let Some(victim) = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (stamp, _))| *stamp)
+                    .map(|(k, _)| *k)
+                {
+                    self.map.remove(&victim);
+                }
+            }
+            self.map.insert(key, (self.clock, value));
+        }
+
+        fn retain(&mut self, mut keep: impl FnMut(&u32, &u32) -> bool) {
+            self.map.retain(|k, (_, v)| keep(k, v));
+        }
+    }
+
+    #[test]
+    fn differential_fuzz_against_min_stamp_model() {
+        // Deterministic xorshift op stream: every get/insert/retain agrees
+        // with the old min-stamp implementation across thousands of steps.
+        for cap in [1usize, 2, 3, 7] {
+            let mut real = LruCache::new(cap);
+            let mut model = ModelLru::new(cap);
+            let mut x = 0x9e3779b97f4a7c15u64 ^ (cap as u64);
+            for step in 0..4000u32 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let key = (x % 16) as u32;
+                match x >> 60 {
+                    0..=5 => {
+                        real.insert(key, step);
+                        model.insert(key, step);
+                    }
+                    6..=13 => {
+                        assert_eq!(real.get(&key), model.get(&key), "step {step} cap {cap}");
+                    }
+                    _ => {
+                        real.retain(|k, _| k % 3 != key % 3);
+                        model.retain(|k, _| k % 3 != key % 3);
+                    }
+                }
+                assert_eq!(real.len(), model.map.len(), "step {step} cap {cap}");
+            }
+            for key in 0..16u32 {
+                assert_eq!(real.get(&key), model.get(&key), "final cap {cap}");
+            }
+        }
     }
 }

@@ -1,0 +1,236 @@
+//! A thin, libc-free readiness layer over `poll(2)` for the serving loop.
+//!
+//! The build environment is offline and std-only, so instead of `mio` or
+//! an async runtime this module declares the one syscall the event loop
+//! needs — `poll` — directly against the C ABI that `std` already links,
+//! plus the two primitives the loop composes it with:
+//!
+//! * [`poll_fds`] — level-triggered readiness over a borrowed
+//!   [`PollFd`] slice with a millisecond timeout;
+//! * [`WakePair`] — a self-connected loopback TCP pair that lets worker
+//!   threads interrupt a parked `poll` (hand a connection back, report
+//!   shutdown) by writing a single byte.
+//!
+//! Sockets watched through here stay *blocking*: the event loop only uses
+//! readiness to decide **when** to hand a connection to a worker, and
+//! workers perform one bounded read on a socket that is known readable.
+//! That keeps the worker code a straight-line read → parse → respond path
+//! while the loop multiplexes thousands of idle keep-alive connections —
+//! the thread-per-connection model this replaces pinned one worker per
+//! idle connection.
+
+#![cfg(unix)]
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// `struct pollfd` from `poll(2)`, bit-for-bit.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (a negative fd makes the kernel
+    /// ignore the slot).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`]).
+    pub events: i16,
+    /// Returned events (set by the kernel).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A slot watching `fd` for readability.
+    pub fn readable(fd: RawFd) -> PollFd {
+        PollFd {
+            fd,
+            events: POLLIN,
+            revents: 0,
+        }
+    }
+
+    /// `true` when the descriptor is readable *or* in a state the loop
+    /// must react to (hangup, error, invalid) — all of which a subsequent
+    /// `read` surfaces safely, so they route the same way as data.
+    pub fn is_actionable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+/// There is input to read.
+pub const POLLIN: i16 = 0x001;
+/// An error condition (also reported on the write side of a reset).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open — a loop bookkeeping bug surfaced loudly.
+pub const POLLNVAL: i16 = 0x020;
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+type NFds = std::os::raw::c_ulong;
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+type NFds = std::os::raw::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NFds, timeout: std::os::raw::c_int) -> std::os::raw::c_int;
+}
+
+/// Blocks until at least one slot in `fds` has pending events, the
+/// timeout elapses (`Ok(0)`), or the call is interrupted by a signal
+/// (also `Ok(0)` — the caller's loop re-derives its timeout each
+/// iteration, so a spurious wakeup is harmless). `None` waits forever.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let ms: std::os::raw::c_int = match timeout {
+        // Round *up* so a 300µs deadline does not spin through ms=0.
+        Some(t) => t
+            .as_millis()
+            .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+            .min(i32::MAX as u128) as std::os::raw::c_int,
+        None => -1,
+    };
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, ms) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        return Ok(0);
+    }
+    Err(err)
+}
+
+/// A self-connected loopback TCP pair: the std-only stand-in for a
+/// self-pipe. The receive side is nonblocking and lives in the event
+/// loop's poll set; any thread holding the [`Waker`] makes the loop's
+/// `poll` return by writing one byte.
+pub struct WakePair {
+    rx: TcpStream,
+    tx: TcpStream,
+}
+
+/// The sending half of a [`WakePair`], cheap to clone across threads.
+pub struct Waker {
+    tx: TcpStream,
+}
+
+impl Clone for Waker {
+    fn clone(&self) -> Self {
+        Waker {
+            tx: self.tx.try_clone().expect("waker socket clones"),
+        }
+    }
+}
+
+impl Waker {
+    /// Makes the paired poll loop wake up. Best-effort by design: if the
+    /// one-byte write fails the loop is being torn down anyway, and if
+    /// the socket buffer is full a wakeup is already pending.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+impl WakePair {
+    /// Builds the pair over an ephemeral loopback listener. The accepted
+    /// peer is checked against the connecting socket's address, so a
+    /// stray connection racing the ephemeral port cannot impersonate the
+    /// waker.
+    pub fn new() -> io::Result<WakePair> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let expected = tx.local_addr()?;
+        let (rx, peer) = listener.accept()?;
+        if peer != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "wake pair accepted an unexpected peer",
+            ));
+        }
+        rx.set_nonblocking(true)?;
+        tx.set_nodelay(true)?;
+        Ok(WakePair { rx, tx })
+    }
+
+    /// The raw fd the event loop adds to its poll set.
+    pub fn poll_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// A cloneable sending half.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            tx: self.tx.try_clone().expect("waker socket clones"),
+        }
+    }
+
+    /// Swallows every pending wake byte so a burst of notifications
+    /// collapses into one loop iteration.
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            match (&self.rx).read(&mut sink) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn poll_times_out_on_a_silent_socket() {
+        let pair = WakePair::new().unwrap();
+        let mut fds = [PollFd::readable(pair.poll_fd())];
+        let t0 = Instant::now();
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(30))).unwrap();
+        assert_eq!(n, 0);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert!(!fds[0].is_actionable());
+    }
+
+    #[test]
+    fn wake_byte_makes_poll_return_and_drain_clears_it() {
+        let pair = WakePair::new().unwrap();
+        let waker = pair.waker();
+        let cloned = waker.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            cloned.wake();
+        });
+        let mut fds = [PollFd::readable(pair.poll_fd())];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].is_actionable());
+        pair.drain();
+        // Drained: the next poll with a short timeout sees silence again.
+        let mut fds = [PollFd::readable(pair.poll_fd())];
+        assert_eq!(
+            poll_fds(&mut fds, Some(Duration::from_millis(10))).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn readable_data_is_reported_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        // Level-triggered: unread data keeps reporting readable.
+        for _ in 0..3 {
+            let mut fds = [PollFd::readable(server_side.as_raw_fd())];
+            let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(n, 1);
+            assert!(fds[0].is_actionable());
+        }
+        // Zero-timeout poll is a pure readiness probe.
+        let mut fds = [PollFd::readable(server_side.as_raw_fd())];
+        assert_eq!(poll_fds(&mut fds, Some(Duration::ZERO)).unwrap(), 1);
+    }
+}

@@ -15,15 +15,26 @@
 //!   queries skip the search path entirely;
 //! * [`wire`] — the `/search` and `/update` request/response schemas and
 //!   the [`wire::QueryKey`] a request normalizes to;
-//! * [`server`] — the daemon: acceptor + fixed worker pool built on the
-//!   [`ctc_graph::Parallelism`] fork-join substrate, keep-alive
-//!   connection loops, and graceful drain-then-exit shutdown. Online
-//!   edge updates (`POST /update`) maintain the truss index in place on
-//!   a writer-serialized primary engine and republish frozen clones to
-//!   readers, with class-keyed answer-cache invalidation.
+//! * [`evented`] — a libc-free `poll(2)` readiness shim (unix): the
+//!   event loop multiplexes thousands of idle keep-alive connections
+//!   over one descriptor set and a loopback wake channel;
+//! * [`registry`] — the multi-tenant snapshot registry: many named
+//!   engines behind one listener, loaded lazily from `.ctci` paths and
+//!   evicted cost-aware (bytes-weighted LRU, never pinned or dirty);
+//! * [`server`] — the daemon: readiness loop + fixed worker pool built
+//!   on the [`ctc_graph::Parallelism`] fork-join substrate, bounded
+//!   admission (accept cap, dispatch queue, per-tenant in-flight cap —
+//!   overload sheds well-formed `503`/`429`s instead of queueing
+//!   unboundedly), panic-isolated handlers, and graceful
+//!   drain-then-exit shutdown. Online edge updates (`POST /update`)
+//!   maintain the truss index in place on a writer-serialized primary
+//!   engine and republish frozen clones to readers, with class-keyed
+//!   answer-cache invalidation.
 //!
 //! Endpoints: `POST /search`, `POST /update`, `GET /healthz`,
-//! `GET /stats`, `POST /shutdown` — specified in `docs/SERVING.md`.
+//! `GET /stats`, `POST /shutdown` — plus the tenant-scoped forms
+//! `/t/<name>/search|update|stats` (the bare paths alias tenant
+//! `"default"`) — specified in `docs/SERVING.md`.
 //!
 //! The full request path is also callable without any socket, which is
 //! how the fuzz battery and the latency bench drive it:
@@ -46,14 +57,21 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+#[cfg(unix)]
+pub mod evented;
 pub mod http;
 pub mod json;
+pub mod registry;
 pub mod server;
 pub mod wire;
 
 pub use cache::LruCache;
 pub use json::Json;
-pub use server::{AppState, CountersSnapshot, CtcServer, ServeConfig, ServeReport, ServerHandle};
+pub use registry::{Registry, TenantCounters, TenantError, TenantState, TenantSummary};
+pub use server::{
+    AppState, CountersSnapshot, CtcServer, ServeConfig, ServeReport, ServerCountersSnapshot,
+    ServerHandle, DEFAULT_TENANT,
+};
 pub use wire::{
     decode_search_request, decode_update_request, encode_community, encode_error,
     encode_update_response, QueryKey, SearchRequest, UpdateOutcome, UpdateRequest, WireUpdate,

@@ -1,0 +1,536 @@
+//! The snapshot registry: many named engines behind one daemon.
+//!
+//! Each *tenant* is a named engine the server routes to under
+//! `/t/<name>/search|update|stats`. A tenant is either **engine-backed**
+//! (handed to the registry already built — the default tenant, tests,
+//! in-process drivers) or **path-backed** (a `.ctci` snapshot loaded
+//! lazily on first request). Path-backed tenants are the point: one
+//! daemon fronts a directory of indexed graphs without paying resident
+//! memory for all of them at once.
+//!
+//! Cold tenants are evicted under a bytes-weighted LRU policy:
+//!
+//! * every loaded tenant is weighted by [`CommunityEngine::memory_bytes`];
+//! * when the resident total exceeds the budget, the least recently used
+//!   *evictable* tenant is unloaded until the total fits;
+//! * a tenant is evictable only when it is path-backed (it can come
+//!   back), **clean** (no applied updates since load — reloading a dirty
+//!   tenant would silently discard maintained edits), and **unpinned**
+//!   (no in-flight request holds its state: pinning is the `Arc` strong
+//!   count, so eviction never yanks an engine out from under a search —
+//!   the bytes are reclaimed when the last in-flight request finishes).
+//!
+//! Per-tenant request counters live in the registry *entry*, not the
+//! loaded state, so `/t/<name>/stats` arithmetic stays exact across an
+//! evict → reload cycle.
+
+use crate::cache::LruCache;
+use crate::wire::QueryKey;
+use ctc_core::CommunityEngine;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A cached `/search` answer: the encoded body plus the answer's
+/// trussness `k`, the class-keyed invalidation handle — an applied
+/// update with `max_class < k` provably cannot change this answer (for
+/// the exact algorithms), so the entry survives the update.
+#[derive(Clone)]
+pub(crate) struct CachedAnswer {
+    pub(crate) k: u32,
+    pub(crate) body: Arc<Vec<u8>>,
+}
+
+/// Monotonic per-tenant counters. Owned by the registry entry and shared
+/// into the loaded [`TenantState`], so values survive eviction/reload.
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    /// `/t/<name>/search` answers served (cache hits included).
+    pub search_ok: AtomicU64,
+    /// `/t/<name>/search` requests that failed.
+    pub search_err: AtomicU64,
+    /// Answers served from this tenant's LRU cache.
+    pub cache_hits: AtomicU64,
+    /// Answers that ran the full search path.
+    pub cache_misses: AtomicU64,
+    /// `/t/<name>/update` batches answered `200`.
+    pub update_ok: AtomicU64,
+    /// `/t/<name>/update` requests rejected (`400`/`500`).
+    pub update_err: AtomicU64,
+    /// Individual edge updates applied across `200` batches.
+    pub updates_applied: AtomicU64,
+    /// Individual edge updates rejected across `200` batches.
+    pub updates_rejected: AtomicU64,
+    /// Requests shed with `429` because the tenant was at its in-flight
+    /// cap — admission control, not failure.
+    pub sheds_429: AtomicU64,
+    /// Requests currently inside this tenant's search/update handlers
+    /// (a gauge, not a monotonic counter).
+    pub in_flight: AtomicU64,
+}
+
+/// One tenant's loaded serving state. The engine split mirrors the
+/// single-tenant design: `primary` is the writer's engine holding warm
+/// maintenance state, `serving` is the readers' frozen clone republished
+/// per applied batch, and `epoch` counts publications.
+pub struct TenantState {
+    /// The tenant's registry name.
+    pub(crate) name: String,
+    pub(crate) primary: Mutex<CommunityEngine>,
+    pub(crate) serving: RwLock<CommunityEngine>,
+    pub(crate) epoch: AtomicU64,
+    pub(crate) cache: Mutex<LruCache<QueryKey, CachedAnswer>>,
+    pub(crate) counters: Arc<TenantCounters>,
+    /// Set on the first applied update batch; a dirty tenant is never
+    /// evicted (its maintained graph exists only in memory).
+    pub(crate) dirty: AtomicBool,
+    /// [`CommunityEngine::memory_bytes`] at load time — the eviction
+    /// weight.
+    pub(crate) cost_bytes: usize,
+}
+
+impl TenantState {
+    fn new(
+        name: &str,
+        engine: CommunityEngine,
+        counters: Arc<TenantCounters>,
+        cache_cap: usize,
+    ) -> Self {
+        let cost_bytes = engine.memory_bytes();
+        let serving = engine.frozen_clone();
+        TenantState {
+            name: name.to_string(),
+            primary: Mutex::new(engine),
+            serving: RwLock::new(serving),
+            epoch: AtomicU64::new(0),
+            cache: Mutex::new(LruCache::new(cache_cap)),
+            counters,
+            dirty: AtomicBool::new(false),
+            cost_bytes,
+        }
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The publication epoch: applied update batches since load.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The eviction weight captured at load time.
+    pub fn cost_bytes(&self) -> usize {
+        self.cost_bytes
+    }
+
+    /// `true` once an update batch has been applied since load.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for TenantState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantState")
+            .field("name", &self.name)
+            .field("epoch", &self.epoch())
+            .field("dirty", &self.is_dirty())
+            .field("cost_bytes", &self.cost_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a tenant lookup failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TenantError {
+    /// No tenant registered under that name.
+    Unknown,
+    /// The tenant is path-backed and its snapshot failed to load.
+    Load(String),
+}
+
+struct TenantEntry {
+    name: String,
+    /// `Some` for path-backed tenants (reloadable after eviction).
+    source: Option<PathBuf>,
+    state: Option<Arc<TenantState>>,
+    counters: Arc<TenantCounters>,
+    /// Logical-clock stamp of the last lookup; eviction takes the
+    /// minimum among evictable entries, so order is deterministic.
+    last_used: u64,
+}
+
+struct Inner {
+    entries: Vec<TenantEntry>,
+    by_name: HashMap<String, usize>,
+    clock: u64,
+}
+
+/// A point-in-time summary of one registry entry, for `/stats`.
+#[derive(Clone, Debug)]
+pub struct TenantSummary {
+    /// Registry name.
+    pub name: String,
+    /// `true` when the engine is currently resident.
+    pub loaded: bool,
+    /// `true` when the tenant has applied updates since load.
+    pub dirty: bool,
+    /// Resident cost in bytes (`0` when not loaded).
+    pub cost_bytes: usize,
+}
+
+/// The named-engine registry with bytes-weighted LRU eviction.
+pub struct Registry {
+    inner: Mutex<Inner>,
+    /// Resident-bytes budget; `0` means unlimited.
+    budget_bytes: usize,
+    cache_cap: usize,
+    loads: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Tenant names are path segments: bounded, and no `/`, `.`-games or
+/// control bytes.
+pub fn is_valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+impl Registry {
+    /// An empty registry. `budget_bytes == 0` disables eviction;
+    /// `cache_cap` sizes each tenant's answer cache.
+    pub fn new(budget_bytes: usize, cache_cap: usize) -> Self {
+        Registry {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                by_name: HashMap::new(),
+                clock: 0,
+            }),
+            budget_bytes,
+            cache_cap,
+            loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers an already-built engine under `name`. Engine-backed
+    /// tenants are never evicted (there is nothing to reload them from).
+    pub fn add_engine(&self, name: &str, engine: CommunityEngine) -> Result<(), String> {
+        let mut inner = self.lock();
+        Self::validate_new(&inner, name)?;
+        let counters = Arc::new(TenantCounters::default());
+        let state = Arc::new(TenantState::new(
+            name,
+            engine,
+            Arc::clone(&counters),
+            self.cache_cap,
+        ));
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        let idx = inner.entries.len();
+        inner.entries.push(TenantEntry {
+            name: name.to_string(),
+            source: None,
+            state: Some(state),
+            counters,
+            last_used: 0,
+        });
+        inner.by_name.insert(name.to_string(), idx);
+        Ok(())
+    }
+
+    /// Registers a path-backed tenant. The snapshot is not touched until
+    /// the first request for it — registration of a directory of
+    /// snapshots is free.
+    pub fn add_path(&self, name: &str, path: PathBuf) -> Result<(), String> {
+        let mut inner = self.lock();
+        Self::validate_new(&inner, name)?;
+        let idx = inner.entries.len();
+        inner.entries.push(TenantEntry {
+            name: name.to_string(),
+            source: Some(path),
+            state: None,
+            counters: Arc::new(TenantCounters::default()),
+            last_used: 0,
+        });
+        inner.by_name.insert(name.to_string(), idx);
+        Ok(())
+    }
+
+    fn validate_new(inner: &Inner, name: &str) -> Result<(), String> {
+        if !is_valid_tenant_name(name) {
+            return Err(format!(
+                "invalid tenant name {name:?}: want 1-64 chars of [A-Za-z0-9_-]"
+            ));
+        }
+        if inner.by_name.contains_key(name) {
+            return Err(format!("tenant {name:?} already registered"));
+        }
+        Ok(())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // The registry lock only guards bookkeeping (no user code runs
+        // under it except snapshot loading), but a panicking load must
+        // not wedge every later request.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up (and if necessary loads) tenant `name`, refreshing its
+    /// recency and evicting colder tenants if the budget is now
+    /// exceeded. The returned `Arc` pins the state: it stays usable even
+    /// if the tenant is evicted while the request runs.
+    pub fn get(&self, name: &str) -> Result<Arc<TenantState>, TenantError> {
+        let mut inner = self.lock();
+        let idx = *inner.by_name.get(name).ok_or(TenantError::Unknown)?;
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.entries[idx].last_used = clock;
+        if let Some(state) = &inner.entries[idx].state {
+            return Ok(Arc::clone(state));
+        }
+        // Cold path-backed tenant: load while holding the registry lock.
+        // Concurrent first requests for the same tenant would otherwise
+        // race duplicate multi-MB loads; requests for *loaded* tenants
+        // queue behind a bounded bookkeeping section either way.
+        let path = inner.entries[idx]
+            .source
+            .clone()
+            .expect("unloaded tenant has a source path");
+        let engine = CommunityEngine::load(&path)
+            .map_err(|e| TenantError::Load(format!("loading {}: {e}", path.display())))?;
+        let counters = Arc::clone(&inner.entries[idx].counters);
+        let state = Arc::new(TenantState::new(name, engine, counters, self.cache_cap));
+        inner.entries[idx].state = Some(Arc::clone(&state));
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        self.evict_over_budget(&mut inner, idx);
+        Ok(state)
+    }
+
+    /// Unloads least-recently-used evictable tenants until the resident
+    /// total fits the budget (or nothing more can go). `keep` is the
+    /// entry that triggered the pass — never its own victim.
+    fn evict_over_budget(&self, inner: &mut Inner, keep: usize) {
+        if self.budget_bytes == 0 {
+            return;
+        }
+        loop {
+            let resident: usize = inner
+                .entries
+                .iter()
+                .filter_map(|e| e.state.as_ref())
+                .map(|s| s.cost_bytes)
+                .sum();
+            if resident <= self.budget_bytes {
+                return;
+            }
+            let victim = inner
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(i, e)| {
+                    *i != keep
+                        && e.source.is_some()
+                        && e.state
+                            .as_ref()
+                            .is_some_and(|s| !s.is_dirty() && Arc::strong_count(s) == 1)
+                })
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    inner.entries[i].state = None;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Everything still resident is pinned, dirty, or
+                // engine-backed: the budget is soft against correctness.
+                None => return,
+            }
+        }
+    }
+
+    /// Tenant names in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.lock().entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Per-tenant summaries in registration order.
+    pub fn summaries(&self) -> Vec<TenantSummary> {
+        self.lock()
+            .entries
+            .iter()
+            .map(|e| TenantSummary {
+                name: e.name.clone(),
+                loaded: e.state.is_some(),
+                dirty: e.state.as_ref().is_some_and(|s| s.is_dirty()),
+                cost_bytes: e.state.as_ref().map_or(0, |s| s.cost_bytes),
+            })
+            .collect()
+    }
+
+    /// The per-tenant counters handle (valid whether or not the tenant
+    /// is currently loaded).
+    pub fn counters_of(&self, name: &str) -> Option<Arc<TenantCounters>> {
+        let inner = self.lock();
+        let idx = *inner.by_name.get(name)?;
+        Some(Arc::clone(&inner.entries[idx].counters))
+    }
+
+    /// Bytes currently resident across loaded tenants.
+    pub fn resident_bytes(&self) -> usize {
+        self.lock()
+            .entries
+            .iter()
+            .filter_map(|e| e.state.as_ref())
+            .map(|s| s.cost_bytes)
+            .sum()
+    }
+
+    /// The configured budget (`0` = unlimited).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Snapshot loads performed (initial registrations included).
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_truss::fixtures::figure1_graph;
+
+    fn engine() -> CommunityEngine {
+        CommunityEngine::build(figure1_graph())
+    }
+
+    fn saved(dir: &std::path::Path, name: &str) -> PathBuf {
+        let path = dir.join(format!("{name}.ctci"));
+        engine().save(&path).unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ctc-registry-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn names_validate_and_duplicates_reject() {
+        let r = Registry::new(0, 8);
+        assert!(r.add_engine("fb-01_x", engine()).is_ok());
+        assert!(r.add_engine("fb-01_x", engine()).is_err());
+        for bad in ["", "a/b", "a.b", "é", &"x".repeat(65)] {
+            assert!(r.add_engine(bad, engine()).is_err(), "{bad:?}");
+        }
+        assert_eq!(r.get("nope").unwrap_err(), TenantError::Unknown);
+        assert_eq!(r.names(), vec!["fb-01_x".to_string()]);
+    }
+
+    #[test]
+    fn path_backed_tenants_load_lazily_and_survive_counter_reloads() {
+        let dir = tmpdir("lazy");
+        let r = Registry::new(0, 8);
+        r.add_path("a", saved(&dir, "a")).unwrap();
+        assert_eq!(r.loads(), 0, "registration must not touch the snapshot");
+        assert!(!r.summaries()[0].loaded);
+        let state = r.get("a").unwrap();
+        assert_eq!(r.loads(), 1);
+        assert_eq!(state.name(), "a");
+        assert!(state.cost_bytes() > 0);
+        // Second lookup: same pinned state, no reload.
+        let again = r.get("a").unwrap();
+        assert!(Arc::ptr_eq(&state, &again));
+        assert_eq!(r.loads(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_is_lru_weighted_and_reload_keeps_counters() {
+        let dir = tmpdir("evict");
+        // Budget below two engines: loading the second evicts the first.
+        let one = engine().memory_bytes();
+        let r = Registry::new(one + one / 2, 8);
+        r.add_path("a", saved(&dir, "a")).unwrap();
+        r.add_path("b", saved(&dir, "b")).unwrap();
+        let a = r.get("a").unwrap();
+        a.counters.search_ok.fetch_add(7, Ordering::Relaxed);
+        drop(a); // unpin
+        let b = r.get("b").unwrap();
+        assert_eq!(r.evictions(), 1);
+        let s = r.summaries();
+        assert!(!s[0].loaded, "a evicted");
+        assert!(s[1].loaded, "b resident");
+        assert!(r.resident_bytes() <= r.budget_bytes());
+        // Unpin b, then reload a (evicts b): counters survived eviction.
+        drop(b);
+        let a = r.get("a").unwrap();
+        assert_eq!(r.evictions(), 2);
+        assert_eq!(r.loads(), 3);
+        assert_eq!(a.counters.search_ok.load(Ordering::Relaxed), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_and_dirty_tenants_are_never_evicted() {
+        let dir = tmpdir("pin");
+        let one = engine().memory_bytes();
+        let r = Registry::new(one, 8);
+        r.add_path("a", saved(&dir, "a")).unwrap();
+        r.add_path("b", saved(&dir, "b")).unwrap();
+        r.add_path("c", saved(&dir, "c")).unwrap();
+        // Pinned: holding the Arc while b loads keeps a resident even
+        // though the budget fits only one engine.
+        let a = r.get("a").unwrap();
+        let b = r.get("b").unwrap();
+        assert_eq!(r.evictions(), 0, "both pinned: budget is soft");
+        assert!(r.resident_bytes() > r.budget_bytes());
+        // Dirty: a marked dirty survives even unpinned; clean b goes.
+        a.dirty.store(true, Ordering::SeqCst);
+        drop(a);
+        drop(b);
+        let _c = r.get("c").unwrap();
+        let s = r.summaries();
+        assert!(s[0].loaded, "dirty a survives");
+        assert!(!s[1].loaded, "clean unpinned b evicted");
+        assert_eq!(r.evictions(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_backed_tenants_are_not_evictable() {
+        let r = Registry::new(1, 8); // budget below anything
+        r.add_engine("a", engine()).unwrap();
+        r.add_engine("b", engine()).unwrap();
+        let _ = r.get("a").unwrap();
+        let _ = r.get("b").unwrap();
+        assert_eq!(r.evictions(), 0);
+        assert_eq!(r.summaries().iter().filter(|s| s.loaded).count(), 2);
+    }
+
+    #[test]
+    fn load_failure_is_reported_not_cached() {
+        let r = Registry::new(0, 8);
+        r.add_path("ghost", PathBuf::from("/nonexistent/ghost.ctci"))
+            .unwrap();
+        match r.get("ghost") {
+            Err(TenantError::Load(msg)) => assert!(msg.contains("ghost.ctci"), "{msg}"),
+            Err(other) => panic!("want load error, got {other:?}"),
+            Ok(_) => panic!("want load error, got a loaded tenant"),
+        }
+        assert!(!r.summaries()[0].loaded);
+    }
+}

@@ -1,46 +1,76 @@
-//! The daemon: listener, worker pool, router, graceful shutdown.
+//! The daemon: readiness loop, worker pool, multi-tenant router,
+//! admission control, graceful shutdown.
 //!
 //! Architecture (all std, no async runtime):
 //!
 //! ```text
-//!                 ┌──────────────┐  accepted   ┌─────────────────────┐
-//!  TcpListener ──►│ acceptor     │────────────►│ ConnQueue           │
-//!                 │ (one thread) │   sockets   │ (Mutex + Condvar)   │
-//!                 └──────────────┘             └──────────┬──────────┘
-//!                                                         │ pop
-//!                              ┌───────────┬──────────────┼─────────────┐
-//!                              ▼           ▼              ▼             ▼
-//!                          worker 0    worker 1   ...  worker N-1   (pool sized
-//!                         (keep-alive read loop → parse → route → respond)
+//!                 ┌─────────────────────────────┐  readable conn   ┌──────────────────┐
+//!  TcpListener ──►│ event loop (poll(2), one    │─────────────────►│ ConnQueue        │
+//!  (nonblocking)  │ thread): accept + admission │  bounded push    │ (bounded; full → │
+//!  wake socket ──►│ cap, idle keep-alive conns, │  (full → 503)    │ shed with 503)   │
+//!  give-backs ───►│ per-request deadlines       │                  └────────┬─────────┘
+//!                 └─────────────▲───────────────┘                           │ pop
+//!                               │ conn handed back      ┌───────────┬───────┼─────────┐
+//!                               │ after one bounded     ▼           ▼       ▼         ▼
+//!                               │ read + responses   worker 0    worker 1  ...   worker N-1
+//!                               └────────────────── (read → parse → route → respond,
+//!                                                    panics caught per connection)
 //! ```
 //!
-//! The pool is built on the PR-2 [`Parallelism`] substrate:
+//! Idle keep-alive connections cost one `pollfd` slot, not a parked
+//! worker thread: the event loop multiplexes thousands of them over the
+//! fixed pool via [`crate::evented`], dispatching a connection only when
+//! it is readable. A worker performs one bounded read on a socket known
+//! to be readable, answers every complete pipelined request in the
+//! buffer, and hands the connection back to the loop.
+//!
+//! The pool is still the PR-2 [`Parallelism`] substrate:
 //! [`CtcServer::serve`] calls `pool.map_chunks(workers, ..)` with one
 //! index per worker, so worker threads are the same scoped fork-join
 //! primitive every other parallel phase of the workspace uses, and
 //! `serve` returns only once every worker has drained and joined — clean
-//! shutdown is structural, not best-effort.
+//! shutdown is structural, not best-effort. Because `map_chunks`
+//! *propagates* worker panics, each connection is serviced under
+//! [`std::panic::catch_unwind`]: a panicking handler costs that request a
+//! `500` and its connection, never the server (the `panics` counter in
+//! `/stats` makes it visible).
+//!
+//! Requests route per tenant — `/t/<name>/search|update|stats` against
+//! the [`Registry`] — while the bare `/search`, `/update`, `/stats`
+//! endpoints alias the `default` tenant, byte-compatible with the
+//! single-tenant wire format. Admission control sheds early and
+//! well-formed: over `max_conns` → `503` at accept; dispatch queue full
+//! → `503`; tenant over its in-flight cap → `429` with `retry-after`.
 //!
 //! Shutdown ("SIGTERM-equivalent"): [`ServerHandle::shutdown`] (or a
 //! `POST /shutdown` request) sets the shared flag and pokes the listener
-//! with a loopback connection so the blocking `accept` wakes, the
-//! acceptor closes the queue, workers finish their in-flight requests,
-//! drain what was already queued, and exit.
+//! with a loopback connection so the parked `poll` wakes, the event loop
+//! drops idle connections and closes the queue, workers finish their
+//! in-flight requests, drain what was already queued, and exit.
 
 use crate::cache::LruCache;
+#[cfg(unix)]
+use crate::evented::{poll_fds, PollFd, WakePair};
 use crate::http::{parse_request, HttpError, Parse, Request, Response, DEFAULT_MAX_BODY};
 use crate::json::Json;
+use crate::registry::{
+    CachedAnswer, Registry, TenantCounters, TenantError, TenantState, TenantSummary,
+};
 use crate::wire::{
     decode_search_request, decode_update_request, encode_community, encode_error,
-    encode_update_response, search_error_response, QueryKey, UpdateOutcome,
+    encode_update_response, search_error_response, UpdateOutcome,
 };
 use ctc_core::{CommunityEngine, EngineUpdate, SearchAlgo};
 use ctc_graph::Parallelism;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
@@ -48,7 +78,7 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Worker-pool size (the `Parallelism` substrate; serial = 1 worker).
     pub pool: Parallelism,
-    /// LRU answer-cache capacity; `0` disables caching.
+    /// Per-tenant LRU answer-cache capacity; `0` disables caching.
     pub cache_cap: usize,
     /// Per-request body cap, bytes.
     pub max_body: usize,
@@ -59,8 +89,30 @@ pub struct ServeConfig {
     /// trickled byte), this bounds total time-to-request, so a worker
     /// can never be pinned longer than this per request. The clock
     /// restarts after each answered request, so healthy keep-alive
-    /// connections live indefinitely.
+    /// connections live indefinitely — but an *idle* keep-alive
+    /// connection is dropped once it goes this long without completing
+    /// a request.
     pub request_deadline: Duration,
+    /// Admission cap on concurrently open connections; an accept beyond
+    /// it is answered with a well-formed `503` and closed.
+    pub max_conns: usize,
+    /// Bound on the event-loop → worker dispatch queue. A readable
+    /// connection that does not fit is shed with a `503` instead of
+    /// growing an unbounded queue.
+    pub queue_cap: usize,
+    /// Per-tenant cap on requests concurrently inside search/update
+    /// handlers; beyond it requests shed with `429` + `retry-after`.
+    /// `0` disables the cap.
+    pub tenant_inflight: u64,
+    /// Registry memory budget in bytes for resident engines; exceeding
+    /// it evicts cold clean tenants (see [`Registry`]). `0` disables
+    /// eviction.
+    pub mem_budget: usize,
+    /// Enables `POST /debug/panic` and `POST /debug/sleep` (global and
+    /// per-tenant), the deterministic failure-injection hooks the
+    /// admission and panic-isolation tests drive. Never enable in
+    /// production.
+    pub debug_endpoints: bool,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +123,79 @@ impl Default for ServeConfig {
             max_body: DEFAULT_MAX_BODY,
             io_timeout: Duration::from_secs(10),
             request_deadline: Duration::from_secs(30),
+            max_conns: 4096,
+            queue_cap: 4096,
+            tenant_inflight: 0,
+            mem_budget: 0,
+            debug_endpoints: false,
+        }
+    }
+}
+
+/// Serving-layer counters: connection lifecycle, admission sheds, panic
+/// isolation. Distinct from [`Counters`] (request routing) because these
+/// move per *connection event*, not per routed request.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections accepted from the listener (sheds included).
+    pub accepted: AtomicU64,
+    /// Connections admitted past the `max_conns` cap.
+    pub admitted: AtomicU64,
+    /// Currently open admitted connections (gauge).
+    pub open_conns: AtomicU64,
+    /// Connections currently sitting in the dispatch queue (gauge).
+    pub queued: AtomicU64,
+    /// Accepts shed with `503` because `max_conns` was reached.
+    pub sheds_accept: AtomicU64,
+    /// Readable connections shed with `503` because the dispatch queue
+    /// was full.
+    pub sheds_queue: AtomicU64,
+    /// Requests shed with `429` because a tenant was at its in-flight
+    /// cap (sum over tenants).
+    pub sheds_429: AtomicU64,
+    /// Connections dropped (no response) for exceeding the per-request
+    /// deadline — slow-loris clients and idle-past-deadline keep-alives.
+    pub deadline_drops: AtomicU64,
+    /// Request handlers that panicked and were isolated (`500`, counted,
+    /// server kept serving).
+    pub panics: AtomicU64,
+}
+
+/// A plain-data copy of [`ServerCounters`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerCountersSnapshot {
+    /// See [`ServerCounters::accepted`].
+    pub accepted: u64,
+    /// See [`ServerCounters::admitted`].
+    pub admitted: u64,
+    /// See [`ServerCounters::open_conns`].
+    pub open_conns: u64,
+    /// See [`ServerCounters::queued`].
+    pub queued: u64,
+    /// See [`ServerCounters::sheds_accept`].
+    pub sheds_accept: u64,
+    /// See [`ServerCounters::sheds_queue`].
+    pub sheds_queue: u64,
+    /// See [`ServerCounters::sheds_429`].
+    pub sheds_429: u64,
+    /// See [`ServerCounters::deadline_drops`].
+    pub deadline_drops: u64,
+    /// See [`ServerCounters::panics`].
+    pub panics: u64,
+}
+
+impl ServerCounters {
+    fn snapshot(&self) -> ServerCountersSnapshot {
+        ServerCountersSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            open_conns: self.open_conns.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            sheds_accept: self.sheds_accept.load(Ordering::Relaxed),
+            sheds_queue: self.sheds_queue.load(Ordering::Relaxed),
+            sheds_429: self.sheds_429.load(Ordering::Relaxed),
+            deadline_drops: self.deadline_drops.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -187,23 +312,17 @@ impl Counters {
     }
 }
 
-/// A cached `/search` answer: the encoded body plus the answer's
-/// trussness `k`, the class-keyed invalidation handle — an applied
-/// update with `max_class < k` provably cannot change this answer (for
-/// the exact algorithms), so the entry survives the update.
-#[derive(Clone)]
-struct CachedAnswer {
-    k: u32,
-    body: Arc<Vec<u8>>,
-}
+/// The name the bare `/search|/update|/stats` endpoints alias.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// Everything a request needs, shared across workers behind one [`Arc`]:
-/// the engine (itself `Arc`-backed), the answer cache, counters and the
-/// shutdown flag. Also usable standalone — without any socket — via
-/// [`AppState::respond`], which is how the fuzz battery and the serve
-/// bench drive the full parse → dispatch → encode path in-process.
+/// the tenant [`Registry`] (each tenant bundling its engines + answer
+/// cache), counters and the shutdown flag. Also usable standalone —
+/// without any socket — via [`AppState::respond`], which is how the fuzz
+/// battery and the serve bench drive the full parse → dispatch → encode
+/// path in-process.
 ///
-/// Online updates split the engine in two:
+/// Online updates split every tenant's engine in two:
 ///
 /// * `primary` — the writer's engine, holding the warm [`DynamicIndex`]
 ///   maintenance state. Every `/update` serializes through this mutex.
@@ -215,49 +334,115 @@ struct CachedAnswer {
 ///
 /// [`DynamicIndex`]: ctc_truss::DynamicIndex
 pub struct AppState {
-    primary: Mutex<CommunityEngine>,
-    serving: RwLock<CommunityEngine>,
-    /// Bumped (under the `serving` write lock) on every publication. A
-    /// reader that captured the engine before an update re-checks the
-    /// epoch before inserting its answer into the cache; on a mismatch
-    /// it skips the insert, so a stale answer computed against the old
-    /// graph can never land *after* the update's invalidation pass.
-    epoch: AtomicU64,
-    cache: Mutex<LruCache<QueryKey, CachedAnswer>>,
+    registry: Registry,
+    /// The `default` tenant, resolved once: the single-tenant fast path
+    /// (and a permanent pin — the default tenant is never evicted).
+    default_tenant: Arc<TenantState>,
     counters: Counters,
+    serving: ServerCounters,
     shutdown: AtomicBool,
     max_body: usize,
+    tenant_inflight: u64,
+    debug_endpoints: bool,
     /// Set once the listener is bound; the shutdown poke connects here.
     wake_addr: Mutex<Option<SocketAddr>>,
 }
 
+/// RAII admission token: holding it means the request is counted inside
+/// its tenant's `in_flight` gauge; dropping (normally or via unwind)
+/// releases the slot.
+struct InflightGuard<'a>(&'a TenantCounters);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Locks a tenant's answer cache, recovering from poisoning: a handler
+/// that panicked mid-insert may have left a partially updated recency
+/// list, so the recovered cache is cleared — dropping answers is always
+/// safe, serving from a corrupt structure is not.
+fn lock_cache<'a>(
+    t: &'a TenantState,
+) -> MutexGuard<'a, LruCache<crate::wire::QueryKey, CachedAnswer>> {
+    match t.cache.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        }
+    }
+}
+
 impl AppState {
-    /// State over `engine` with the given tuning (no socket required).
+    /// State over `engine` (registered as the `default` tenant) with the
+    /// given tuning (no socket required).
     pub fn new(engine: CommunityEngine, cfg: &ServeConfig) -> Self {
-        let serving = engine.frozen_clone();
+        let registry = Registry::new(cfg.mem_budget, cfg.cache_cap);
+        registry
+            .add_engine(DEFAULT_TENANT, engine)
+            .expect("fresh registry accepts the default tenant");
+        let default_tenant = registry
+            .get(DEFAULT_TENANT)
+            .expect("default tenant just registered");
         AppState {
-            primary: Mutex::new(engine),
-            serving: RwLock::new(serving),
-            epoch: AtomicU64::new(0),
-            cache: Mutex::new(LruCache::new(cfg.cache_cap)),
+            registry,
+            default_tenant,
             counters: Counters::default(),
+            serving: ServerCounters::default(),
             shutdown: AtomicBool::new(false),
             max_body: cfg.max_body,
+            tenant_inflight: cfg.tenant_inflight,
+            debug_endpoints: cfg.debug_endpoints,
             wake_addr: Mutex::new(None),
         }
     }
 
-    /// A clone of the currently served (read-side) engine — Arc bumps,
-    /// not a data copy. The clone is an immutable consistent view: later
-    /// `/update`s republish rather than mutate in place.
-    pub fn engine(&self) -> CommunityEngine {
-        self.serving.read().expect("serving poisoned").clone()
+    /// Registers an additional engine-backed tenant under `name`.
+    pub fn add_tenant_engine(&self, name: &str, engine: CommunityEngine) -> Result<(), String> {
+        self.registry.add_engine(name, engine)
     }
 
-    /// The publication epoch: how many update batches have republished
-    /// the serving engine so far.
+    /// Registers a path-backed tenant: the `.ctci` snapshot at `path` is
+    /// loaded lazily on the first `/t/<name>/…` request and is eligible
+    /// for bytes-weighted eviction when a memory budget is set.
+    pub fn add_tenant_path(&self, name: &str, path: PathBuf) -> Result<(), String> {
+        self.registry.add_path(name, path)
+    }
+
+    /// The tenant registry (names, summaries, eviction counters).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The default tenant's state.
+    pub fn default_tenant(&self) -> &Arc<TenantState> {
+        &self.default_tenant
+    }
+
+    /// A clone of the default tenant's currently served (read-side)
+    /// engine — Arc bumps, not a data copy. The clone is an immutable
+    /// consistent view: later `/update`s republish rather than mutate in
+    /// place.
+    pub fn engine(&self) -> CommunityEngine {
+        self.default_tenant
+            .serving
+            .read()
+            .expect("serving poisoned")
+            .clone()
+    }
+
+    /// The default tenant's publication epoch: how many update batches
+    /// have republished its serving engine so far.
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::SeqCst)
+        self.default_tenant.epoch()
+    }
+
+    /// Serving-layer counters (admission, sheds, panics).
+    pub fn server_counters(&self) -> ServerCountersSnapshot {
+        self.serving.snapshot()
     }
 
     /// Current counter values.
@@ -313,8 +498,8 @@ impl AppState {
                 // Route first: a /shutdown request must see its own effect
                 // (its response, and every later one, carries
                 // `connection: close`).
-                let response = self.route(&req);
-                let close = req.wants_close() || self.is_shutting_down();
+                let (response, panicked) = self.route_caught(&req);
+                let close = panicked || req.wants_close() || self.is_shutting_down();
                 Some(response.encode(close))
             }
             Err(e) => Some(self.reject(e).encode(true)),
@@ -328,12 +513,68 @@ impl AppState {
         Response::error(status, reason, encode_error(e.detail()))
     }
 
+    /// Routes one parsed request with panic isolation: a panicking
+    /// handler yields a `500` and `panicked = true` (the caller must
+    /// close the connection — handler state mid-panic is unknowable),
+    /// never an unwind into the worker pool's scoped join.
+    fn route_caught(&self, req: &Request) -> (Response, bool) {
+        match catch_unwind(AssertUnwindSafe(|| self.route(req))) {
+            Ok(response) => (response, false),
+            Err(_) => {
+                self.serving.panics.fetch_add(1, Ordering::Relaxed);
+                (
+                    Response::error(
+                        500,
+                        "Internal Server Error",
+                        encode_error("request handler panicked; connection closed"),
+                    ),
+                    true,
+                )
+            }
+        }
+    }
+
+    /// Admission check: counts the request into the tenant's in-flight
+    /// gauge, or sheds with a well-formed `429` when the tenant is at
+    /// its cap.
+    fn admit<'a>(&self, t: &'a TenantState) -> Result<InflightGuard<'a>, Response> {
+        let prev = t.counters.in_flight.fetch_add(1, Ordering::SeqCst);
+        if self.tenant_inflight > 0 && prev >= self.tenant_inflight {
+            t.counters.in_flight.fetch_sub(1, Ordering::SeqCst);
+            t.counters.sheds_429.fetch_add(1, Ordering::Relaxed);
+            self.serving.sheds_429.fetch_add(1, Ordering::Relaxed);
+            return Err(Response::error(
+                429,
+                "Too Many Requests",
+                encode_error(&format!(
+                    "tenant {} is at its in-flight cap ({})",
+                    t.name(),
+                    self.tenant_inflight
+                )),
+            )
+            .with_header("retry-after", "1"));
+        }
+        Ok(InflightGuard(&t.counters))
+    }
+
     /// Routes one parsed request to its endpoint handler.
     fn route(&self, req: &Request) -> Response {
         self.counters.total.fetch_add(1, Ordering::Relaxed);
-        match (req.method.as_str(), req.target.as_str()) {
-            ("POST", "/search") => self.handle_search(req),
-            ("POST", "/update") => self.handle_update(req),
+        let method = req.method.as_str();
+        let target = req.target.as_str();
+        if let Some(rest) = target.strip_prefix("/t/") {
+            return match rest.split_once('/') {
+                Some((name, tail)) => self.route_tenant(method, name, tail, req),
+                None => Response::error(
+                    404,
+                    "Not Found",
+                    encode_error("tenant endpoints are /t/<name>/search|update|stats"),
+                ),
+            };
+        }
+        match (method, target) {
+            ("POST", "/search") => self.tenant_request(&self.default_tenant, req, true),
+            ("POST", "/update") => self.tenant_request(&self.default_tenant, req, false),
             ("GET", "/healthz") => {
                 self.counters.healthz.fetch_add(1, Ordering::Relaxed);
                 Response::ok(
@@ -354,6 +595,10 @@ impl AppState {
                         .into_bytes(),
                 )
             }
+            ("POST", "/debug/panic") if self.debug_endpoints => Self::debug_panic(),
+            ("POST", "/debug/sleep") if self.debug_endpoints => {
+                self.debug_sleep(&self.default_tenant, req)
+            }
             (_, "/search" | "/update" | "/healthz" | "/stats" | "/shutdown") => Response::error(
                 405,
                 "Method Not Allowed",
@@ -363,26 +608,124 @@ impl AppState {
         }
     }
 
-    /// `POST /search`: decode → resolve labels → cache → engine → encode.
-    fn handle_search(&self, req: &Request) -> Response {
+    /// Routes a `/t/<name>/<tail>` request. Endpoint and method are
+    /// validated *before* the registry lookup, so a 404/405 never loads
+    /// a snapshot.
+    fn route_tenant(&self, method: &str, name: &str, tail: &str, req: &Request) -> Response {
+        let known = matches!(tail, "search" | "update" | "stats")
+            || (self.debug_endpoints && matches!(tail, "debug/panic" | "debug/sleep"));
+        if !known {
+            return Response::error(404, "Not Found", encode_error("no such tenant endpoint"));
+        }
+        let want_post = tail != "stats";
+        if (want_post && method != "POST") || (!want_post && method != "GET") {
+            return Response::error(
+                405,
+                "Method Not Allowed",
+                encode_error("method not allowed for this endpoint"),
+            );
+        }
+        let tenant = match self.registry.get(name) {
+            Ok(t) => t,
+            Err(TenantError::Unknown) => {
+                return Response::error(
+                    404,
+                    "Not Found",
+                    encode_error(&format!("no such tenant: {name}")),
+                )
+            }
+            Err(TenantError::Load(msg)) => {
+                return Response::error(503, "Service Unavailable", encode_error(&msg))
+            }
+        };
+        match tail {
+            "search" => self.tenant_request(&tenant, req, true),
+            "update" => self.tenant_request(&tenant, req, false),
+            "stats" => {
+                self.counters.stats.fetch_add(1, Ordering::Relaxed);
+                Response::ok(self.encode_tenant_stats(&tenant))
+            }
+            "debug/panic" => Self::debug_panic(),
+            "debug/sleep" => self.debug_sleep(&tenant, req),
+            _ => unreachable!("tail validated above"),
+        }
+    }
+
+    /// Admission-gated dispatch to a tenant's search or update handler.
+    fn tenant_request(&self, tenant: &TenantState, req: &Request, search: bool) -> Response {
+        let guard = match self.admit(tenant) {
+            Ok(g) => g,
+            Err(shed) => return shed,
+        };
+        let response = if search {
+            self.handle_search(tenant, req)
+        } else {
+            self.handle_update(tenant, req)
+        };
+        drop(guard);
+        response
+    }
+
+    /// `POST /debug/panic`: panics inside the handler — the trap the
+    /// poisoned-handler test springs to prove isolation.
+    fn debug_panic() -> Response {
+        panic!("debug panic endpoint");
+    }
+
+    /// `POST /debug/sleep {"ms":N}`: holds an admission slot for `ms`
+    /// (clamped to 10s), making queue-flood and 429 tests deterministic.
+    fn debug_sleep(&self, tenant: &TenantState, req: &Request) -> Response {
+        let guard = match self.admit(tenant) {
+            Ok(g) => g,
+            Err(shed) => return shed,
+        };
+        let ms = std::str::from_utf8(&req.body)
+            .ok()
+            .and_then(|text| Json::parse(text).ok())
+            .and_then(|json| match json {
+                Json::Object(pairs) => pairs.into_iter().find_map(|(k, v)| match (k, v) {
+                    (k, Json::Uint(n)) if k == "ms" => Some(n),
+                    _ => None,
+                }),
+                _ => None,
+            })
+            .unwrap_or(50)
+            .min(10_000);
+        std::thread::sleep(Duration::from_millis(ms));
+        drop(guard);
+        Response::ok(
+            Json::Object(vec![("slept_ms".into(), Json::Uint(ms))])
+                .encode()
+                .into_bytes(),
+        )
+    }
+
+    /// `POST /search` (any tenant): decode → resolve labels → cache →
+    /// engine → encode. Search counters move on both the global set and
+    /// the tenant's own.
+    fn handle_search(&self, tenant: &TenantState, req: &Request) -> Response {
         // Capture the serving engine and the publication epoch under one
         // read lock: the pair is what makes "which graph answered this"
         // well-defined while /update batches republish concurrently.
         let (snapshot, epoch) = {
-            let guard = self.serving.read().expect("serving poisoned");
-            (guard.clone(), self.epoch.load(Ordering::SeqCst))
+            let guard = tenant.serving.read().expect("serving poisoned");
+            (guard.clone(), tenant.epoch.load(Ordering::SeqCst))
+        };
+        let search_err = || {
+            self.counters.search_err.fetch_add(1, Ordering::Relaxed);
+            tenant.counters.search_err.fetch_add(1, Ordering::Relaxed);
         };
         let parsed = match decode_search_request(&req.body, snapshot.config()) {
             Ok(p) => p,
             Err(e) => {
-                self.counters.search_err.fetch_add(1, Ordering::Relaxed);
+                search_err();
                 return Response::error(e.status, "Bad Request", encode_error(&e.message));
             }
         };
         let q = match snapshot.resolve_labels(&parsed.labels) {
             Ok(q) => q,
             Err(label) => {
-                self.counters.search_err.fetch_add(1, Ordering::Relaxed);
+                search_err();
                 return Response::error(
                     404,
                     "Not Found",
@@ -395,10 +738,12 @@ impl AppState {
         // before the body bytes are copied into the response: under the
         // lock a hit is only an Arc bump, so concurrent workers never
         // serialize on a large-body memcpy.
-        let hit = self.cache.lock().expect("cache poisoned").get(&key);
+        let hit = lock_cache(tenant).get(&key);
         if let Some(ans) = hit {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.counters.search_ok.fetch_add(1, Ordering::Relaxed);
+            tenant.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            tenant.counters.search_ok.fetch_add(1, Ordering::Relaxed);
             return Response::ok(ans.body.as_ref().clone()).with_header("x-cache", "hit");
         }
         // Miss: run the search under the per-request config. The engine
@@ -410,6 +755,8 @@ impl AppState {
             Ok(c) => {
                 self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
                 self.counters.search_ok.fetch_add(1, Ordering::Relaxed);
+                tenant.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                tenant.counters.search_ok.fetch_add(1, Ordering::Relaxed);
                 // The finish counter absorbs the integer-truncation residue
                 // along with the assembly time, keeping
                 // locate + peel + finish == total exact in the µs domain.
@@ -431,13 +778,13 @@ impl AppState {
                 // per-hit cost for large answers).
                 let body = Arc::new(encode_community(&snapshot, &c));
                 {
-                    let mut cache = self.cache.lock().expect("cache poisoned");
+                    let mut cache = lock_cache(tenant);
                     // Re-check the epoch under the cache lock: if an
                     // update published while this search ran, the answer
                     // was computed against a superseded graph. Inserting
                     // it after the update's invalidation pass would poison
                     // the cache; skipping the insert is always safe.
-                    if self.epoch.load(Ordering::SeqCst) == epoch {
+                    if tenant.epoch.load(Ordering::SeqCst) == epoch {
                         cache.insert(
                             key,
                             CachedAnswer {
@@ -450,7 +797,7 @@ impl AppState {
                 Response::ok(body.as_ref().clone()).with_header("x-cache", "miss")
             }
             Err(e) => {
-                self.counters.search_err.fetch_add(1, Ordering::Relaxed);
+                search_err();
                 let (status, reason, body) = search_error_response(&e);
                 Response::error(status, reason, body)
             }
@@ -461,18 +808,22 @@ impl AppState {
     /// primary index → republish a frozen clone → invalidate affected
     /// cache classes. Always `200` with per-op outcomes when the body
     /// decodes; individual ops reject independently.
-    fn handle_update(&self, req: &Request) -> Response {
+    fn handle_update(&self, tenant: &TenantState, req: &Request) -> Response {
+        let update_err = || {
+            self.counters.update_err.fetch_add(1, Ordering::Relaxed);
+            tenant.counters.update_err.fetch_add(1, Ordering::Relaxed);
+        };
         let parsed = match decode_update_request(&req.body) {
             Ok(p) => p,
             Err(e) => {
-                self.counters.update_err.fetch_add(1, Ordering::Relaxed);
+                update_err();
                 return Response::error(e.status, "Bad Request", encode_error(&e.message));
             }
         };
         // One writer at a time: the whole resolve → maintain → publish
         // sequence holds the primary lock, so batches are serialized and
         // the serving engine always corresponds to a prefix of batches.
-        let mut primary = self.primary.lock().expect("primary poisoned");
+        let mut primary = tenant.primary.lock().expect("primary poisoned");
         // Resolve labels per-op. An unknown label rejects that op alone;
         // resolved ops keep their batch position so outcomes line up.
         let mut slots: Vec<Result<EngineUpdate, String>> = Vec::with_capacity(parsed.ops.len());
@@ -499,7 +850,7 @@ impl AppState {
             Err(e) => {
                 // Internal failure (the maintained state could not be
                 // re-materialized) — nothing was published.
-                self.counters.update_err.fetch_add(1, Ordering::Relaxed);
+                update_err();
                 let (status, reason, body) = search_error_response(&e);
                 return Response::error(status, reason, body);
             }
@@ -510,17 +861,19 @@ impl AppState {
             // so a reader's (engine, epoch) capture is always consistent.
             let frozen = primary.frozen_clone();
             {
-                let mut serving = self.serving.write().expect("serving poisoned");
+                let mut serving = tenant.serving.write().expect("serving poisoned");
                 *serving = frozen;
-                self.epoch.fetch_add(1, Ordering::SeqCst);
+                tenant.epoch.fetch_add(1, Ordering::SeqCst);
             }
+            // The maintained graph now exists only in memory: mark the
+            // tenant dirty so the registry never evicts it (a reload
+            // from the snapshot would silently discard this batch).
+            tenant.dirty.store(true, Ordering::SeqCst);
             let max_class = report.max_class;
             // Exact algorithms answer from τ ≥ k subgraphs, which are
             // untouched for k > max_class; LCTC explores the raw graph
             // around the query, so any applied update invalidates it.
-            self.cache
-                .lock()
-                .expect("cache poisoned")
+            lock_cache(tenant)
                 .retain(|key, ans| key.algo != SearchAlgo::Local && ans.k > max_class);
         }
         // Zip engine results back into batch positions.
@@ -550,6 +903,15 @@ impl AppState {
         self.counters
             .updates_rejected
             .fetch_add(rejected, Ordering::Relaxed);
+        tenant.counters.update_ok.fetch_add(1, Ordering::Relaxed);
+        tenant
+            .counters
+            .updates_applied
+            .fetch_add(applied, Ordering::Relaxed);
+        tenant
+            .counters
+            .updates_rejected
+            .fetch_add(rejected, Ordering::Relaxed);
         Response::ok(encode_update_response(
             applied,
             rejected,
@@ -558,11 +920,107 @@ impl AppState {
         ))
     }
 
-    /// The `/stats` body: graph/index summary + request counters.
+    /// The `server` stats object: serving-layer counters + registry
+    /// summary, appended to both the global and per-tenant stats bodies.
+    fn encode_server_object(&self) -> Json {
+        let v = self.serving.snapshot();
+        let summaries: Vec<TenantSummary> = self.registry.summaries();
+        Json::Object(vec![
+            ("accepted".into(), Json::Uint(v.accepted)),
+            ("admitted".into(), Json::Uint(v.admitted)),
+            ("open_conns".into(), Json::Uint(v.open_conns)),
+            ("queued".into(), Json::Uint(v.queued)),
+            ("sheds_accept".into(), Json::Uint(v.sheds_accept)),
+            ("sheds_queue".into(), Json::Uint(v.sheds_queue)),
+            ("sheds_429".into(), Json::Uint(v.sheds_429)),
+            ("deadline_drops".into(), Json::Uint(v.deadline_drops)),
+            ("panics".into(), Json::Uint(v.panics)),
+            (
+                "registry".into(),
+                Json::Object(vec![
+                    ("tenants".into(), Json::Uint(summaries.len() as u64)),
+                    (
+                        "loaded".into(),
+                        Json::Uint(summaries.iter().filter(|t| t.loaded).count() as u64),
+                    ),
+                    (
+                        "resident_bytes".into(),
+                        Json::Uint(self.registry.resident_bytes() as u64),
+                    ),
+                    (
+                        "budget_bytes".into(),
+                        Json::Uint(self.registry.budget_bytes() as u64),
+                    ),
+                    ("loads".into(), Json::Uint(self.registry.loads())),
+                    ("evictions".into(), Json::Uint(self.registry.evictions())),
+                ]),
+            ),
+        ])
+    }
+
+    /// The `/t/<name>/stats` body: the tenant's own graph, cache, and
+    /// request counters (these survive eviction/reload — the registry
+    /// owns them).
+    fn encode_tenant_stats(&self, tenant: &TenantState) -> Vec<u8> {
+        let s = tenant.serving.read().expect("serving poisoned").stats();
+        let c = &tenant.counters;
+        let load = |a: &AtomicU64| Json::Uint(a.load(Ordering::Relaxed));
+        let cache = lock_cache(tenant);
+        Json::Object(vec![
+            ("tenant".into(), Json::Str(tenant.name().into())),
+            ("dirty".into(), Json::Bool(tenant.is_dirty())),
+            ("cost_bytes".into(), Json::Uint(tenant.cost_bytes() as u64)),
+            (
+                "graph".into(),
+                Json::Object(vec![
+                    ("num_vertices".into(), Json::Uint(s.num_vertices as u64)),
+                    ("num_edges".into(), Json::Uint(s.num_edges as u64)),
+                    ("max_truss".into(), Json::Uint(s.max_truss as u64)),
+                    ("labeled".into(), Json::Bool(s.labeled)),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Object(vec![
+                    ("capacity".into(), Json::Uint(cache.capacity() as u64)),
+                    ("entries".into(), Json::Uint(cache.len() as u64)),
+                    ("hits".into(), load(&c.cache_hits)),
+                    ("misses".into(), load(&c.cache_misses)),
+                ]),
+            ),
+            (
+                "requests".into(),
+                Json::Object(vec![
+                    ("search_ok".into(), load(&c.search_ok)),
+                    ("search_err".into(), load(&c.search_err)),
+                    ("sheds_429".into(), load(&c.sheds_429)),
+                    ("in_flight".into(), load(&c.in_flight)),
+                ]),
+            ),
+            (
+                "updates".into(),
+                Json::Object(vec![
+                    ("batches_ok".into(), load(&c.update_ok)),
+                    ("batches_err".into(), load(&c.update_err)),
+                    ("applied".into(), load(&c.updates_applied)),
+                    ("rejected".into(), load(&c.updates_rejected)),
+                    ("epoch".into(), Json::Uint(tenant.epoch())),
+                ]),
+            ),
+        ])
+        .encode()
+        .into_bytes()
+    }
+
+    /// The `/stats` body: graph/index summary + request counters. The
+    /// graph and cache objects describe the `default` tenant (wire
+    /// compatibility with the single-tenant format); request/update
+    /// counters are global aggregates, and the `server` object carries
+    /// serving-layer and registry state.
     fn encode_stats(&self) -> Vec<u8> {
         let s = self.engine().stats();
         let c = self.counters.snapshot();
-        let cache = self.cache.lock().expect("cache poisoned");
+        let cache = lock_cache(&self.default_tenant);
         Json::Object(vec![
             (
                 "graph".into(),
@@ -619,49 +1077,81 @@ impl AppState {
                     ("total_us".into(), Json::Uint(c.phase_total_us)),
                 ]),
             ),
+            ("server".into(), self.encode_server_object()),
         ])
         .encode()
         .into_bytes()
     }
 }
 
-/// The connection hand-off queue between the acceptor and the workers.
-struct ConnQueue {
-    inner: Mutex<QueueInner>,
+/// One admitted connection's state: the socket (kept *blocking* — the
+/// event loop only uses readiness to decide when to dispatch; workers
+/// bound every read/write with timeouts), bytes of a not-yet-complete
+/// request, and the running per-request deadline.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    deadline: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, io_timeout: Duration, deadline: Instant) -> Conn {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(io_timeout));
+        Conn {
+            stream,
+            buf: Vec::new(),
+            deadline,
+        }
+    }
+}
+
+/// The *bounded* dispatch queue between the event loop and the workers.
+/// `push` refuses past `cap` (or once closed) and returns the item, so
+/// the caller sheds it with a well-formed `503` — a connection flood
+/// costs rejected requests, never unbounded queue memory (the prior
+/// unbounded `VecDeque` turned floods into OOM).
+struct ConnQueue<T> {
+    cap: usize,
+    inner: Mutex<QueueInner<T>>,
     ready: Condvar,
 }
 
-struct QueueInner {
-    conns: VecDeque<TcpStream>,
+struct QueueInner<T> {
+    items: VecDeque<T>,
     closed: bool,
 }
 
-impl ConnQueue {
-    fn new() -> Self {
+impl<T> ConnQueue<T> {
+    fn new(cap: usize) -> Self {
         ConnQueue {
+            cap: cap.max(1),
             inner: Mutex::new(QueueInner {
-                conns: VecDeque::new(),
+                items: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
         }
     }
 
-    fn push(&self, conn: TcpStream) {
+    /// Enqueues `item`, or returns it when the queue is full or closed.
+    fn push(&self, item: T) -> Result<(), T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
-        if !inner.closed {
-            inner.conns.push_back(conn);
-            self.ready.notify_one();
+        if inner.closed || inner.items.len() >= self.cap {
+            return Err(item);
         }
+        inner.items.push_back(item);
+        self.ready.notify_one();
+        Ok(())
     }
 
-    /// Blocks for the next connection; `None` once closed *and* drained,
-    /// so queued requests are still answered during shutdown.
-    fn pop(&self) -> Option<TcpStream> {
+    /// Blocks for the next item; `None` once closed *and* drained, so
+    /// queued requests are still answered during shutdown.
+    fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(conn) = inner.conns.pop_front() {
-                return Some(conn);
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
             }
             if inner.closed {
                 return None;
@@ -676,12 +1166,24 @@ impl ConnQueue {
     }
 }
 
+/// Writes a well-formed `503` and lets the drop close the socket. The
+/// socket may not have a write timeout yet (accept-time shed), so one is
+/// set first — the body is small enough that the write never blocks on a
+/// healthy kernel buffer anyway.
+fn shed_503(stream: &mut TcpStream, io_timeout: Duration, detail: &str) {
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let response = Response::error(503, "Service Unavailable", encode_error(detail)).encode(true);
+    let _ = stream.write_all(&response);
+}
+
 /// What [`CtcServer::serve`] reports after a graceful shutdown.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeReport {
     /// Final counter values.
     pub counters: CountersSnapshot,
-    /// Connections handled across all workers.
+    /// Final serving-layer counters (admission, sheds, panics).
+    pub server: ServerCountersSnapshot,
+    /// Connections admitted across the server's lifetime.
     pub connections: u64,
 }
 
@@ -692,6 +1194,8 @@ pub struct CtcServer {
     pool: Parallelism,
     io_timeout: Duration,
     request_deadline: Duration,
+    max_conns: usize,
+    queue_cap: usize,
 }
 
 /// A cheap handle for stopping and observing a running server from
@@ -712,6 +1216,11 @@ impl ServerHandle {
     pub fn counters(&self) -> CountersSnapshot {
         self.state.counters()
     }
+
+    /// Current serving-layer counter values.
+    pub fn server_counters(&self) -> ServerCountersSnapshot {
+        self.state.server_counters()
+    }
 }
 
 impl CtcServer {
@@ -722,8 +1231,18 @@ impl CtcServer {
         addr: impl ToSocketAddrs,
         cfg: ServeConfig,
     ) -> std::io::Result<CtcServer> {
-        let listener = TcpListener::bind(addr)?;
         let state = Arc::new(AppState::new(engine, &cfg));
+        Self::bind_state(state, addr, &cfg)
+    }
+
+    /// Binds `addr` over pre-built state — the multi-tenant entry point:
+    /// build an [`AppState`], register tenants, then bind.
+    pub fn bind_state(
+        state: Arc<AppState>,
+        addr: impl ToSocketAddrs,
+        cfg: &ServeConfig,
+    ) -> std::io::Result<CtcServer> {
+        let listener = TcpListener::bind(addr)?;
         *state.wake_addr.lock().expect("wake_addr poisoned") = Some(listener.local_addr()?);
         Ok(CtcServer {
             listener,
@@ -731,6 +1250,8 @@ impl CtcServer {
             pool: cfg.pool,
             io_timeout: cfg.io_timeout,
             request_deadline: cfg.request_deadline,
+            max_conns: cfg.max_conns,
+            queue_cap: cfg.queue_cap,
         })
     }
 
@@ -756,6 +1277,11 @@ impl CtcServer {
     /// Serves until shutdown is requested, then drains and returns.
     /// Blocks the calling thread; run it in a dedicated thread when the
     /// caller needs to keep working (see `tests/serve.rs`).
+    ///
+    /// On unix this runs the poll(2) readiness loop (idle keep-alive
+    /// connections cost a `pollfd` slot, not a worker); elsewhere it
+    /// falls back to the blocking acceptor with the same bounded-queue
+    /// admission control.
     pub fn serve(self) -> ServeReport {
         let CtcServer {
             listener,
@@ -763,116 +1289,437 @@ impl CtcServer {
             pool,
             io_timeout,
             request_deadline,
+            max_conns,
+            queue_cap,
         } = self;
-        let queue = ConnQueue::new();
-        let connections = AtomicU64::new(0);
+        let queue: ConnQueue<Conn> = ConnQueue::new(queue_cap);
         let workers = pool.get();
-        std::thread::scope(|scope| {
-            let acceptor = scope.spawn(|| {
-                loop {
-                    match listener.accept() {
-                        Ok((conn, _peer)) => {
-                            if state.is_shutting_down() {
-                                // The wake poke (or a straggler): drop it
-                                // and stop accepting.
-                                drop(conn);
-                                break;
+        #[cfg(unix)]
+        {
+            listener
+                .set_nonblocking(true)
+                .expect("listener supports nonblocking accept");
+            let wake = WakePair::new().expect("loopback wake pair");
+            let waker = wake.waker();
+            let injector: Mutex<Vec<Conn>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                let ev = scope.spawn(|| {
+                    event_loop(EventLoopEnv {
+                        listener: &listener,
+                        state: &state,
+                        queue: &queue,
+                        injector: &injector,
+                        wake: &wake,
+                        io_timeout,
+                        request_deadline,
+                        max_conns,
+                    })
+                });
+                // The worker pool: one queue-draining loop per
+                // Parallelism worker, scheduled through the same
+                // fork-join substrate as every other parallel phase.
+                // map_chunks returns only when every worker has exited,
+                // i.e. the queue is closed and drained.
+                pool.map_chunks(workers, |_range| {
+                    worker_loop(&state, &queue, io_timeout, request_deadline, |conn| {
+                        // Hand the keep-alive connection back to the
+                        // event loop's idle set and wake its poll.
+                        injector
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(conn);
+                        waker.wake();
+                        None
+                    });
+                });
+                // No user code runs on the event-loop thread, so a panic
+                // there is a server bug worth propagating — unlike
+                // handler panics, which are isolated per connection.
+                ev.join().expect("event loop panicked");
+            });
+            // Connections handed back after the loop exited: close them
+            // now so the open-connection gauge ends exact.
+            for conn in injector.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                drop(conn);
+                state.serving.open_conns.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            std::thread::scope(|scope| {
+                let acceptor = scope.spawn(|| {
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                if state.is_shutting_down() {
+                                    // The wake poke (or a straggler):
+                                    // drop it and stop accepting.
+                                    drop(stream);
+                                    break;
+                                }
+                                accept_one(
+                                    &state,
+                                    &queue,
+                                    stream,
+                                    io_timeout,
+                                    request_deadline,
+                                    max_conns,
+                                );
                             }
-                            queue.push(conn);
-                        }
-                        Err(_) => {
-                            if state.is_shutting_down() {
-                                break;
+                            Err(_) => {
+                                if state.is_shutting_down() {
+                                    break;
+                                }
+                                // Transient accept failure (EMFILE,
+                                // aborted handshake): keep serving, but
+                                // back off so a persistent error cannot
+                                // pin a core in a hot accept loop.
+                                std::thread::sleep(Duration::from_millis(50));
                             }
-                            // Transient accept failure (EMFILE, aborted
-                            // handshake): keep serving, but back off so a
-                            // persistent error (fd exhaustion) cannot pin
-                            // a core in a hot accept loop.
-                            std::thread::sleep(Duration::from_millis(50));
                         }
                     }
-                }
-                queue.close();
+                    queue.close();
+                });
+                pool.map_chunks(workers, |_range| {
+                    // No event loop to hand connections back to: the
+                    // worker keeps servicing its keep-alive connection
+                    // inline (blocking reads, as before the readiness
+                    // loop).
+                    worker_loop(&state, &queue, io_timeout, request_deadline, Some);
+                });
+                acceptor.join().expect("acceptor panicked");
             });
-            // The worker pool: one queue-draining loop per Parallelism
-            // worker, scheduled through the same fork-join substrate as
-            // every other parallel phase. map_chunks returns only when
-            // every worker has exited, i.e. the queue is closed and
-            // drained.
-            pool.map_chunks(workers, |_range| {
-                while let Some(conn) = queue.pop() {
-                    connections.fetch_add(1, Ordering::Relaxed);
-                    handle_connection(&state, conn, io_timeout, request_deadline);
-                }
-            });
-            acceptor.join().expect("acceptor panicked");
-        });
+        }
         ServeReport {
             counters: state.counters(),
-            connections: connections.load(Ordering::Relaxed),
+            server: state.server_counters(),
+            connections: state.serving.admitted.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Read-loop for one connection: buffer, parse incrementally, respond,
-/// keep the connection alive until the client closes, errors, asks to
-/// close, exceeds the per-request deadline, or shutdown begins.
-fn handle_connection(
+/// Admission at accept time: over `max_conns` sheds with `503`,
+/// otherwise the connection is admitted and queued (non-unix fallback
+/// path; the evented loop admits into its idle set instead).
+#[cfg(not(unix))]
+fn accept_one(
     state: &AppState,
-    mut conn: TcpStream,
+    queue: &ConnQueue<Conn>,
+    mut stream: TcpStream,
     io_timeout: Duration,
     request_deadline: Duration,
+    max_conns: usize,
 ) {
-    let _ = conn.set_write_timeout(Some(io_timeout));
-    let _ = conn.set_nodelay(true);
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    // Per-request progress deadline: a per-read timeout alone lets a
-    // slow-loris client pin this worker forever by trickling one byte
-    // per io_timeout; the deadline bounds total time-to-request and is
-    // reset whenever a request completes.
-    let mut deadline = Instant::now() + request_deadline;
+    state.serving.accepted.fetch_add(1, Ordering::Relaxed);
+    if state.serving.open_conns.load(Ordering::SeqCst) as usize >= max_conns {
+        state.serving.sheds_accept.fetch_add(1, Ordering::Relaxed);
+        shed_503(
+            &mut stream,
+            io_timeout,
+            "server at connection capacity; retry later",
+        );
+        return;
+    }
+    state.serving.admitted.fetch_add(1, Ordering::Relaxed);
+    state.serving.open_conns.fetch_add(1, Ordering::SeqCst);
+    let conn = Conn::new(stream, io_timeout, Instant::now() + request_deadline);
+    match queue.push(conn) {
+        Ok(()) => {
+            state.serving.queued.fetch_add(1, Ordering::SeqCst);
+        }
+        Err(mut conn) => {
+            state.serving.sheds_queue.fetch_add(1, Ordering::Relaxed);
+            shed_503(
+                &mut conn.stream,
+                io_timeout,
+                "dispatch queue full; retry later",
+            );
+            state.serving.open_conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Everything the readiness loop borrows from `serve`'s stack.
+#[cfg(unix)]
+struct EventLoopEnv<'a> {
+    listener: &'a TcpListener,
+    state: &'a AppState,
+    queue: &'a ConnQueue<Conn>,
+    injector: &'a Mutex<Vec<Conn>>,
+    wake: &'a WakePair,
+    io_timeout: Duration,
+    request_deadline: Duration,
+    max_conns: usize,
+}
+
+/// The readiness loop: multiplexes the listener, the wake channel, and
+/// every idle admitted connection through one `poll(2)` set. Readable
+/// connections dispatch to the bounded worker queue (full → shed 503);
+/// idle connections past their request deadline are dropped; accepts
+/// beyond `max_conns` shed with 503.
+#[cfg(unix)]
+fn event_loop(env: EventLoopEnv<'_>) {
+    let EventLoopEnv {
+        listener,
+        state,
+        queue,
+        injector,
+        wake,
+        io_timeout,
+        request_deadline,
+        max_conns,
+    } = env;
+    // The idle set: admitted connections currently owned by the loop
+    // (not queued, not inside a worker).
+    let mut conns: Vec<Conn> = Vec::new();
     loop {
-        // Answer every complete request already buffered (pipelining).
-        loop {
-            match parse_request(&buf, state.max_body) {
-                Ok(Parse::Incomplete) => break,
-                Ok(Parse::Complete(req, consumed)) => {
-                    buf.drain(..consumed);
-                    // Route before deciding keep-alive, so a /shutdown
-                    // request closes its own connection instead of
-                    // pinning a worker until the client hangs up.
-                    let routed = state.route(&req);
-                    let close = req.wants_close() || state.is_shutting_down();
-                    let response = routed.encode(close);
-                    if conn.write_all(&response).is_err() {
-                        return;
-                    }
-                    if close {
-                        return;
-                    }
-                    deadline = Instant::now() + request_deadline;
+        if state.is_shutting_down() {
+            break;
+        }
+        let mut fds = Vec::with_capacity(2 + conns.len());
+        fds.push(PollFd::readable(wake.poll_fd()));
+        fds.push(PollFd::readable(listener.as_raw_fd()));
+        for conn in &conns {
+            fds.push(PollFd::readable(conn.stream.as_raw_fd()));
+        }
+        // Park until traffic, a wake byte, or the nearest deadline.
+        let now = Instant::now();
+        let timeout = conns
+            .iter()
+            .map(|c| c.deadline.saturating_duration_since(now))
+            .min();
+        if poll_fds(&mut fds, timeout).is_err() {
+            // poll(2) failing outright (ENOMEM) has no per-iteration
+            // remedy; back off instead of spinning hot.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        if state.is_shutting_down() {
+            break;
+        }
+        wake.drain();
+        // Re-admit connections workers handed back. They were not in
+        // this round's poll set; the next iteration covers them.
+        conns.append(&mut injector.lock().unwrap_or_else(|e| e.into_inner()));
+        // Dispatch readable connections (fds[i + 2] watches conns[i]).
+        // Reverse order keeps pending swap_remove indices valid, and the
+        // appended give-backs live past the polled prefix so swaps never
+        // disturb an index still to be visited.
+        for i in (0..fds.len().saturating_sub(2)).rev() {
+            if !fds[i + 2].is_actionable() {
+                continue;
+            }
+            let conn = conns.swap_remove(i);
+            match queue.push(conn) {
+                Ok(()) => {
+                    state.serving.queued.fetch_add(1, Ordering::SeqCst);
                 }
-                Err(e) => {
-                    let response = state.reject(e).encode(true);
-                    let _ = conn.write_all(&response);
-                    return;
+                Err(mut conn) => {
+                    state.serving.sheds_queue.fetch_add(1, Ordering::Relaxed);
+                    shed_503(
+                        &mut conn.stream,
+                        io_timeout,
+                        "dispatch queue full; retry later",
+                    );
+                    state.serving.open_conns.fetch_sub(1, Ordering::SeqCst);
                 }
             }
         }
+        // Expire connections past their request deadline: dropped with
+        // no response — the slow-loris shed.
         let now = Instant::now();
-        if now >= deadline {
-            // The client made no complete request in time: drop it.
-            return;
+        let mut i = 0;
+        while i < conns.len() {
+            if now >= conns[i].deadline {
+                drop(conns.swap_remove(i));
+                state.serving.deadline_drops.fetch_add(1, Ordering::Relaxed);
+                state.serving.open_conns.fetch_sub(1, Ordering::SeqCst);
+            } else {
+                i += 1;
+            }
         }
-        let _ = conn.set_read_timeout(Some((deadline - now).min(io_timeout)));
-        match conn.read(&mut chunk) {
-            // EOF with nothing (or only a partial request) buffered:
-            // clean close, nothing to answer.
-            Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            // Timeout or reset: drop the connection.
-            Err(_) => return,
+        // Drain the accept backlog (nonblocking, level-triggered).
+        if fds[1].is_actionable() {
+            loop {
+                match listener.accept() {
+                    Ok((mut stream, _peer)) => {
+                        if state.is_shutting_down() {
+                            drop(stream);
+                            break;
+                        }
+                        state.serving.accepted.fetch_add(1, Ordering::Relaxed);
+                        if state.serving.open_conns.load(Ordering::SeqCst) as usize >= max_conns {
+                            state.serving.sheds_accept.fetch_add(1, Ordering::Relaxed);
+                            shed_503(
+                                &mut stream,
+                                io_timeout,
+                                "server at connection capacity; retry later",
+                            );
+                            continue;
+                        }
+                        state.serving.admitted.fetch_add(1, Ordering::Relaxed);
+                        state.serving.open_conns.fetch_add(1, Ordering::SeqCst);
+                        conns.push(Conn::new(
+                            stream,
+                            io_timeout,
+                            Instant::now() + request_deadline,
+                        ));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    // Transient accept failure (EMFILE, aborted
+                    // handshake): stop draining; the next poll round
+                    // paces the retry, so no hot loop.
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    // Shutdown: idle connections are dropped; queued ones drain through
+    // the workers, each answered with `connection: close`.
+    for conn in conns.drain(..) {
+        drop(conn);
+        state.serving.open_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+    queue.close();
+}
+
+/// What one `service_conn` round decided about the connection.
+enum Fate {
+    /// A request may still arrive: back to the idle set (or, without an
+    /// event loop, another blocking read).
+    KeepAlive,
+    /// Done: client EOF, error, `connection: close`, or shutdown.
+    Close,
+    /// No complete request within the deadline: drop with no response.
+    DeadlineDrop,
+}
+
+/// One dispatch round for a connection a worker received: one bounded
+/// read, then every complete pipelined request in the buffer is routed
+/// and answered. Never blocks longer than `min(io_timeout, remaining
+/// deadline)` on the read and `io_timeout` per response write.
+fn service_conn(
+    state: &AppState,
+    conn: &mut Conn,
+    io_timeout: Duration,
+    request_deadline: Duration,
+) -> Fate {
+    // The deadline is checked *after* the read-and-answer pass, never
+    // before it: a connection that queued behind a dispatch burst may be
+    // past its deadline by the time a worker pops it, but if a complete
+    // request is sitting in its socket the client did everything right —
+    // answering it resets the deadline. Only silence is dropped.
+    let budget = conn
+        .deadline
+        .saturating_duration_since(Instant::now())
+        .min(io_timeout);
+    let _ = conn
+        .stream
+        .set_read_timeout(Some(budget.max(Duration::from_millis(1))));
+    let mut chunk = [0u8; 16384];
+    match conn.stream.read(&mut chunk) {
+        // EOF with nothing (or only a partial request) buffered: clean
+        // close, nothing to answer.
+        Ok(0) => return Fate::Close,
+        Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::Interrupted
+            ) =>
+        {
+            // Spurious readiness or a timed-out blocking read: nothing
+            // new buffered; the deadline check below decides.
+        }
+        Err(_) => return Fate::Close,
+    }
+    // Answer every complete request already buffered (pipelining).
+    loop {
+        match parse_request(&conn.buf, state.max_body) {
+            Ok(Parse::Incomplete) => break,
+            Ok(Parse::Complete(req, consumed)) => {
+                conn.buf.drain(..consumed);
+                // Route before deciding keep-alive, so a /shutdown
+                // request closes its own connection instead of pinning
+                // a worker until the client hangs up. A panicking
+                // handler forces the close: its in-flight state is
+                // unknowable.
+                let (routed, panicked) = state.route_caught(&req);
+                let close = panicked || req.wants_close() || state.is_shutting_down();
+                let response = routed.encode(close);
+                if conn.stream.write_all(&response).is_err() {
+                    return Fate::Close;
+                }
+                if close {
+                    return Fate::Close;
+                }
+                conn.deadline = Instant::now() + request_deadline;
+            }
+            Err(e) => {
+                let response = state.reject(e).encode(true);
+                let _ = conn.stream.write_all(&response);
+                return Fate::Close;
+            }
+        }
+    }
+    if Instant::now() >= conn.deadline {
+        return Fate::DeadlineDrop;
+    }
+    Fate::KeepAlive
+}
+
+/// A worker: drains the dispatch queue, servicing one connection round
+/// at a time under `catch_unwind` (the pool's scoped join propagates
+/// panics, so an unwind here would kill the whole server — the prior
+/// panic-kills-server bug). `give_back` returns `None` when it took the
+/// keep-alive connection (evented mode) or hands it back for inline
+/// servicing (fallback mode).
+fn worker_loop(
+    state: &AppState,
+    queue: &ConnQueue<Conn>,
+    io_timeout: Duration,
+    request_deadline: Duration,
+    give_back: impl Fn(Conn) -> Option<Conn>,
+) {
+    while let Some(conn) = queue.pop() {
+        state.serving.queued.fetch_sub(1, Ordering::SeqCst);
+        let mut slot = Some(conn);
+        loop {
+            let mut conn = slot.take().expect("connection present");
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                let fate = service_conn(state, &mut conn, io_timeout, request_deadline);
+                (fate, conn)
+            }));
+            match outcome {
+                Ok((Fate::KeepAlive, conn)) => match give_back(conn) {
+                    None => break,
+                    Some(conn) => {
+                        slot = Some(conn);
+                    }
+                },
+                Ok((Fate::Close, conn)) => {
+                    drop(conn);
+                    state.serving.open_conns.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
+                Ok((Fate::DeadlineDrop, conn)) => {
+                    drop(conn);
+                    state.serving.deadline_drops.fetch_add(1, Ordering::Relaxed);
+                    state.serving.open_conns.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
+                Err(_) => {
+                    // route_caught already isolates handler panics; this
+                    // is the outer belt for the read/parse/encode path.
+                    // The connection unwound with the closure — count
+                    // and keep serving.
+                    state.serving.panics.fetch_add(1, Ordering::Relaxed);
+                    state.serving.open_conns.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
+            }
         }
     }
 }
@@ -1292,12 +2139,159 @@ mod tests {
 
     #[test]
     fn queue_close_unblocks_poppers_and_drains() {
-        let q = ConnQueue::new();
+        let q: ConnQueue<u32> = ConnQueue::new(4);
         std::thread::scope(|scope| {
             let popper = scope.spawn(|| q.pop());
             std::thread::sleep(Duration::from_millis(20));
             q.close();
             assert!(popper.join().unwrap().is_none());
         });
+    }
+
+    #[test]
+    fn queue_is_bounded_and_rejects_overflow() {
+        let q: ConnQueue<u32> = ConnQueue::new(2);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        // Full: the element comes back to the caller (who sheds it with
+        // a 503) instead of growing the queue without bound.
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(()));
+        q.close();
+        // Closed: pushes bounce, queued elements still drain.
+        assert_eq!(q.push(4), Err(4));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn panicking_handler_gets_500_and_server_keeps_serving() {
+        let s = AppState::new(
+            CommunityEngine::build(figure1_graph()),
+            &ServeConfig {
+                debug_endpoints: true,
+                ..ServeConfig::default()
+            },
+        );
+        let bytes = s.respond(&req("POST", "/debug/panic", "")).unwrap();
+        let (head, payload) = split(&bytes);
+        assert!(head.starts_with("HTTP/1.1 500"), "{head}");
+        assert!(
+            head.contains("connection: close"),
+            "a panicked handler's connection must close: {head}"
+        );
+        assert!(payload.starts_with(br#"{"error":"#));
+        assert_eq!(s.server_counters().panics, 1);
+        // The state survives: routing, search, and stats still work.
+        let (head, _) = split(&s.respond(&req("GET", "/healthz", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let f = Figure1Ids::default();
+        let body = format!(r#"{{"query":[{}]}}"#, f.q1.0);
+        let (head, _) = split(&s.respond(&req("POST", "/search", &body)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let (_, stats) = split(&s.respond(&req("GET", "/stats", "")).unwrap());
+        let text = String::from_utf8(stats).unwrap();
+        assert!(text.contains(r#""panics":1"#), "{text}");
+    }
+
+    #[test]
+    fn debug_endpoints_are_gated_off_by_default() {
+        let s = state(8);
+        let (head, _) = split(&s.respond(&req("POST", "/debug/panic", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert_eq!(s.server_counters().panics, 0);
+    }
+
+    #[test]
+    fn tenant_inflight_cap_sheds_429_with_retry_after() {
+        let s = AppState::new(
+            CommunityEngine::build(figure1_graph()),
+            &ServeConfig {
+                tenant_inflight: 1,
+                ..ServeConfig::default()
+            },
+        );
+        // Hold the single admission slot on the default tenant, then
+        // race a second request against it.
+        let guard = s
+            .default_tenant()
+            .counters
+            .in_flight
+            .fetch_add(1, Ordering::SeqCst);
+        assert_eq!(guard, 0);
+        let f = Figure1Ids::default();
+        let body = format!(r#"{{"query":[{}]}}"#, f.q1.0);
+        let (head, payload) = split(&s.respond(&req("POST", "/search", &body)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 429"), "{head}");
+        assert!(head.contains("retry-after: 1"), "{head}");
+        assert!(payload.starts_with(br#"{"error":"#));
+        assert_eq!(
+            s.default_tenant().counters.sheds_429.load(Ordering::SeqCst),
+            1
+        );
+        // Release the slot: the next request is admitted.
+        s.default_tenant()
+            .counters
+            .in_flight
+            .fetch_sub(1, Ordering::SeqCst);
+        let (head, _) = split(&s.respond(&req("POST", "/search", &body)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    }
+
+    #[test]
+    fn tenant_scoped_routes_serve_named_engines() {
+        let s = state(8);
+        s.add_tenant_engine("fig", CommunityEngine::build(figure1_graph()))
+            .unwrap();
+        let f = Figure1Ids::default();
+        let body = format!(r#"{{"query":[{}]}}"#, f.q1.0);
+        // Same engine, same answer, through the tenant-scoped path.
+        let bare = s.respond(&req("POST", "/search", &body)).unwrap();
+        let scoped = s.respond(&req("POST", "/t/fig/search", &body)).unwrap();
+        assert_eq!(split(&bare).1, split(&scoped).1);
+        // Explicit default-tenant path is the same slot as the bare one.
+        let aliased = s.respond(&req("POST", "/t/default/search", &body)).unwrap();
+        assert_eq!(split(&bare).1, split(&aliased).1);
+        // Tenant counters are isolated: fig saw one search, default two.
+        let (_, stats) = split(&s.respond(&req("GET", "/t/fig/stats", "")).unwrap());
+        let text = String::from_utf8(stats).unwrap();
+        assert!(text.contains(r#""tenant":"fig""#), "{text}");
+        assert!(text.contains(r#""search_ok":1"#), "{text}");
+        // Unknown tenants 404 (valid name) or 400 (invalid name); a bad
+        // endpoint under a known tenant 404s without loading anything.
+        let (head, _) = split(&s.respond(&req("POST", "/t/ghost/search", &body)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let (head, _) = split(
+            &s.respond(&req("POST", "/t/bad!name/search", &body))
+                .unwrap(),
+        );
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let (head, _) = split(&s.respond(&req("GET", "/t/fig/nope", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let (head, _) = split(&s.respond(&req("DELETE", "/t/fig/search", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+    }
+
+    #[test]
+    fn tenant_updates_do_not_cross_tenants() {
+        let s = state(8);
+        s.add_tenant_engine("fig", CommunityEngine::build(figure1_graph()))
+            .unwrap();
+        let f = Figure1Ids::default();
+        let update = format!(
+            r#"{{"updates":[{{"op":"delete","u":{},"v":{}}}]}}"#,
+            f.q1.0, f.t.0
+        );
+        let (head, _) = split(&s.respond(&req("POST", "/t/fig/update", &update)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        // fig lost the edge; default still has all 25.
+        let (_, stats) = split(&s.respond(&req("GET", "/t/fig/stats", "")).unwrap());
+        let text = String::from_utf8(stats).unwrap();
+        assert!(text.contains(r#""num_edges":24"#), "{text}");
+        assert!(text.contains(r#""dirty":true"#), "{text}");
+        assert_eq!(s.engine().stats().num_edges, 25);
+        assert_eq!(s.epoch(), 0);
     }
 }

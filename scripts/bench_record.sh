@@ -9,15 +9,21 @@
 #   scripts/bench_record.sh --bench6   re-measure BENCH_6.json's "after"
 #                                      section instead (the committed
 #                                      "before" baseline is preserved)
-#   scripts/bench_record.sh --check    CI mode: validate BOTH committed
+#   scripts/bench_record.sh --bench8   re-measure BENCH_8.json: the
+#                                      evented-serving p50/p99 trajectory
+#                                      under a zipfian two-tenant load at
+#                                      concurrency 1/4/16/64
+#   scripts/bench_record.sh --check    CI mode: validate ALL committed
 #                                      files — BENCH_6.json (schema, >=2x
 #                                      lctc locate bar, no locate/peel
-#                                      regressions) and BENCH_7.json
+#                                      regressions), BENCH_7.json
 #                                      (schema, >=10x maintain-vs-rebuild
 #                                      bar on mini-facebook, search phases
-#                                      within 10% of the BENCH_6 bars) —
-#                                      and smoke both measurement
-#                                      harnesses with one quick pass each
+#                                      within 10% of the BENCH_6 bars) and
+#                                      BENCH_8.json (schema, exact request
+#                                      accounting per level, p50<=p99) —
+#                                      and smoke every measurement
+#                                      harness with one quick pass each
 #
 # Methodology (see docs/PERF.md): median locate/peel/finish/total
 # microseconds per algorithm over the mini presets, measured through the
@@ -32,13 +38,21 @@ cargo build --release -p ctc-bench --bin bench_record
 
 if [ "${1:-}" = "--check" ]; then
     ./target/release/bench_record --check BENCH_6.json
-    exec ./target/release/bench_record --check BENCH_7.json
+    ./target/release/bench_record --check BENCH_7.json
+    exec ./target/release/bench_record --check BENCH_8.json
 fi
 
 if [ "${1:-}" = "--bench6" ]; then
     shift
     ./target/release/bench_record --out BENCH_6.json "$@"
     echo "BENCH_6.json updated; review the after/ section before committing."
+    exit 0
+fi
+
+if [ "${1:-}" = "--bench8" ]; then
+    shift
+    ./target/release/bench_record --out8 BENCH_8.json "$@"
+    echo "BENCH_8.json updated; review before committing."
     exit 0
 fi
 

@@ -69,6 +69,9 @@ fn main() -> ExitCode {
                  search --index g.ctci --query a,b,c   same, warm-started from a snapshot\n\
                  serve g.ctci [--addr HOST:PORT]       HTTP query server over the snapshot\n\
                         [--threads N] [--cache-cap C]  (POST /search, GET /healthz|/stats)\n\
+                        [--tenant NAME=PATH]...        extra engines at /t/NAME/...\n\
+                        [--max-conns N] [--queue-cap N]  admission bounds (503 on overflow)\n\
+                        [--tenant-cap N] [--mem-budget BYTES]  429 cap / eviction budget\n\
                  generate <preset> <out>               write a synthetic network\n\
                         presets: facebook amazon dblp youtube livejournal orkut\n\
                                  mini-facebook mini-dblp (small, for smoke tests)\n\
@@ -532,26 +535,54 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             println!("replayed {} logged updates from {lp}", report.applied);
         }
     }
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("bad {name} {raw:?}")),
+        }
+    };
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        pool,
+        cache_cap,
+        max_conns: parse_usize("--max-conns", defaults.max_conns)?,
+        queue_cap: parse_usize("--queue-cap", defaults.queue_cap)?,
+        tenant_inflight: parse_usize("--tenant-cap", 0)? as u64,
+        mem_budget: parse_usize("--mem-budget", 0)?,
+        ..defaults
+    };
     let stats = engine.stats();
-    let server = CtcServer::bind(
-        engine,
-        addr,
-        ServeConfig {
-            pool,
-            cache_cap,
-            ..ServeConfig::default()
-        },
-    )
-    .map_err(|e| format!("binding {addr}: {e}"))?;
+    let state = std::sync::Arc::new(AppState::new(engine, &cfg));
+    // Additional named tenants (`--tenant NAME=PATH`, repeatable): lazily
+    // loaded snapshots served at /t/NAME/search|update|stats, evicted
+    // LRU-by-bytes when --mem-budget is exceeded.
+    let mut tenants = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg != "--tenant" {
+            continue;
+        }
+        let spec = it.next().ok_or("--tenant needs NAME=PATH")?;
+        let (name, tpath) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad --tenant {spec:?}: want NAME=PATH"))?;
+        state
+            .add_tenant_path(name, std::path::PathBuf::from(tpath))
+            .map_err(|e| format!("registering tenant {name:?}: {e}"))?;
+        tenants += 1;
+    }
+    let server =
+        CtcServer::bind_state(state, addr, &cfg).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
         "ctc-serve listening on {} ({} vertices, {} edges, max trussness {}; \
-         {} workers, cache capacity {})",
+         {} workers, cache capacity {}, {} named tenants)",
         server.local_addr(),
         stats.num_vertices,
         stats.num_edges,
         stats.max_truss,
         pool.get(),
         cache_cap,
+        tenants,
     );
     let report = server.serve();
     println!(

@@ -45,6 +45,6 @@ pub mod prelude {
     pub use ctc_eval::{f1_score, Table};
     pub use ctc_gen::{DegreeRank, QueryGenerator};
     pub use ctc_graph::{CsrGraph, GraphBuilder, Parallelism, VertexId};
-    pub use ctc_server::{CtcServer, ServeConfig};
+    pub use ctc_server::{AppState, CtcServer, ServeConfig};
     pub use ctc_truss::{find_g0, Snapshot, TrussIndex};
 }
