@@ -30,7 +30,7 @@ use crate::searcher::CtcSearcher;
 use ctc_graph::error::Result;
 use ctc_graph::{CsrGraph, Parallelism, VertexId};
 use ctc_truss::snapshot::snapshot_to_bytes;
-use ctc_truss::{DynamicIndex, Snapshot, TrussIndex, UpdateReport};
+use ctc_truss::{DeltaLogFile, DynamicIndex, RecoveryReport, Snapshot, TrussIndex, UpdateReport};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -225,11 +225,26 @@ impl CommunityEngine {
         Ok(Self::from_snapshot(Snapshot::load(path)?))
     }
 
-    /// Persists the engine's graph + index + labels as a `.ctci` snapshot.
+    /// Crash-recovers a serving state: loads the snapshot, repairs or
+    /// quarantines the delta log per the [`ctc_truss::recover()`] taxonomy
+    /// (torn tail → truncate; stale/corrupt → archive aside), replays the
+    /// surviving records, and returns the warm engine plus a log handle
+    /// valid for further appends and a [`RecoveryReport`] of what was
+    /// done. The startup path for any process that serves with a WAL.
+    pub fn recover<P: AsRef<Path>>(
+        snapshot_path: P,
+        log_path: Option<&Path>,
+    ) -> Result<(Self, Option<DeltaLogFile>, RecoveryReport)> {
+        let (snap, logfile, report) = ctc_truss::recover(snapshot_path.as_ref(), log_path)?;
+        Ok((Self::from_snapshot(snap), logfile, report))
+    }
+
+    /// Persists the engine's graph + index + labels as a `.ctci` snapshot
+    /// with crash-safety discipline (temp file → fsync → rename →
+    /// parent-directory fsync).
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
         let bytes = snapshot_to_bytes(&self.graph, &self.index, &self.labels);
-        std::fs::write(path, bytes)?;
-        Ok(())
+        ctc_graph::storage::write_durable(&ctc_graph::storage::RealEnv, path.as_ref(), &bytes)
     }
 
     /// Replaces the per-query configuration (γ, η, fixed k, ...).

@@ -14,6 +14,11 @@
 //! graph section ([`put_graph_section`] / [`get_graph_section`]) that dumps
 //! the CSR arrays verbatim so loading skips the `O(m log m)` rebuild.
 
+/// The storage seam persistence code writes through (re-exported here
+/// because file IO is this module's concern; defined in
+/// [`crate::storage`]).
+pub use crate::storage::{real_env, tmp_path, write_durable, FaultEnv, RealEnv, StorageEnv};
+
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::error::{GraphError, Result};

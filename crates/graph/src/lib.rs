@@ -50,6 +50,7 @@ pub mod io;
 pub mod pagerank;
 pub mod parallel;
 pub mod stats;
+pub mod storage;
 pub mod subgraph;
 pub mod traversal;
 pub mod triangles;
@@ -69,6 +70,7 @@ pub use ids::{EdgeId, VertexId};
 pub use pagerank::{personalized_pagerank, PageRankOptions};
 pub use parallel::Parallelism;
 pub use stats::{edge_density, graph_stats, vertices_by_degree_desc, GraphStats};
+pub use storage::{real_env, write_durable, Fault, FaultEnv, RealEnv, StorageEnv};
 pub use subgraph::{
     alive_subgraph, edge_subgraph, induced_subgraph, subgraph_from_pairs, Subgraph,
 };

@@ -67,7 +67,10 @@ pub mod wire;
 
 pub use cache::LruCache;
 pub use json::Json;
-pub use registry::{Registry, TenantCounters, TenantError, TenantState, TenantSummary};
+pub use registry::{
+    HealthPolicy, HealthSnapshot, HealthStatus, Registry, TenantCounters, TenantError,
+    TenantHealth, TenantState, TenantSummary,
+};
 pub use server::{
     AppState, CountersSnapshot, CtcServer, ServeConfig, ServeReport, ServerCountersSnapshot,
     ServerHandle, DEFAULT_TENANT,

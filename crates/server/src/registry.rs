@@ -27,10 +27,203 @@
 use crate::cache::LruCache;
 use crate::wire::QueryKey;
 use ctc_core::CommunityEngine;
+use ctc_truss::DeltaLogFile;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
+
+/// Tuning for the per-tenant health state machine (see [`TenantHealth`]).
+#[derive(Clone, Debug)]
+pub struct HealthPolicy {
+    /// Consecutive failures (failed snapshot loads, panicking handlers)
+    /// that trip a tenant from degraded to quarantined.
+    pub quarantine_after: u32,
+    /// How long a freshly quarantined tenant sheds requests before one
+    /// probe request is admitted to attempt a reload.
+    pub base_backoff: Duration,
+    /// Ceiling on the exponential backoff between probes.
+    pub max_backoff: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            quarantine_after: 3,
+            base_backoff: Duration::from_secs(1),
+            max_backoff: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Where a tenant sits in the health state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Serving normally.
+    Healthy,
+    /// Recent failures below the quarantine threshold; still serving.
+    Degraded,
+    /// Repeated failures: requests shed with `503` + `retry-after` until
+    /// a backoff-paced probe succeeds.
+    Quarantined,
+}
+
+impl HealthStatus {
+    /// The wire spelling used in `/healthz` and `/stats` bodies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct HealthInner {
+    status: HealthStatus,
+    consecutive_failures: u32,
+    backoff: Duration,
+    /// While quarantined: no request is admitted before this instant;
+    /// the first one after it is the probe.
+    retry_at: Option<Instant>,
+    reason: String,
+    quarantines: u64,
+}
+
+/// A point-in-time copy of one tenant's health, for `/stats`.
+#[derive(Clone, Debug)]
+pub struct HealthSnapshot {
+    /// Current state-machine position.
+    pub status: HealthStatus,
+    /// Failures since the last success.
+    pub consecutive_failures: u32,
+    /// What the last failure was (empty when healthy).
+    pub reason: String,
+    /// Times this tenant has entered quarantine.
+    pub quarantines: u64,
+    /// Seconds until the next probe is admitted (`None` unless
+    /// quarantined with a pending backoff).
+    pub retry_in_secs: Option<u64>,
+}
+
+/// The per-tenant health state machine: healthy → degraded → quarantined,
+/// driven by load failures and panicking handlers, healed by a successful
+/// backoff-paced probe.
+///
+/// Shared (like [`TenantCounters`]) between the registry entry and the
+/// loaded [`TenantState`], so health survives eviction and reload — a
+/// tenant that quarantined while unloaded stays quarantined until a probe
+/// load succeeds.
+#[derive(Debug)]
+pub struct TenantHealth {
+    policy: HealthPolicy,
+    inner: Mutex<HealthInner>,
+}
+
+impl TenantHealth {
+    /// A healthy tenant under `policy`.
+    pub fn new(policy: HealthPolicy) -> Self {
+        let backoff = policy.base_backoff;
+        TenantHealth {
+            policy,
+            inner: Mutex::new(HealthInner {
+                status: HealthStatus::Healthy,
+                consecutive_failures: 0,
+                backoff,
+                retry_at: None,
+                reason: String::new(),
+                quarantines: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HealthInner> {
+        // Health transitions are tiny scalar writes; a panic between them
+        // leaves nothing structurally invalid, so poisoning is ignored.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current state-machine position.
+    pub fn status(&self) -> HealthStatus {
+        self.lock().status
+    }
+
+    /// A point-in-time copy for `/stats`.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let inner = self.lock();
+        HealthSnapshot {
+            status: inner.status,
+            consecutive_failures: inner.consecutive_failures,
+            reason: inner.reason.clone(),
+            quarantines: inner.quarantines,
+            retry_in_secs: inner
+                .retry_at
+                .map(|t| t.saturating_duration_since(Instant::now()).as_secs()),
+        }
+    }
+
+    /// Admission gate. `Ok` admits the request; while quarantined with
+    /// backoff remaining it returns `Err((retry_after_secs, reason))` so
+    /// the caller sheds with `503` + `retry-after`. Once the backoff
+    /// elapses exactly one request is admitted as the *probe* — the gate
+    /// re-arms immediately, so concurrent requests keep shedding while
+    /// the probe runs; the probe's outcome (success or another failure)
+    /// decides what happens next.
+    pub fn check_admit(&self) -> Result<(), (u64, String)> {
+        let mut inner = self.lock();
+        if inner.status != HealthStatus::Quarantined {
+            return Ok(());
+        }
+        let now = Instant::now();
+        match inner.retry_at {
+            Some(t) if t > now => {
+                let secs = t.saturating_duration_since(now).as_secs().max(1);
+                Err((secs, inner.reason.clone()))
+            }
+            _ => {
+                let backoff = inner.backoff;
+                inner.retry_at = Some(now + backoff);
+                Ok(())
+            }
+        }
+    }
+
+    /// Records a failure (failed load, panicking handler). Transitions
+    /// degraded → quarantined at the policy threshold; a failure while
+    /// already quarantined doubles the backoff (capped).
+    pub fn record_failure(&self, what: &str) {
+        let mut inner = self.lock();
+        inner.consecutive_failures += 1;
+        inner.reason = what.to_string();
+        let now = Instant::now();
+        match inner.status {
+            HealthStatus::Quarantined => {
+                inner.backoff = (inner.backoff * 2).min(self.policy.max_backoff);
+                inner.retry_at = Some(now + inner.backoff);
+            }
+            _ if inner.consecutive_failures >= self.policy.quarantine_after => {
+                inner.status = HealthStatus::Quarantined;
+                inner.quarantines += 1;
+                inner.backoff = self.policy.base_backoff;
+                inner.retry_at = Some(now + inner.backoff);
+            }
+            _ => inner.status = HealthStatus::Degraded,
+        }
+    }
+
+    /// Records a success: the tenant returns to healthy and the backoff
+    /// resets.
+    pub fn record_success(&self) {
+        let mut inner = self.lock();
+        inner.status = HealthStatus::Healthy;
+        inner.consecutive_failures = 0;
+        inner.backoff = self.policy.base_backoff;
+        inner.retry_at = None;
+        inner.reason.clear();
+    }
+}
 
 /// A cached `/search` answer: the encoded body plus the answer's
 /// trussness `k`, the class-keyed invalidation handle — an applied
@@ -65,6 +258,12 @@ pub struct TenantCounters {
     /// Requests shed with `429` because the tenant was at its in-flight
     /// cap — admission control, not failure.
     pub sheds_429: AtomicU64,
+    /// Applied updates journaled to the tenant's write-ahead delta log.
+    pub wal_appended: AtomicU64,
+    /// Write-ahead append failures. The first one detaches the log (its
+    /// in-memory view may be ahead of the file) and degrades the tenant's
+    /// health; durability is lost but serving continues.
+    pub wal_errors: AtomicU64,
     /// Requests currently inside this tenant's search/update handlers
     /// (a gauge, not a monotonic counter).
     pub in_flight: AtomicU64,
@@ -82,6 +281,12 @@ pub struct TenantState {
     pub(crate) epoch: AtomicU64,
     pub(crate) cache: Mutex<LruCache<QueryKey, CachedAnswer>>,
     pub(crate) counters: Arc<TenantCounters>,
+    /// Shared health state machine (registry entry owns the other ref,
+    /// so health survives eviction/reload).
+    pub(crate) health: Arc<TenantHealth>,
+    /// Write-ahead delta log for applied updates, when attached (the
+    /// `serve --log` path). Appended under the `primary` lock.
+    pub(crate) wal: Mutex<Option<DeltaLogFile>>,
     /// Set on the first applied update batch; a dirty tenant is never
     /// evicted (its maintained graph exists only in memory).
     pub(crate) dirty: AtomicBool,
@@ -95,6 +300,7 @@ impl TenantState {
         name: &str,
         engine: CommunityEngine,
         counters: Arc<TenantCounters>,
+        health: Arc<TenantHealth>,
         cache_cap: usize,
     ) -> Self {
         let cost_bytes = engine.memory_bytes();
@@ -106,6 +312,8 @@ impl TenantState {
             epoch: AtomicU64::new(0),
             cache: Mutex::new(LruCache::new(cache_cap)),
             counters,
+            health,
+            wal: Mutex::new(None),
             dirty: AtomicBool::new(false),
             cost_bytes,
         }
@@ -130,6 +338,11 @@ impl TenantState {
     pub fn is_dirty(&self) -> bool {
         self.dirty.load(Ordering::SeqCst)
     }
+
+    /// The tenant's health state machine.
+    pub fn health(&self) -> &TenantHealth {
+        &self.health
+    }
 }
 
 impl std::fmt::Debug for TenantState {
@@ -150,6 +363,14 @@ pub enum TenantError {
     Unknown,
     /// The tenant is path-backed and its snapshot failed to load.
     Load(String),
+    /// The tenant is quarantined: repeated failures tripped the health
+    /// state machine, and the reload backoff has not yet elapsed.
+    Quarantined {
+        /// Seconds until the next reload probe is admitted.
+        retry_after_secs: u64,
+        /// The failure that put (or kept) the tenant in quarantine.
+        reason: String,
+    },
 }
 
 struct TenantEntry {
@@ -158,6 +379,7 @@ struct TenantEntry {
     source: Option<PathBuf>,
     state: Option<Arc<TenantState>>,
     counters: Arc<TenantCounters>,
+    health: Arc<TenantHealth>,
     /// Logical-clock stamp of the last lookup; eviction takes the
     /// minimum among evictable entries, so order is deterministic.
     last_used: u64,
@@ -180,6 +402,8 @@ pub struct TenantSummary {
     pub dirty: bool,
     /// Resident cost in bytes (`0` when not loaded).
     pub cost_bytes: usize,
+    /// Health state-machine position.
+    pub health: HealthStatus,
 }
 
 /// The named-engine registry with bytes-weighted LRU eviction.
@@ -188,6 +412,7 @@ pub struct Registry {
     /// Resident-bytes budget; `0` means unlimited.
     budget_bytes: usize,
     cache_cap: usize,
+    policy: HealthPolicy,
     loads: AtomicU64,
     evictions: AtomicU64,
 }
@@ -204,8 +429,14 @@ pub fn is_valid_tenant_name(name: &str) -> bool {
 
 impl Registry {
     /// An empty registry. `budget_bytes == 0` disables eviction;
-    /// `cache_cap` sizes each tenant's answer cache.
+    /// `cache_cap` sizes each tenant's answer cache. Tenants use the
+    /// default [`HealthPolicy`]; see [`Registry::with_policy`].
     pub fn new(budget_bytes: usize, cache_cap: usize) -> Self {
+        Self::with_policy(budget_bytes, cache_cap, HealthPolicy::default())
+    }
+
+    /// An empty registry whose tenants run the given health policy.
+    pub fn with_policy(budget_bytes: usize, cache_cap: usize, policy: HealthPolicy) -> Self {
         Registry {
             inner: Mutex::new(Inner {
                 entries: Vec::new(),
@@ -214,6 +445,7 @@ impl Registry {
             }),
             budget_bytes,
             cache_cap,
+            policy,
             loads: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
@@ -225,10 +457,12 @@ impl Registry {
         let mut inner = self.lock();
         Self::validate_new(&inner, name)?;
         let counters = Arc::new(TenantCounters::default());
+        let health = Arc::new(TenantHealth::new(self.policy.clone()));
         let state = Arc::new(TenantState::new(
             name,
             engine,
             Arc::clone(&counters),
+            Arc::clone(&health),
             self.cache_cap,
         ));
         self.loads.fetch_add(1, Ordering::Relaxed);
@@ -238,6 +472,7 @@ impl Registry {
             source: None,
             state: Some(state),
             counters,
+            health,
             last_used: 0,
         });
         inner.by_name.insert(name.to_string(), idx);
@@ -256,6 +491,7 @@ impl Registry {
             source: Some(path),
             state: None,
             counters: Arc::new(TenantCounters::default()),
+            health: Arc::new(TenantHealth::new(self.policy.clone())),
             last_used: 0,
         });
         inner.by_name.insert(name.to_string(), idx);
@@ -294,18 +530,39 @@ impl Registry {
         if let Some(state) = &inner.entries[idx].state {
             return Ok(Arc::clone(state));
         }
-        // Cold path-backed tenant: load while holding the registry lock.
-        // Concurrent first requests for the same tenant would otherwise
-        // race duplicate multi-MB loads; requests for *loaded* tenants
-        // queue behind a bounded bookkeeping section either way.
+        // Cold path-backed tenant. Quarantine gates the reload *before*
+        // the filesystem is touched: while the backoff runs, requests
+        // shed with a typed error instead of re-hitting a known-bad
+        // snapshot; once it elapses, exactly one request probes.
+        let health = Arc::clone(&inner.entries[idx].health);
+        if let Err((retry_after_secs, reason)) = health.check_admit() {
+            return Err(TenantError::Quarantined {
+                retry_after_secs,
+                reason,
+            });
+        }
+        // Load while holding the registry lock. Concurrent first requests
+        // for the same tenant would otherwise race duplicate multi-MB
+        // loads; requests for *loaded* tenants queue behind a bounded
+        // bookkeeping section either way.
         let path = inner.entries[idx]
             .source
             .clone()
             .expect("unloaded tenant has a source path");
-        let engine = CommunityEngine::load(&path)
-            .map_err(|e| TenantError::Load(format!("loading {}: {e}", path.display())))?;
+        let engine = CommunityEngine::load(&path).map_err(|e| {
+            let msg = format!("loading {}: {e}", path.display());
+            health.record_failure(&msg);
+            TenantError::Load(msg)
+        })?;
+        health.record_success();
         let counters = Arc::clone(&inner.entries[idx].counters);
-        let state = Arc::new(TenantState::new(name, engine, counters, self.cache_cap));
+        let state = Arc::new(TenantState::new(
+            name,
+            engine,
+            counters,
+            health,
+            self.cache_cap,
+        ));
         inner.entries[idx].state = Some(Arc::clone(&state));
         self.loads.fetch_add(1, Ordering::Relaxed);
         self.evict_over_budget(&mut inner, idx);
@@ -369,6 +626,7 @@ impl Registry {
                 loaded: e.state.is_some(),
                 dirty: e.state.as_ref().is_some_and(|s| s.is_dirty()),
                 cost_bytes: e.state.as_ref().map_or(0, |s| s.cost_bytes),
+                health: e.health.status(),
             })
             .collect()
     }
@@ -379,6 +637,25 @@ impl Registry {
         let inner = self.lock();
         let idx = *inner.by_name.get(name)?;
         Some(Arc::clone(&inner.entries[idx].counters))
+    }
+
+    /// The per-tenant health handle (valid whether or not the tenant is
+    /// currently loaded).
+    pub fn health_of(&self, name: &str) -> Option<Arc<TenantHealth>> {
+        let inner = self.lock();
+        let idx = *inner.by_name.get(name)?;
+        Some(Arc::clone(&inner.entries[idx].health))
+    }
+
+    /// Names of currently quarantined tenants, in registration order —
+    /// the `/healthz` discriminator.
+    pub fn quarantined_names(&self) -> Vec<String> {
+        self.lock()
+            .entries
+            .iter()
+            .filter(|e| e.health.status() == HealthStatus::Quarantined)
+            .map(|e| e.name.clone())
+            .collect()
     }
 
     /// Bytes currently resident across loaded tenants.
@@ -532,5 +809,111 @@ mod tests {
             Ok(_) => panic!("want load error, got a loaded tenant"),
         }
         assert!(!r.summaries()[0].loaded);
+        assert_eq!(r.summaries()[0].health, HealthStatus::Degraded);
+    }
+
+    fn fast_policy() -> HealthPolicy {
+        HealthPolicy {
+            quarantine_after: 3,
+            base_backoff: Duration::from_millis(40),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+
+    #[test]
+    fn repeated_load_failures_quarantine_then_shed() {
+        let r = Registry::with_policy(0, 8, fast_policy());
+        r.add_path("ghost", PathBuf::from("/nonexistent/ghost.ctci"))
+            .unwrap();
+        // Three consecutive failures: healthy → degraded → quarantined.
+        for _ in 0..3 {
+            assert!(matches!(r.get("ghost"), Err(TenantError::Load(_))));
+        }
+        assert_eq!(
+            r.health_of("ghost").unwrap().status(),
+            HealthStatus::Quarantined
+        );
+        assert_eq!(r.quarantined_names(), vec!["ghost".to_string()]);
+        // Inside the backoff window: shed with a typed quarantine error,
+        // without touching the filesystem again.
+        match r.get("ghost") {
+            Err(TenantError::Quarantined {
+                retry_after_secs,
+                reason,
+            }) => {
+                assert!(retry_after_secs >= 1);
+                assert!(reason.contains("ghost.ctci"), "{reason}");
+            }
+            other => panic!("want quarantine shed, got {other:?}"),
+        }
+        // Once the backoff elapses, exactly one probe is admitted; it
+        // fails again (the file still does not exist) and the backoff
+        // doubles.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(matches!(r.get("ghost"), Err(TenantError::Load(_))));
+        assert!(matches!(
+            r.get("ghost"),
+            Err(TenantError::Quarantined { .. })
+        ));
+        let snap = r.health_of("ghost").unwrap().snapshot();
+        assert_eq!(snap.status, HealthStatus::Quarantined);
+        assert!(snap.quarantines >= 1);
+        assert!(snap.consecutive_failures >= 4);
+    }
+
+    #[test]
+    fn quarantined_tenant_heals_after_successful_probe() {
+        let dir = tmpdir("heal");
+        let path = dir.join("flaky.ctci");
+        let r = Registry::with_policy(0, 8, fast_policy());
+        r.add_path("flaky", path.clone()).unwrap();
+        // The snapshot does not exist yet: fail into quarantine.
+        for _ in 0..3 {
+            assert!(matches!(r.get("flaky"), Err(TenantError::Load(_))));
+        }
+        assert_eq!(
+            r.health_of("flaky").unwrap().status(),
+            HealthStatus::Quarantined
+        );
+        // Operator repairs the snapshot; the next probe heals the tenant.
+        engine().save(&path).unwrap();
+        assert!(matches!(
+            r.get("flaky"),
+            Err(TenantError::Quarantined { .. })
+        ));
+        std::thread::sleep(Duration::from_millis(60));
+        let state = r.get("flaky").expect("probe load succeeds");
+        assert_eq!(state.name(), "flaky");
+        assert_eq!(
+            r.health_of("flaky").unwrap().status(),
+            HealthStatus::Healthy
+        );
+        assert!(r.quarantined_names().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn health_survives_eviction_and_reload() {
+        let dir = tmpdir("health-evict");
+        let one = engine().memory_bytes();
+        let r = Registry::with_policy(one + one / 2, 8, fast_policy());
+        r.add_path("a", saved(&dir, "a")).unwrap();
+        r.add_path("b", saved(&dir, "b")).unwrap();
+        let a = r.get("a").unwrap();
+        a.health().record_failure("handler panicked");
+        assert_eq!(a.health().status(), HealthStatus::Degraded);
+        drop(a);
+        let _b = r.get("b").unwrap();
+        assert!(!r.summaries()[0].loaded, "a evicted");
+        // The registry entry still carries the degraded state, and the
+        // reloaded state shares the same machine.
+        assert_eq!(r.health_of("a").unwrap().status(), HealthStatus::Degraded);
+        let a = r.get("a").unwrap();
+        assert_eq!(
+            a.health().status(),
+            HealthStatus::Healthy,
+            "probe load healed it"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -54,7 +54,7 @@ use crate::evented::{poll_fds, PollFd, WakePair};
 use crate::http::{parse_request, HttpError, Parse, Request, Response, DEFAULT_MAX_BODY};
 use crate::json::Json;
 use crate::registry::{
-    CachedAnswer, Registry, TenantCounters, TenantError, TenantState, TenantSummary,
+    CachedAnswer, HealthPolicy, Registry, TenantCounters, TenantError, TenantState, TenantSummary,
 };
 use crate::wire::{
     decode_search_request, decode_update_request, encode_community, encode_error,
@@ -62,6 +62,7 @@ use crate::wire::{
 };
 use ctc_core::{CommunityEngine, EngineUpdate, SearchAlgo};
 use ctc_graph::Parallelism;
+use ctc_truss::{DeltaLogFile, DeltaOp, DeltaRecord};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -113,6 +114,9 @@ pub struct ServeConfig {
     /// admission and panic-isolation tests drive. Never enable in
     /// production.
     pub debug_endpoints: bool,
+    /// Per-tenant health state machine tuning: how many consecutive
+    /// failures quarantine a tenant, and the reload-probe backoff range.
+    pub health: HealthPolicy,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +132,7 @@ impl Default for ServeConfig {
             tenant_inflight: 0,
             mem_budget: 0,
             debug_endpoints: false,
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -380,7 +385,7 @@ impl AppState {
     /// State over `engine` (registered as the `default` tenant) with the
     /// given tuning (no socket required).
     pub fn new(engine: CommunityEngine, cfg: &ServeConfig) -> Self {
-        let registry = Registry::new(cfg.mem_budget, cfg.cache_cap);
+        let registry = Registry::with_policy(cfg.mem_budget, cfg.cache_cap, cfg.health.clone());
         registry
             .add_engine(DEFAULT_TENANT, engine)
             .expect("fresh registry accepts the default tenant");
@@ -410,6 +415,21 @@ impl AppState {
     /// for bytes-weighted eviction when a memory budget is set.
     pub fn add_tenant_path(&self, name: &str, path: PathBuf) -> Result<(), String> {
         self.registry.add_path(name, path)
+    }
+
+    /// Attaches a write-ahead delta log to the `default` tenant: every
+    /// applied `/update` op is appended (and synced) before the response,
+    /// so a crashed server recovers its online updates on restart instead
+    /// of silently reverting to the snapshot. The log must already be
+    /// bound to the snapshot the default engine was built from (the
+    /// `serve --log` path opens or recovers it first).
+    pub fn attach_default_wal(&self, wal: DeltaLogFile) {
+        let mut slot = self
+            .default_tenant
+            .wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *slot = Some(wal);
     }
 
     /// The tenant registry (names, summaries, eviction counters).
@@ -577,11 +597,31 @@ impl AppState {
             ("POST", "/update") => self.tenant_request(&self.default_tenant, req, false),
             ("GET", "/healthz") => {
                 self.counters.healthz.fetch_add(1, Ordering::Relaxed);
-                Response::ok(
-                    Json::Object(vec![("status".into(), Json::Str("ok".into()))])
+                // Non-200 while any tenant is quarantined, so orchestrator
+                // probes see a sick daemon; the healthy body stays the
+                // byte-exact `{"status":"ok"}` the smoke scripts grep.
+                let quarantined = self.registry.quarantined_names();
+                if quarantined.is_empty() {
+                    Response::ok(
+                        Json::Object(vec![("status".into(), Json::Str("ok".into()))])
+                            .encode()
+                            .into_bytes(),
+                    )
+                } else {
+                    Response::error(
+                        503,
+                        "Service Unavailable",
+                        Json::Object(vec![
+                            ("status".into(), Json::Str("degraded".into())),
+                            (
+                                "quarantined".into(),
+                                Json::Array(quarantined.into_iter().map(Json::Str).collect()),
+                            ),
+                        ])
                         .encode()
                         .into_bytes(),
-                )
+                    )
+                }
             }
             ("GET", "/stats") => {
                 self.counters.stats.fetch_add(1, Ordering::Relaxed);
@@ -595,7 +635,9 @@ impl AppState {
                         .into_bytes(),
                 )
             }
-            ("POST", "/debug/panic") if self.debug_endpoints => Self::debug_panic(),
+            ("POST", "/debug/panic") if self.debug_endpoints => {
+                self.with_panic_attribution(&self.default_tenant, Self::debug_panic)
+            }
             ("POST", "/debug/sleep") if self.debug_endpoints => {
                 self.debug_sleep(&self.default_tenant, req)
             }
@@ -637,6 +679,10 @@ impl AppState {
             Err(TenantError::Load(msg)) => {
                 return Response::error(503, "Service Unavailable", encode_error(&msg))
             }
+            Err(TenantError::Quarantined {
+                retry_after_secs,
+                reason,
+            }) => return Self::quarantined_response(name, retry_after_secs, &reason),
         };
         match tail {
             "search" => self.tenant_request(&tenant, req, true),
@@ -645,23 +691,63 @@ impl AppState {
                 self.counters.stats.fetch_add(1, Ordering::Relaxed);
                 Response::ok(self.encode_tenant_stats(&tenant))
             }
-            "debug/panic" => Self::debug_panic(),
+            "debug/panic" => self.with_panic_attribution(&tenant, Self::debug_panic),
             "debug/sleep" => self.debug_sleep(&tenant, req),
             _ => unreachable!("tail validated above"),
         }
     }
 
-    /// Admission-gated dispatch to a tenant's search or update handler.
+    /// The `503` a quarantined tenant answers with: `retry-after` carries
+    /// the remaining backoff so well-behaved clients pace themselves.
+    fn quarantined_response(name: &str, retry_after_secs: u64, reason: &str) -> Response {
+        Response::error(
+            503,
+            "Service Unavailable",
+            encode_error(&format!("tenant {name} is quarantined: {reason}")),
+        )
+        .with_header("retry-after", retry_after_secs.to_string())
+    }
+
+    /// Runs `f` with its outcome attributed to the tenant's health state
+    /// machine: a normal return records a success, a panic records a
+    /// failure and resumes unwinding (so the outer [`Self::route_caught`]
+    /// still answers `500` and closes the connection). Repeated panics
+    /// quarantine the tenant exactly like repeated load failures.
+    fn with_panic_attribution(
+        &self,
+        tenant: &TenantState,
+        f: impl FnOnce() -> Response,
+    ) -> Response {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(response) => {
+                tenant.health.record_success();
+                response
+            }
+            Err(payload) => {
+                tenant.health.record_failure("request handler panicked");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Admission-gated dispatch to a tenant's search or update handler:
+    /// quarantine first (503 + `retry-after`), then the in-flight cap
+    /// (429), then the handler under panic attribution.
     fn tenant_request(&self, tenant: &TenantState, req: &Request, search: bool) -> Response {
+        if let Err((retry_after_secs, reason)) = tenant.health.check_admit() {
+            return Self::quarantined_response(tenant.name(), retry_after_secs, &reason);
+        }
         let guard = match self.admit(tenant) {
             Ok(g) => g,
             Err(shed) => return shed,
         };
-        let response = if search {
-            self.handle_search(tenant, req)
-        } else {
-            self.handle_update(tenant, req)
-        };
+        let response = self.with_panic_attribution(tenant, || {
+            if search {
+                self.handle_search(tenant, req)
+            } else {
+                self.handle_update(tenant, req)
+            }
+        });
         drop(guard);
         response
     }
@@ -875,6 +961,39 @@ impl AppState {
             // around the query, so any applied update invalidates it.
             lock_cache(tenant)
                 .retain(|key, ans| key.algo != SearchAlgo::Local && ans.k > max_class);
+            // Journal the applied ops before answering. Each append syncs,
+            // so an acknowledged batch survives kill -9 (`serve --log`
+            // recovers and replays the log on restart). Still under the
+            // primary lock: batches reach the log in publication order.
+            let mut wal = tenant.wal.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(lf) = wal.as_mut() {
+                let mut failed = false;
+                for (upd, res) in batch.iter().zip(report.results.iter()) {
+                    if res.is_err() {
+                        continue;
+                    }
+                    let op = if upd.insert {
+                        DeltaOp::Insert
+                    } else {
+                        DeltaOp::Delete
+                    };
+                    if lf.append(DeltaRecord::new(op, upd.u.0, upd.v.0)).is_err() {
+                        failed = true;
+                        break;
+                    }
+                    tenant.counters.wal_appended.fetch_add(1, Ordering::Relaxed);
+                }
+                if failed {
+                    // After a failed append the file may trail the handle's
+                    // in-memory view: detach instead of writing at a stale
+                    // offset, count it so `/stats` shows the loss, and keep
+                    // the 200 — the served state is correct, durability is
+                    // what was lost (a restart recovers the legal prefix).
+                    tenant.counters.wal_errors.fetch_add(1, Ordering::Relaxed);
+                    *wal = None;
+                }
+            }
+            drop(wal);
         }
         // Zip engine results back into batch positions.
         let mut engine_results = report.results.into_iter();
@@ -936,6 +1055,34 @@ impl AppState {
             ("deadline_drops".into(), Json::Uint(v.deadline_drops)),
             ("panics".into(), Json::Uint(v.panics)),
             (
+                "health".into(),
+                Json::Object(vec![
+                    (
+                        "status".into(),
+                        Json::Str(
+                            if summaries
+                                .iter()
+                                .any(|t| t.health == crate::registry::HealthStatus::Quarantined)
+                            {
+                                "degraded".into()
+                            } else {
+                                "ok".into()
+                            },
+                        ),
+                    ),
+                    (
+                        "quarantined".into(),
+                        Json::Array(
+                            summaries
+                                .iter()
+                                .filter(|t| t.health == crate::registry::HealthStatus::Quarantined)
+                                .map(|t| Json::Str(t.name.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
                 "registry".into(),
                 Json::Object(vec![
                     ("tenants".into(), Json::Uint(summaries.len() as u64)),
@@ -966,10 +1113,27 @@ impl AppState {
         let c = &tenant.counters;
         let load = |a: &AtomicU64| Json::Uint(a.load(Ordering::Relaxed));
         let cache = lock_cache(tenant);
+        let h = tenant.health.snapshot();
         Json::Object(vec![
             ("tenant".into(), Json::Str(tenant.name().into())),
             ("dirty".into(), Json::Bool(tenant.is_dirty())),
             ("cost_bytes".into(), Json::Uint(tenant.cost_bytes() as u64)),
+            (
+                "health".into(),
+                Json::Object(vec![
+                    ("status".into(), Json::Str(h.status.as_str().into())),
+                    (
+                        "consecutive_failures".into(),
+                        Json::Uint(h.consecutive_failures as u64),
+                    ),
+                    ("quarantines".into(), Json::Uint(h.quarantines)),
+                    (
+                        "retry_in_secs".into(),
+                        h.retry_in_secs.map_or(Json::Null, Json::Uint),
+                    ),
+                    ("reason".into(), Json::Str(h.reason)),
+                ]),
+            ),
             (
                 "graph".into(),
                 Json::Object(vec![
@@ -1005,6 +1169,8 @@ impl AppState {
                     ("applied".into(), load(&c.updates_applied)),
                     ("rejected".into(), load(&c.updates_rejected)),
                     ("epoch".into(), Json::Uint(tenant.epoch())),
+                    ("wal_appended".into(), load(&c.wal_appended)),
+                    ("wal_errors".into(), load(&c.wal_errors)),
                 ]),
             ),
         ])
@@ -2293,5 +2459,96 @@ mod tests {
         assert!(text.contains(r#""dirty":true"#), "{text}");
         assert_eq!(s.engine().stats().num_edges, 25);
         assert_eq!(s.epoch(), 0);
+    }
+
+    #[test]
+    fn repeated_panics_quarantine_then_heal_after_backoff() {
+        let s = AppState::new(
+            CommunityEngine::build(figure1_graph()),
+            &ServeConfig {
+                debug_endpoints: true,
+                health: HealthPolicy {
+                    quarantine_after: 2,
+                    base_backoff: Duration::from_millis(40),
+                    max_backoff: Duration::from_millis(200),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let f = Figure1Ids::default();
+        let body = format!(r#"{{"query":[{}]}}"#, f.q1.0);
+        // Two consecutive handler panics trip the default tenant into
+        // quarantine.
+        for _ in 0..2 {
+            let (head, _) = split(&s.respond(&req("POST", "/debug/panic", "")).unwrap());
+            assert!(head.starts_with("HTTP/1.1 500"), "{head}");
+        }
+        // /healthz is now non-200 and names the quarantined tenant.
+        let (head, payload) = split(&s.respond(&req("GET", "/healthz", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        let text = String::from_utf8(payload).unwrap();
+        assert!(text.contains(r#""status":"degraded""#), "{text}");
+        assert!(text.contains(r#""quarantined":["default"]"#), "{text}");
+        // Requests shed with 503 + retry-after while the backoff runs.
+        let (head, payload) = split(&s.respond(&req("POST", "/search", &body)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert!(head.contains("retry-after:"), "{head}");
+        assert!(
+            String::from_utf8(payload).unwrap().contains("quarantined"),
+            "shed body names the quarantine"
+        );
+        // Stats surface the health state while quarantined.
+        let (_, stats) = split(&s.respond(&req("GET", "/t/default/stats", "")).unwrap());
+        let text = String::from_utf8(stats).unwrap();
+        assert!(text.contains(r#""status":"quarantined""#), "{text}");
+        assert!(
+            text.contains(r#""reason":"request handler panicked""#),
+            "{text}"
+        );
+        // After the backoff, the probe request is admitted, succeeds, and
+        // heals the tenant: serving resumes and /healthz is 200 again.
+        std::thread::sleep(Duration::from_millis(60));
+        let (head, _) = split(&s.respond(&req("POST", "/search", &body)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let (head, payload) = split(&s.respond(&req("GET", "/healthz", "")).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(payload, br#"{"status":"ok"}"#);
+    }
+
+    #[test]
+    fn attached_wal_journals_applied_updates_for_recovery() {
+        use ctc_truss::{recover, Snapshot};
+        let dir = std::env::temp_dir().join(format!("ctc-server-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("g.ctci");
+        let log_path = dir.join("g.ctcd");
+        let snap = Snapshot::build(figure1_graph());
+        snap.save(&snap_path).unwrap();
+        let base = ctc_graph::io::fnv1a64(&std::fs::read(&snap_path).unwrap());
+        let s = state(8);
+        s.attach_default_wal(DeltaLogFile::create(&log_path, base).unwrap());
+        let f = Figure1Ids::default();
+        // A batch with one applied and one rejected op: only the applied
+        // op reaches the log.
+        let update = format!(
+            r#"{{"updates":[{{"op":"delete","u":{},"v":{}}},{{"op":"delete","u":{},"v":{}}}]}}"#,
+            f.q1.0, f.t.0, f.q1.0, f.t.0
+        );
+        let (head, _) = split(&s.respond(&req("POST", "/update", &update)).unwrap());
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let c = s
+            .default_tenant()
+            .counters
+            .wal_appended
+            .load(Ordering::Relaxed);
+        assert_eq!(c, 1, "one applied op journaled, the duplicate rejected");
+        // Crash-equivalent: drop the state and recover from disk. The
+        // recovered graph matches the served (maintained) one.
+        let served_edges = s.engine().stats().num_edges;
+        drop(s);
+        let (rec, _, report) = recover(&snap_path, Some(&log_path)).unwrap();
+        assert!(report.log.is_clean(), "{:?}", report.log);
+        assert_eq!(rec.graph.num_edges(), served_edges);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -54,6 +54,7 @@ pub mod fixtures;
 pub mod index;
 pub mod ktruss;
 pub mod maintain;
+pub mod recover;
 pub mod snapshot;
 pub mod tcp;
 pub mod wal;
@@ -70,6 +71,7 @@ pub use find_g0::{
 pub use index::TrussIndex;
 pub use ktruss::{connected_ktruss_components, edge_list_vertices, ktruss_edges};
 pub use maintain::{CascadeReport, TrussMaintainer};
+pub use recover::{recover, recover_in, LogRecovery, RecoveryReport};
 pub use snapshot::{snapshot_from_bytes, snapshot_to_bytes, Snapshot};
 pub use tcp::{tcp_communities, tcp_feasible, TcpCommunity};
 pub use wal::{

@@ -1,0 +1,597 @@
+//! Startup recovery for `.ctci` snapshots and their `.ctcd` delta logs:
+//! the path a process takes after a crash, distinguishing damage that is
+//! *expected* under the persistence protocol from damage that is not.
+//!
+//! The protocol ([`DeltaLogFile`]) guarantees that a crash at any point
+//! leaves the snapshot either whole-old or whole-new, and the log a valid
+//! record prefix followed by **at most one torn append** — one record plus
+//! one trailer, `RECORD_LEN + TRAILER_LEN` bytes. That bound is the
+//! discriminator [`recover`] is built on:
+//!
+//! * **Torn tail** — header valid, `k` chain-valid records, and at most
+//!   one append's worth of undecodable bytes after them: the designed
+//!   crash artifact. Recovery truncates to the valid prefix, rewrites the
+//!   trailer durably, and keeps the log ([`LogRecovery::TruncatedTail`]).
+//! * **Stale log** — the log parses but is bound (by base checksum) to a
+//!   different snapshot: the crash fell between compaction's snapshot
+//!   rename and its log reset. The renamed snapshot already contains every
+//!   logged update, so the stale log is archived as `<log>.stale` and a
+//!   fresh empty log is bound to the snapshot
+//!   ([`LogRecovery::QuarantinedStale`]).
+//! * **Interior corruption** — a bad header, more undecodable bytes than
+//!   one torn append can explain, or records the snapshot rejects on
+//!   replay: *not* something the protocol can produce, so nothing is
+//!   guessed. The file is quarantined as `<log>.corrupt` (preserved for
+//!   forensics, never deleted) and serving falls back to the last good
+//!   snapshot ([`LogRecovery::QuarantinedCorrupt`]).
+//!
+//! A snapshot that is itself unreadable or corrupt is **fatal**: it is the
+//! ground truth recovery replays onto, so the error propagates instead of
+//! being papered over. Likewise a log written by a newer format version is
+//! surfaced, not quarantined — an old binary must not archive data it
+//! merely cannot read. The full taxonomy is documented in
+//! `docs/RELIABILITY.md`.
+
+use crate::dynamic::DynamicIndex;
+use crate::snapshot::Snapshot;
+use crate::wal::{
+    chain_of, DeltaLog, DeltaLogFile, DeltaOp, DeltaRecord, DELTA_MAGIC, DELTA_VERSION, HEADER_LEN,
+    RECORD_LEN, TRAILER_LEN,
+};
+use ctc_graph::error::{GraphError, Result};
+use ctc_graph::io::fnv1a64;
+use ctc_graph::storage::{real_env, tmp_path, write_durable, StorageEnv};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// What recovery found — and did — about the delta log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogRecovery {
+    /// No log path was given; the snapshot alone was loaded.
+    NoLog,
+    /// The log file did not exist; a fresh empty log was created and
+    /// bound to the snapshot.
+    Created,
+    /// The log parsed and validated end to end.
+    Clean {
+        /// Number of records the log carries.
+        records: usize,
+    },
+    /// A torn tail (the designed crash artifact of an in-flight append)
+    /// was truncated away; the valid prefix was kept and resealed.
+    TruncatedTail {
+        /// Records surviving in the repaired log.
+        kept: usize,
+        /// Undecodable bytes discarded past the last valid record.
+        dropped_bytes: usize,
+    },
+    /// The log parsed but was bound to a different snapshot — the crash
+    /// fell inside compaction, after the new snapshot's rename and before
+    /// the log reset. The snapshot already contains every logged update,
+    /// so the stale log was archived and a fresh one created.
+    QuarantinedStale {
+        /// Base checksum the stale log was bound to.
+        log_base: u64,
+        /// Checksum of the snapshot actually on disk.
+        snapshot_base: u64,
+        /// Where the stale file was archived (`<log>.stale`).
+        quarantined_to: PathBuf,
+    },
+    /// Damage the persistence protocol cannot produce (bad header, too
+    /// many trailing bytes, replay rejection). The file was quarantined —
+    /// renamed aside, never deleted — and serving falls back to the last
+    /// good snapshot with a fresh empty log.
+    QuarantinedCorrupt {
+        /// Why the log was declared corrupt rather than torn.
+        reason: String,
+        /// Where the corrupt file was moved (`<log>.corrupt`).
+        quarantined_to: PathBuf,
+    },
+}
+
+impl LogRecovery {
+    /// `true` when the log needed no repair (including "no log").
+    pub fn is_clean(&self) -> bool {
+        matches!(
+            self,
+            LogRecovery::NoLog | LogRecovery::Created | LogRecovery::Clean { .. }
+        )
+    }
+
+    /// `true` when the log was repaired in place (torn tail truncated).
+    pub fn was_repaired(&self) -> bool {
+        matches!(self, LogRecovery::TruncatedTail { .. })
+    }
+
+    /// `true` when the log was moved aside and replaced.
+    pub fn was_quarantined(&self) -> bool {
+        matches!(
+            self,
+            LogRecovery::QuarantinedStale { .. } | LogRecovery::QuarantinedCorrupt { .. }
+        )
+    }
+}
+
+/// What [`recover`] did, for logging and for the CLI's typed exit codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Disposition of the delta log.
+    pub log: LogRecovery,
+    /// Logged records replayed onto the snapshot after repair.
+    pub replayed: usize,
+    /// Stray temp files (from interrupted durable writes) swept away.
+    pub removed_tmp: Vec<PathBuf>,
+}
+
+impl RecoveryReport {
+    /// Human-readable one-per-line account of what recovery did.
+    pub fn describe(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.removed_tmp {
+            out.push(format!("removed stray temp file {}", p.display()));
+        }
+        match &self.log {
+            LogRecovery::NoLog => out.push("no delta log; snapshot only".into()),
+            LogRecovery::Created => out.push("no delta log found; created a fresh one".into()),
+            LogRecovery::Clean { records } => {
+                out.push(format!("delta log clean ({records} records)"))
+            }
+            LogRecovery::TruncatedTail {
+                kept,
+                dropped_bytes,
+            } => out.push(format!(
+                "torn tail: truncated {dropped_bytes} trailing bytes, kept {kept} records"
+            )),
+            LogRecovery::QuarantinedStale {
+                log_base,
+                snapshot_base,
+                quarantined_to,
+            } => out.push(format!(
+                "stale log (bound to {log_base:016x}, snapshot is {snapshot_base:016x}) \
+                 from an interrupted compaction: archived to {} and reset",
+                quarantined_to.display()
+            )),
+            LogRecovery::QuarantinedCorrupt {
+                reason,
+                quarantined_to,
+            } => out.push(format!(
+                "corrupt log ({reason}): quarantined to {}, serving from last good snapshot",
+                quarantined_to.display()
+            )),
+        }
+        if self.replayed > 0 {
+            out.push(format!("replayed {} logged updates", self.replayed));
+        }
+        out
+    }
+}
+
+/// Result of scanning raw log bytes for the longest chain-valid prefix.
+enum TailScan {
+    /// The 24-byte header itself is damaged.
+    BadHeader(String),
+    /// Header fine; `records` chain-validated, then `tail_bytes` of
+    /// undecodable bytes follow (a clean log has exactly the trailer
+    /// there, which [`DeltaLog::from_bytes`] accepts before we ever scan).
+    Scanned {
+        base: u64,
+        records: Vec<DeltaRecord>,
+        tail_bytes: usize,
+    },
+}
+
+fn scan_log_bytes(data: &[u8]) -> TailScan {
+    if data.len() < HEADER_LEN {
+        return TailScan::BadHeader("shorter than the header".into());
+    }
+    if &data[..4] != DELTA_MAGIC {
+        return TailScan::BadHeader("bad magic (want \"CTCL\")".into());
+    }
+    let header_check = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
+    if header_check != fnv1a64(&data[..16]) {
+        return TailScan::BadHeader("header checksum mismatch".into());
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if version != DELTA_VERSION {
+        return TailScan::BadHeader(format!("unsupported version {version}"));
+    }
+    let base = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+    let mut records = Vec::new();
+    let mut chain = base;
+    let mut off = HEADER_LEN;
+    while off + RECORD_LEN <= data.len() {
+        let rec_bytes = &data[off..off + RECORD_LEN];
+        let Some(op) = DeltaOp::from_byte(rec_bytes[0]) else {
+            break;
+        };
+        let u = u32::from_le_bytes(rec_bytes[1..5].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(rec_bytes[5..9].try_into().expect("4 bytes"));
+        let stored = u64::from_le_bytes(rec_bytes[9..17].try_into().expect("8 bytes"));
+        let rec = DeltaRecord::new(op, u, v);
+        if stored != chain_of(chain, rec) {
+            break;
+        }
+        chain = stored;
+        records.push(rec);
+        off += RECORD_LEN;
+    }
+    TailScan::Scanned {
+        base,
+        records,
+        tail_bytes: data.len() - off,
+    }
+}
+
+/// Moves `path` aside as `<path><suffix>` (replacing any previous
+/// quarantine of the same name) and syncs the directory.
+fn quarantine(env: &dyn StorageEnv, path: &Path, suffix: &str) -> Result<PathBuf> {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    let dest = path.with_file_name(name);
+    if env.exists(&dest) {
+        env.remove(&dest)?;
+    }
+    env.rename(path, &dest)?;
+    env.sync_parent_dir(path)?;
+    Ok(dest)
+}
+
+/// Recovers a serving state from `snapshot_path` and (optionally) its
+/// delta log, against the real filesystem. See [`recover_in`].
+pub fn recover<P: AsRef<Path>>(
+    snapshot_path: P,
+    log_path: Option<&Path>,
+) -> Result<(Snapshot, Option<DeltaLogFile>, RecoveryReport)> {
+    recover_in(real_env(), snapshot_path.as_ref(), log_path)
+}
+
+/// Recovers a serving state against an explicit storage environment:
+/// sweeps stray temp files, loads the snapshot (fatal if unreadable — it
+/// is the ground truth), repairs or quarantines the log per the module
+/// taxonomy, replays the surviving records, and returns the fully
+/// replayed state plus a usable log handle and a [`RecoveryReport`].
+///
+/// The returned [`Snapshot`] reflects every replayed record; the returned
+/// [`DeltaLogFile`] (when a log path was given) is valid for further
+/// appends and compaction.
+pub fn recover_in(
+    env: Arc<dyn StorageEnv>,
+    snapshot_path: &Path,
+    log_path: Option<&Path>,
+) -> Result<(Snapshot, Option<DeltaLogFile>, RecoveryReport)> {
+    // 1. Sweep temp files an interrupted durable write may have left.
+    let mut removed_tmp = Vec::new();
+    let mut strays = vec![tmp_path(snapshot_path)];
+    if let Some(lp) = log_path {
+        strays.push(tmp_path(lp));
+    }
+    for s in strays {
+        if env.exists(&s) {
+            env.remove(&s)?;
+            removed_tmp.push(s);
+        }
+    }
+    if !removed_tmp.is_empty() {
+        env.sync_parent_dir(snapshot_path)?;
+    }
+
+    // 2. The snapshot is authoritative: unreadable or corrupt is fatal.
+    let snap_bytes = env.read(snapshot_path)?;
+    let mut snapshot = Snapshot::from_bytes(&snap_bytes)?;
+    let base = fnv1a64(&snap_bytes);
+
+    let Some(log_path) = log_path else {
+        return Ok((
+            snapshot,
+            None,
+            RecoveryReport {
+                log: LogRecovery::NoLog,
+                replayed: 0,
+                removed_tmp,
+            },
+        ));
+    };
+
+    // 3. Classify and repair the log.
+    let (mut log_state, mut logfile) = if !env.exists(log_path) {
+        (
+            LogRecovery::Created,
+            DeltaLogFile::create_in(env.clone(), log_path, base)?,
+        )
+    } else {
+        let raw = env.read(log_path)?;
+        match DeltaLog::from_bytes(&raw) {
+            Ok(log) if log.base_checksum() == base => (
+                LogRecovery::Clean { records: log.len() },
+                DeltaLogFile::open_in(env.clone(), log_path, base)?,
+            ),
+            Ok(log) => {
+                let to = quarantine(env.as_ref(), log_path, ".stale")?;
+                (
+                    LogRecovery::QuarantinedStale {
+                        log_base: log.base_checksum(),
+                        snapshot_base: base,
+                        quarantined_to: to,
+                    },
+                    DeltaLogFile::create_in(env.clone(), log_path, base)?,
+                )
+            }
+            // A newer-format log is *surfaced*, never archived by a
+            // binary that cannot read it.
+            Err(e @ GraphError::UnsupportedVersion { .. }) => return Err(e),
+            Err(_) => match scan_log_bytes(&raw) {
+                TailScan::BadHeader(reason) => {
+                    let to = quarantine(env.as_ref(), log_path, ".corrupt")?;
+                    (
+                        LogRecovery::QuarantinedCorrupt {
+                            reason,
+                            quarantined_to: to,
+                        },
+                        DeltaLogFile::create_in(env.clone(), log_path, base)?,
+                    )
+                }
+                TailScan::Scanned { base: log_base, .. } if log_base != base => {
+                    let to = quarantine(env.as_ref(), log_path, ".stale")?;
+                    (
+                        LogRecovery::QuarantinedStale {
+                            log_base,
+                            snapshot_base: base,
+                            quarantined_to: to,
+                        },
+                        DeltaLogFile::create_in(env.clone(), log_path, base)?,
+                    )
+                }
+                TailScan::Scanned {
+                    records,
+                    tail_bytes,
+                    ..
+                } if tail_bytes <= RECORD_LEN + TRAILER_LEN => {
+                    // The designed crash artifact: at most one in-flight
+                    // append past the valid prefix. Reseal durably.
+                    let mut fixed = DeltaLog::new(base);
+                    for &r in &records {
+                        fixed.append(r);
+                    }
+                    write_durable(env.as_ref(), log_path, &fixed.to_bytes())?;
+                    (
+                        LogRecovery::TruncatedTail {
+                            kept: records.len(),
+                            dropped_bytes: tail_bytes,
+                        },
+                        DeltaLogFile::open_in(env.clone(), log_path, base)?,
+                    )
+                }
+                TailScan::Scanned { tail_bytes, .. } => {
+                    let to = quarantine(env.as_ref(), log_path, ".corrupt")?;
+                    (
+                        LogRecovery::QuarantinedCorrupt {
+                            reason: format!(
+                                "{tail_bytes} undecodable bytes past the last valid record \
+                                 (more than one torn append can explain)"
+                            ),
+                            quarantined_to: to,
+                        },
+                        DeltaLogFile::create_in(env.clone(), log_path, base)?,
+                    )
+                }
+            },
+        }
+    };
+
+    // 4. Replay the surviving records onto the snapshot.
+    let mut replayed = 0;
+    if !logfile.log().is_empty() {
+        let mut dynx = DynamicIndex::new(&snapshot.graph, &snapshot.index);
+        match logfile.log().replay(&mut dynx) {
+            Ok(()) => {
+                replayed = logfile.log().len();
+                let (graph, index) = dynx.materialize()?;
+                snapshot = Snapshot {
+                    graph,
+                    index,
+                    labels: snapshot.labels,
+                };
+            }
+            Err(e) => {
+                // Chain-valid but semantically impossible against this
+                // snapshot: interior corruption by the taxonomy.
+                let to = quarantine(env.as_ref(), log_path, ".corrupt")?;
+                logfile = DeltaLogFile::create_in(env.clone(), log_path, base)?;
+                log_state = LogRecovery::QuarantinedCorrupt {
+                    reason: format!("replay rejected: {e}"),
+                    quarantined_to: to,
+                };
+            }
+        }
+    }
+
+    Ok((
+        snapshot,
+        Some(logfile),
+        RecoveryReport {
+            log: log_state,
+            replayed,
+            removed_tmp,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_graph;
+    use ctc_graph::storage::FaultEnv;
+
+    /// Snapshot + 3-record log (delete/insert/delete of one edge) in a
+    /// fresh in-memory environment. Returns (env, snap_path, log_path,
+    /// base checksum).
+    fn setup() -> (Arc<dyn StorageEnv>, PathBuf, PathBuf, u64) {
+        let env: Arc<dyn StorageEnv> = Arc::new(FaultEnv::new(11));
+        let snap_path = PathBuf::from("g.ctci");
+        let log_path = PathBuf::from("g.ctcd");
+        let snap = Snapshot::build(figure1_graph());
+        snap.save_in(env.as_ref(), &snap_path).unwrap();
+        let base = fnv1a64(&env.read(&snap_path).unwrap());
+        let mut lf = DeltaLogFile::create_in(env.clone(), &log_path, base).unwrap();
+        let (u, v) = {
+            let (_, u, v) = snap.graph.edges().next().unwrap();
+            (u.0, v.0)
+        };
+        lf.append(DeltaRecord::new(DeltaOp::Delete, u, v)).unwrap();
+        lf.append(DeltaRecord::new(DeltaOp::Insert, u, v)).unwrap();
+        lf.append(DeltaRecord::new(DeltaOp::Delete, u, v)).unwrap();
+        (env, snap_path, log_path, base)
+    }
+
+    #[test]
+    fn clean_log_replays() {
+        let (env, sp, lp, _) = setup();
+        let (snap, lf, report) = recover_in(env, &sp, Some(&lp)).unwrap();
+        assert_eq!(report.log, LogRecovery::Clean { records: 3 });
+        assert_eq!(report.replayed, 3);
+        assert_eq!(
+            snap.graph.num_edges(),
+            figure1_graph().num_edges() - 1,
+            "net effect of delete/insert/delete is one fewer edge"
+        );
+        assert_eq!(lf.unwrap().log().len(), 3);
+        assert!(!report.describe().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_resealed() {
+        let (env, sp, lp, base) = setup();
+        // Chop 10 bytes: the trailer is damaged but all records survive.
+        let raw = env.read(&lp).unwrap();
+        env.write(&lp, &raw[..raw.len() - 10]).unwrap();
+        env.sync_file(&lp).unwrap();
+        let (_, lf, report) = recover_in(env.clone(), &sp, Some(&lp)).unwrap();
+        assert_eq!(
+            report.log,
+            LogRecovery::TruncatedTail {
+                kept: 3,
+                dropped_bytes: 6
+            }
+        );
+        assert_eq!(report.replayed, 3);
+        assert_eq!(lf.unwrap().log().len(), 3);
+        // The repaired file now validates end to end.
+        DeltaLogFile::open_in(env, &lp, base).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_mid_record_drops_the_partial_record() {
+        let (env, sp, lp, base) = setup();
+        // Chop into the last record: 16 trailer + 9 record bytes gone.
+        let raw = env.read(&lp).unwrap();
+        env.write(&lp, &raw[..raw.len() - 25]).unwrap();
+        env.sync_file(&lp).unwrap();
+        let (_, _, report) = recover_in(env.clone(), &sp, Some(&lp)).unwrap();
+        assert_eq!(
+            report.log,
+            LogRecovery::TruncatedTail {
+                kept: 2,
+                dropped_bytes: 8
+            }
+        );
+        assert_eq!(report.replayed, 2);
+        DeltaLogFile::open_in(env, &lp, base).unwrap();
+    }
+
+    #[test]
+    fn interior_flip_is_quarantined() {
+        let (env, sp, lp, base) = setup();
+        let mut raw = env.read(&lp).unwrap();
+        // Flip a payload byte of the *first* record: every later chain
+        // breaks, leaving far more than one torn append of invalid tail.
+        raw[HEADER_LEN + 2] ^= 0xff;
+        env.write(&lp, &raw).unwrap();
+        env.sync_file(&lp).unwrap();
+        let (snap, lf, report) = recover_in(env.clone(), &sp, Some(&lp)).unwrap();
+        assert!(matches!(report.log, LogRecovery::QuarantinedCorrupt { .. }));
+        assert_eq!(report.replayed, 0, "fell back to the snapshot");
+        assert_eq!(snap.graph.num_edges(), figure1_graph().num_edges());
+        assert!(env.exists(Path::new("g.ctcd.corrupt")));
+        // The replacement log is empty and bound to the snapshot.
+        let lf = lf.unwrap();
+        assert!(lf.log().is_empty());
+        assert_eq!(lf.log().base_checksum(), base);
+    }
+
+    #[test]
+    fn bad_header_is_quarantined() {
+        let (env, sp, lp, _) = setup();
+        let mut raw = env.read(&lp).unwrap();
+        raw[0] = b'X';
+        env.write(&lp, &raw).unwrap();
+        env.sync_file(&lp).unwrap();
+        let (_, _, report) = recover_in(env.clone(), &sp, Some(&lp)).unwrap();
+        assert!(matches!(report.log, LogRecovery::QuarantinedCorrupt { .. }));
+        assert!(env.exists(Path::new("g.ctcd.corrupt")));
+    }
+
+    #[test]
+    fn stale_log_after_interrupted_compaction_is_archived() {
+        let (env, sp, lp, _) = setup();
+        // Simulate the compaction crash window: the snapshot was replaced
+        // (new base) but the log still binds to the old one.
+        let snap = Snapshot::build(figure1_graph());
+        let snap2 = Snapshot {
+            labels: vec![7; snap.graph.num_vertices()],
+            ..snap
+        };
+        snap2.save_in(env.as_ref(), &sp).unwrap();
+        let new_base = fnv1a64(&env.read(&sp).unwrap());
+        let (_, lf, report) = recover_in(env.clone(), &sp, Some(&lp)).unwrap();
+        assert!(matches!(report.log, LogRecovery::QuarantinedStale { .. }));
+        assert_eq!(report.replayed, 0);
+        assert!(env.exists(Path::new("g.ctcd.stale")));
+        assert_eq!(lf.unwrap().log().base_checksum(), new_base);
+    }
+
+    #[test]
+    fn missing_log_is_created_and_strays_swept() {
+        let (env, sp, lp, base) = setup();
+        env.remove(&lp).unwrap();
+        env.write(&tmp_path(&sp), b"partial").unwrap();
+        let (_, lf, report) = recover_in(env.clone(), &sp, Some(&lp)).unwrap();
+        assert_eq!(report.log, LogRecovery::Created);
+        assert_eq!(report.removed_tmp, vec![tmp_path(&sp)]);
+        assert!(!env.exists(&tmp_path(&sp)));
+        assert_eq!(lf.unwrap().log().base_checksum(), base);
+    }
+
+    #[test]
+    fn replay_rejection_is_quarantined() {
+        let (env, sp, lp, _) = setup();
+        // Append a chain-valid record whose op is impossible: deleting an
+        // edge that no longer exists after the prior delete.
+        let base = fnv1a64(&env.read(&sp).unwrap());
+        let mut lf = DeltaLogFile::open_in(env.clone(), &lp, base).unwrap();
+        let (u, v) = {
+            let g = figure1_graph();
+            let (_, u, v) = g.edges().next().unwrap();
+            (u.0, v.0)
+        };
+        lf.append(DeltaRecord::new(DeltaOp::Delete, u, v)).unwrap();
+        lf.append(DeltaRecord::new(DeltaOp::Delete, u, v)).unwrap();
+        let (snap, _, report) = recover_in(env.clone(), &sp, Some(&lp)).unwrap();
+        assert!(matches!(
+            report.log,
+            LogRecovery::QuarantinedCorrupt { ref reason, .. } if reason.contains("replay rejected")
+        ));
+        assert_eq!(snap.graph.num_edges(), figure1_graph().num_edges());
+        assert!(env.exists(Path::new("g.ctcd.corrupt")));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_quarantined_not_panic() {
+        let (env, sp, lp, _) = setup();
+        let base = fnv1a64(&env.read(&sp).unwrap());
+        let mut lf = DeltaLogFile::open_in(env.clone(), &lp, base).unwrap();
+        lf.append(DeltaRecord::new(DeltaOp::Insert, 10_000, 10_001))
+            .unwrap();
+        let (_, _, report) = recover_in(env, &sp, Some(&lp)).unwrap();
+        assert!(matches!(report.log, LogRecovery::QuarantinedCorrupt { .. }));
+    }
+}

@@ -43,6 +43,7 @@ use ctc_graph::io::{
     fnv1a64, get_graph_section, get_u32_section, get_u64_section, put_graph_section,
     put_u32_section, put_u64_section,
 };
+use ctc_graph::storage::{write_durable, RealEnv, StorageEnv};
 use ctc_graph::{CsrGraph, Parallelism, VertexId};
 use std::path::Path;
 
@@ -127,15 +128,27 @@ impl Snapshot {
         snapshot_from_bytes(data)
     }
 
-    /// Writes the snapshot to `path` (conventionally `*.ctci`).
+    /// Writes the snapshot to `path` (conventionally `*.ctci`) with
+    /// crash-safety discipline: sibling temp file → fsync → rename →
+    /// parent-directory fsync. After a crash at any point `path` holds
+    /// either the complete old image or the complete new one.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        self.save_in(&RealEnv, path.as_ref())
+    }
+
+    /// [`save`](Self::save) against an explicit storage environment.
+    pub fn save_in(&self, env: &dyn StorageEnv, path: &Path) -> Result<()> {
+        write_durable(env, path, &self.to_bytes())
     }
 
     /// Loads a snapshot file written by [`Snapshot::save`].
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let data = std::fs::read(path)?;
+        Self::load_in(&RealEnv, path.as_ref())
+    }
+
+    /// [`load`](Self::load) against an explicit storage environment.
+    pub fn load_in(env: &dyn StorageEnv, path: &Path) -> Result<Self> {
+        let data = env.read(path)?;
         Self::from_bytes(&data)
     }
 }

@@ -48,20 +48,21 @@ use crate::snapshot::Snapshot;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ctc_graph::error::{GraphError, Result};
 use ctc_graph::io::fnv1a64;
+use ctc_graph::storage::{real_env, write_durable, StorageEnv};
 use ctc_graph::VertexId;
-use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic bytes opening a `.ctcd` delta-log file.
 pub const DELTA_MAGIC: &[u8; 4] = b"CTCL";
 /// Newest delta-log format version this build reads and writes.
 pub const DELTA_VERSION: u32 = 1;
 /// Header bytes: magic + version + base checksum + header checksum.
-const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+pub(crate) const HEADER_LEN: usize = 4 + 4 + 8 + 8;
 /// Bytes of one encoded record.
-const RECORD_LEN: usize = 1 + 4 + 4 + 8;
+pub(crate) const RECORD_LEN: usize = 1 + 4 + 4 + 8;
 /// Trailer bytes: record count + final chain value.
-const TRAILER_LEN: usize = 8 + 8;
+pub(crate) const TRAILER_LEN: usize = 8 + 8;
 
 /// The two update operations a delta log records.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,7 +81,7 @@ impl DeltaOp {
         }
     }
 
-    fn from_byte(b: u8) -> Option<Self> {
+    pub(crate) fn from_byte(b: u8) -> Option<Self> {
         match b {
             1 => Some(DeltaOp::Insert),
             2 => Some(DeltaOp::Delete),
@@ -110,7 +111,7 @@ impl DeltaRecord {
 
 /// Chains `prev` with a record's payload bytes: FNV-1a 64 over
 /// `prev_le ‖ op ‖ u_le ‖ v_le`.
-fn chain_of(prev: u64, rec: DeltaRecord) -> u64 {
+pub(crate) fn chain_of(prev: u64, rec: DeltaRecord) -> u64 {
     let mut buf = [0u8; 17];
     buf[..8].copy_from_slice(&prev.to_le_bytes());
     buf[8] = rec.op.to_byte();
@@ -289,31 +290,52 @@ pub fn delta_log_from_bytes(mut data: &[u8]) -> Result<DeltaLog> {
 /// [`compact`](DeltaLogFile::compact) folds the current state back into a
 /// fresh snapshot.
 ///
-/// No file handle is held between calls; every operation opens, writes and
-/// syncs, so a crash at any point leaves either the old or the new image —
-/// a torn tail is rejected (typed) on the next open.
+/// All file traffic goes through a [`StorageEnv`] (the real filesystem by
+/// default, a fault injector under test). No file handle is held between
+/// calls; every operation writes and syncs, so a crash at any point leaves
+/// either the old or the new image plus at most one torn trailing append —
+/// which [`crate::recover()`] repairs on the next open.
+///
+/// After an append or compact **error** the in-memory view may be ahead of
+/// the file: drop the handle and go through recovery rather than
+/// continuing to use it.
 #[derive(Clone, Debug)]
 pub struct DeltaLogFile {
     path: PathBuf,
     log: DeltaLog,
+    env: Arc<dyn StorageEnv>,
 }
 
 impl DeltaLogFile {
     /// Creates a fresh, empty log at `path`, bound to `base_checksum`.
-    /// Overwrites any existing file.
+    /// Overwrites any existing file. The file and its directory entry are
+    /// synced before returning.
     pub fn create<P: AsRef<Path>>(path: P, base_checksum: u64) -> Result<Self> {
+        Self::create_in(real_env(), path.as_ref(), base_checksum)
+    }
+
+    /// [`create`](Self::create) against an explicit storage environment.
+    pub fn create_in(env: Arc<dyn StorageEnv>, path: &Path, base_checksum: u64) -> Result<Self> {
         let log = DeltaLog::new(base_checksum);
-        std::fs::write(path.as_ref(), log.to_bytes())?;
+        env.write(path, &log.to_bytes())?;
+        env.sync_file(path)?;
+        env.sync_parent_dir(path)?;
         Ok(DeltaLogFile {
-            path: path.as_ref().to_path_buf(),
+            path: path.to_path_buf(),
             log,
+            env,
         })
     }
 
     /// Loads and validates the log at `path`, additionally checking that
     /// it is bound to the snapshot hashing to `expected_base`.
     pub fn open<P: AsRef<Path>>(path: P, expected_base: u64) -> Result<Self> {
-        let bytes = std::fs::read(path.as_ref())?;
+        Self::open_in(real_env(), path.as_ref(), expected_base)
+    }
+
+    /// [`open`](Self::open) against an explicit storage environment.
+    pub fn open_in(env: Arc<dyn StorageEnv>, path: &Path, expected_base: u64) -> Result<Self> {
+        let bytes = env.read(path)?;
         let log = DeltaLog::from_bytes(&bytes)?;
         if log.base_checksum() != expected_base {
             return Err(GraphError::Corrupt(format!(
@@ -323,18 +345,29 @@ impl DeltaLogFile {
             )));
         }
         Ok(DeltaLogFile {
-            path: path.as_ref().to_path_buf(),
+            path: path.to_path_buf(),
             log,
+            env,
         })
     }
 
     /// Opens the log at `path` if it exists (validating the binding),
     /// otherwise creates a fresh one.
     pub fn open_or_create<P: AsRef<Path>>(path: P, base_checksum: u64) -> Result<Self> {
-        if path.as_ref().exists() {
-            Self::open(path, base_checksum)
+        Self::open_or_create_in(real_env(), path.as_ref(), base_checksum)
+    }
+
+    /// [`open_or_create`](Self::open_or_create) against an explicit
+    /// storage environment.
+    pub fn open_or_create_in(
+        env: Arc<dyn StorageEnv>,
+        path: &Path,
+        base_checksum: u64,
+    ) -> Result<Self> {
+        if env.exists(path) {
+            Self::open_in(env, path, base_checksum)
         } else {
-            Self::create(path, base_checksum)
+            Self::create_in(env, path, base_checksum)
         }
     }
 
@@ -348,30 +381,43 @@ impl DeltaLogFile {
         &self.log
     }
 
+    /// The storage environment this log writes through.
+    pub fn env(&self) -> &Arc<dyn StorageEnv> {
+        &self.env
+    }
+
     /// Appends one record durably: the encoded record overwrites the old
     /// trailer position, a fresh trailer follows, and the file is synced
-    /// before returning.
+    /// before returning. A crash mid-append leaves at most one torn
+    /// record+trailer past the last valid record — a *torn tail*, which
+    /// recovery truncates.
     pub fn append(&mut self, rec: DeltaRecord) -> Result<()> {
         let encoded = self.log.append(rec);
-        let mut file = std::fs::OpenOptions::new().write(true).open(&self.path)?;
-        file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
-        file.write_all(&encoded)?;
-        file.write_all(&self.log.trailer_bytes())?;
-        file.sync_data()?;
+        let mut buf = Vec::with_capacity(RECORD_LEN + TRAILER_LEN);
+        buf.extend_from_slice(&encoded);
+        buf.extend_from_slice(&self.log.trailer_bytes());
+        self.env
+            .write_at_end(&self.path, TRAILER_LEN as u64, &buf)?;
+        self.env.sync_file(&self.path)?;
         Ok(())
     }
 
     /// Compacts: writes `snap` (the fully replayed state) to
-    /// `snapshot_path` via temp-file + rename, then resets this log to
-    /// empty, bound to the new snapshot's checksum. Returns that checksum.
+    /// `snapshot_path` durably (temp file → fsync → rename → parent-dir
+    /// fsync), then resets this log to empty — bound to the new snapshot's
+    /// checksum — with the same discipline. Returns that checksum.
+    ///
+    /// A crash between the two renames leaves the new snapshot with the
+    /// old (now stale) log; recovery detects the base-checksum mismatch
+    /// and archives the stale log, which is safe because the renamed
+    /// snapshot already contains every logged update.
     pub fn compact<P: AsRef<Path>>(&mut self, snapshot_path: P, snap: &Snapshot) -> Result<u64> {
         let bytes = snap.to_bytes();
         let base = fnv1a64(&bytes);
-        let snapshot_path = snapshot_path.as_ref();
-        let tmp = snapshot_path.with_extension("ctci.tmp");
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, snapshot_path)?;
-        *self = Self::create(&self.path, base)?;
+        write_durable(self.env.as_ref(), snapshot_path.as_ref(), &bytes)?;
+        let fresh = DeltaLog::new(base);
+        write_durable(self.env.as_ref(), &self.path, &fresh.to_bytes())?;
+        self.log = fresh;
         Ok(base)
     }
 }

@@ -1,0 +1,298 @@
+//! The crash-recovery differential battery: every crash point × every
+//! fault kind, across randomized insert/delete/compact schedules, run
+//! against the deterministic [`FaultEnv`] storage simulator.
+//!
+//! The invariant pinned here is the crash-safety contract of
+//! `docs/RELIABILITY.md`:
+//!
+//! 1. **Prefix atomicity** — after a crash at *any* storage operation and
+//!    recovery, the surviving edge set equals the state after some legal
+//!    prefix of the schedule: at least every acknowledged (synced) update,
+//!    at most every attempted one — pre-op or post-op of the in-flight
+//!    update, never in between and never reordered. (Under a *lying*
+//!    fsync — [`Fault::IgnoredSync`] — durability is void: acknowledged
+//!    updates may be lost, and even the snapshot can be destroyed; the
+//!    surviving promise is a legal prefix *or* a detected, typed failure —
+//!    never a silently wrong answer.)
+//! 2. **Differential oracle** — the recovered index's trussness is
+//!    byte-identical to a cold [`TrussIndex::build`] of the recovered
+//!    graph (the PR-7 maintained-vs-rebuilt oracle, through the crash
+//!    matrix).
+//! 3. **Forward progress** — the recovered log accepts further appends.
+
+use ctc_gen::random::erdos_renyi_nm;
+use ctc_graph::error::GraphError;
+use ctc_graph::io::fnv1a64;
+use ctc_graph::storage::{Fault, FaultEnv, StorageEnv};
+use ctc_graph::{CsrGraph, VertexId};
+use ctc_truss::{
+    recover_in, DeltaLogFile, DeltaOp, DeltaRecord, DynamicIndex, Snapshot, TrussIndex,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn snap_path() -> &'static Path {
+    Path::new("g.ctci")
+}
+
+fn log_path() -> &'static Path {
+    Path::new("g.ctcd")
+}
+
+fn edge_set(g: &CsrGraph) -> BTreeSet<(u32, u32)> {
+    g.edges()
+        .map(|(_, u, v)| (u.0.min(v.0), u.0.max(v.0)))
+        .collect()
+}
+
+/// What a schedule run left behind, for judging the recovered state.
+#[derive(Default)]
+struct Trace {
+    /// `states[i]` = edge set after `i` logical updates (so `states[0]`
+    /// is the initial graph).
+    states: Vec<BTreeSet<(u32, u32)>>,
+    /// Updates whose durable append was acknowledged.
+    committed: usize,
+    /// Updates attempted (committed plus at most one in-flight).
+    attempted: usize,
+    /// `true` once the initial snapshot save returned — before that a
+    /// crash legitimately leaves nothing to recover.
+    established: bool,
+}
+
+/// Runs a deterministic insert/delete schedule with periodic compaction
+/// against `env`, journaling through the full persistence protocol.
+/// Stops at the first storage error (crash or injected fault), leaving
+/// `trace` describing exactly how far it got.
+fn run_schedule(
+    env: Arc<dyn StorageEnv>,
+    g0: &CsrGraph,
+    steps: usize,
+    seed: u64,
+    trace: &mut Trace,
+) -> Result<(), GraphError> {
+    trace.states.push(edge_set(g0));
+    let snap = Snapshot::build(g0.clone());
+    snap.save_in(env.as_ref(), snap_path())?;
+    trace.established = true;
+    let base = fnv1a64(&env.read(snap_path())?);
+    let mut lf = DeltaLogFile::create_in(env.clone(), log_path(), base)?;
+    let mut dynx = DynamicIndex::build(g0);
+    let mut rng = seed ^ 0xc4a5_0f37;
+    let n = g0.num_vertices() as u64;
+    for step in 1..=steps {
+        if step % 5 == 0 {
+            // Fold the replayed state into a fresh snapshot + empty log.
+            let (graph, index) = dynx.materialize().expect("in-memory materialize");
+            let folded = Snapshot {
+                graph,
+                index,
+                labels: Vec::new(),
+            };
+            lf.compact(snap_path(), &folded)?;
+            continue;
+        }
+        let u = VertexId((splitmix(&mut rng) % n) as u32);
+        let v = VertexId((splitmix(&mut rng) % n) as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.0.min(v.0), u.0.max(v.0));
+        let mut next = trace.states.last().expect("initial state").clone();
+        let rec = if dynx.has_edge(u, v) {
+            dynx.delete_edge(u, v).expect("in-memory delete");
+            next.remove(&key);
+            DeltaRecord::new(DeltaOp::Delete, u.0, v.0)
+        } else {
+            dynx.insert_edge(u, v).expect("in-memory insert");
+            next.insert(key);
+            DeltaRecord::new(DeltaOp::Insert, u.0, v.0)
+        };
+        trace.states.push(next);
+        trace.attempted += 1;
+        lf.append(rec)?;
+        trace.committed += 1;
+    }
+    Ok(())
+}
+
+/// Recovers from `env` (post-restart) and asserts the three contract
+/// clauses against `trace`. `floor` is the earliest legal prefix (the
+/// committed count normally, 0 under a lying fsync).
+fn verify_recovery(env: Arc<dyn StorageEnv>, trace: &Trace, floor: usize, ctx: &str) {
+    let (snap, lf, report) = recover_in(env, snap_path(), Some(log_path()))
+        .unwrap_or_else(|e| panic!("recovery must not fail ({ctx}): {e}"));
+    // 1. Prefix atomicity.
+    let got = edge_set(&snap.graph);
+    let matched = (floor..=trace.attempted).find(|&j| trace.states[j] == got);
+    assert!(
+        matched.is_some(),
+        "recovered edge set matches no legal schedule prefix \
+         ({ctx}; committed {}, attempted {}, log {:?})",
+        trace.committed,
+        trace.attempted,
+        report.log,
+    );
+    // 2. Maintained == rebuilt, byte for byte.
+    let cold = TrussIndex::build(&snap.graph);
+    assert_eq!(
+        snap.index.edge_truss_slice(),
+        cold.edge_truss_slice(),
+        "recovered trussness diverges from a cold rebuild ({ctx})"
+    );
+    assert_eq!(snap.index.max_truss(), cold.max_truss(), "{ctx}");
+    // 3. The recovered log accepts further appends.
+    let mut lf = lf.expect("log handle after recovery");
+    let first_edge = snap.graph.edges().next().map(|(_, u, v)| (u.0, v.0));
+    if let Some((u, v)) = first_edge {
+        lf.append(DeltaRecord::new(DeltaOp::Delete, u, v))
+            .unwrap_or_else(|e| panic!("recovered log rejects appends ({ctx}): {e}"));
+    }
+}
+
+/// One faulted run: schedule against a fresh env with `configure` applied,
+/// then crash-restart and verify recovery.
+///
+/// `lying` marks [`Fault::IgnoredSync`] runs, which void every durability
+/// guarantee: an fsync that acknowledges without persisting can leave even
+/// the snapshot itself torn under its durable name (the rename commits, the
+/// content never did). No protocol recovers from a disk that lies — the
+/// contract degrades to *detected, typed failure* (checksum mismatch),
+/// never a silently wrong answer; and when recovery does succeed, the
+/// result must still be a legal prefix (floor 0: acknowledged updates may
+/// be lost).
+fn faulted_run(
+    seed: u64,
+    g0: &CsrGraph,
+    steps: usize,
+    lying: bool,
+    ctx: &str,
+    configure: impl Fn(&FaultEnv),
+) {
+    let fenv = Arc::new(FaultEnv::new(seed.wrapping_mul(0x9e37) ^ 0x51ed));
+    configure(&fenv);
+    let env: Arc<dyn StorageEnv> = fenv.clone();
+    let mut trace = Trace::default();
+    let _ = run_schedule(env.clone(), g0, steps, seed, &mut trace);
+    fenv.restart();
+    if !trace.established {
+        // Crash before the first durable snapshot: the system never came
+        // into existence, and recovery correctly reports the absence.
+        assert!(
+            recover_in(env, snap_path(), Some(log_path())).is_err(),
+            "no snapshot was ever durable, yet recovery found one ({ctx})"
+        );
+        return;
+    }
+    if lying {
+        match recover_in(env.clone(), snap_path(), Some(log_path())) {
+            // Typed, detected loss — the strongest promise a lying disk
+            // leaves standing.
+            Err(GraphError::Corrupt(_)) | Err(GraphError::Io(_)) => return,
+            Err(e) => panic!("unexpected error class under lying fsync ({ctx}): {e}"),
+            Ok(_) => verify_recovery(env, &trace, 0, ctx),
+        }
+        return;
+    }
+    verify_recovery(env, &trace, trace.committed, ctx);
+}
+
+const STEPS: usize = 14;
+
+/// Every crash point of every schedule: run fault-free once to count the
+/// storage operations, then re-run once per operation index with a crash
+/// scheduled there.
+#[test]
+fn crash_matrix_every_point() {
+    for seed in [1u64, 2, 3] {
+        let g0 = erdos_renyi_nm(28, 70, seed * 97 + 5);
+        let fenv = Arc::new(FaultEnv::new(seed));
+        let env: Arc<dyn StorageEnv> = fenv.clone();
+        let mut trace = Trace::default();
+        run_schedule(env.clone(), &g0, STEPS, seed, &mut trace).expect("fault-free run");
+        let total = fenv.ops();
+        assert!(total > 20, "schedule exercised too few storage ops");
+        assert_eq!(trace.committed, trace.attempted);
+        // Even the clean image recovers to the final state.
+        verify_recovery(env, &trace, trace.committed, "clean");
+        for point in 0..total {
+            faulted_run(
+                seed,
+                &g0,
+                STEPS,
+                false,
+                &format!("seed {seed}, crash at op {point}"),
+                |f| f.crash_at(point),
+            );
+        }
+    }
+}
+
+/// Every fault kind at every operation index. Non-crash faults surface as
+/// errors the schedule stops on; the run is then crash-restarted anyway,
+/// so each case also exercises "fault, then power loss". A lying fsync
+/// ([`Fault::IgnoredSync`]) weakens the floor to zero: acknowledged
+/// updates may be lost, but the result must still be a legal prefix.
+#[test]
+fn fault_kind_matrix_every_point() {
+    let seed = 5u64;
+    let g0 = erdos_renyi_nm(26, 60, 11);
+    let fenv = Arc::new(FaultEnv::new(seed));
+    let env: Arc<dyn StorageEnv> = fenv.clone();
+    let mut trace = Trace::default();
+    run_schedule(env, &g0, STEPS, seed, &mut trace).expect("fault-free run");
+    let total = fenv.ops();
+    for kind in [
+        Fault::ShortWrite,
+        Fault::TornWrite,
+        Fault::FailedSync,
+        Fault::Enospc,
+        Fault::IgnoredSync,
+    ] {
+        let lying = kind == Fault::IgnoredSync;
+        for point in 0..total {
+            faulted_run(
+                seed,
+                &g0,
+                STEPS,
+                lying,
+                &format!("{kind:?} at op {point}"),
+                |f| f.fault_at(point, kind),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Randomized seeds and graph shapes: a crash lands somewhere inside
+    /// the schedule (by modulo); recovery must hold regardless.
+    #[test]
+    fn random_schedule_random_crash_recovers(
+        seed in 0u64..10_000,
+        n in 12u32..40,
+        crash_pick in 0u64..1_000,
+    ) {
+        let g0 = erdos_renyi_nm(n as usize, (n as usize) * 3, seed ^ 0xbeef);
+        let fenv = Arc::new(FaultEnv::new(seed));
+        let env: Arc<dyn StorageEnv> = fenv.clone();
+        let mut trace = Trace::default();
+        run_schedule(env, &g0, STEPS, seed, &mut trace).expect("fault-free run");
+        let total = fenv.ops();
+        let point = crash_pick % total;
+        faulted_run(seed, &g0, STEPS, false, &format!("random crash at {point}"), |f| {
+            f.crash_at(point)
+        });
+    }
+}

@@ -7,6 +7,7 @@
 //! ctc-cli index info graph.ctci
 //! ctc-cli index update graph.ctci [--insert U,V]... [--delete U,V]...
 //!                                 [--log graph.ctcd] [--compact]
+//! ctc-cli index recover graph.ctci [--log graph.ctcd]
 //! ctc-cli search <edge-list> --query 3,17,42 [--algo basic|bd|lctc|truss]
 //!                            [--gamma 3] [--eta 1000] [--k K] [--threads N]
 //!                            [--timings]
@@ -36,7 +37,12 @@
 //! std-only HTTP daemon (`POST /search`, `POST /update`, `GET /healthz`,
 //! `GET /stats`, `POST /shutdown` — see `docs/SERVING.md`) with a fixed
 //! worker pool and a class-invalidated LRU answer cache; `serve --log`
-//! replays a delta log over the snapshot before binding.
+//! runs crash recovery over the snapshot + delta-log pair before binding
+//! (repairing a torn log tail, quarantining corruption) and journals
+//! applied `/update` batches back into the log, so a killed server
+//! restarts with its acknowledged updates intact. `index recover` runs
+//! the same protocol standalone with typed exit codes (see
+//! `docs/RELIABILITY.md`).
 
 use ctc::prelude::*;
 use ctc_graph::io::{load_edge_list_path, save_edge_list_path};
@@ -44,13 +50,16 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("stats") => cmd_stats(&args[1..]),
-        Some("decompose") => cmd_decompose(&args[1..]),
+    // Commands return their exit code so `index recover` can report the
+    // recovery outcome through typed codes (0 clean, 3 repaired, 4
+    // quarantined) instead of flattening everything to success/failure.
+    let result: Result<ExitCode, String> = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("decompose") => cmd_decompose(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("index") => cmd_index(&args[1..]),
-        Some("search") => cmd_search(&args[1..]),
-        Some("serve") => cmd_serve(&args[1..]),
-        Some("generate") => cmd_generate(&args[1..]),
+        Some("search") => cmd_search(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("serve") => cmd_serve(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("generate") => cmd_generate(&args[1..]).map(|()| ExitCode::SUCCESS),
         _ => {
             eprintln!(
                 "usage: ctc-cli <stats|decompose|index|search|serve|generate> ...\n\
@@ -63,6 +72,9 @@ fn main() -> ExitCode {
                  index update g.ctci                   apply edge updates with local\n\
                         [--insert U,V]... [--delete U,V]...   truss maintenance\n\
                         [--log g.ctcd] [--compact]     (see docs/INDEX_FORMAT.md)\n\
+                 index recover g.ctci [--log g.ctcd]   crash recovery: repair a torn\n\
+                        log tail or quarantine corruption (exit 0 clean,\n\
+                        3 repaired, 4 quarantined, 1 fatal; docs/RELIABILITY.md)\n\
                  search <edge-list> --query a,b,c      find the closest truss community\n\
                         [--algo basic|bd|lctc|truss] [--gamma G] [--eta N] [--k K]\n\
                         [--threads N] [--timings]      (--timings: per-phase breakdown)\n\
@@ -83,7 +95,7 @@ fn main() -> ExitCode {
         }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -153,13 +165,52 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_index(args: &[String]) -> Result<(), String> {
+fn cmd_index(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
-        Some("build") => cmd_index_build(&args[1..]),
-        Some("info") => cmd_index_info(&args[1..]),
-        Some("update") => cmd_index_update(&args[1..]),
-        _ => Err("usage: index <build|info|update> ...".into()),
+        Some("build") => cmd_index_build(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("info") => cmd_index_info(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("update") => cmd_index_update(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("recover") => cmd_index_recover(&args[1..]),
+        _ => Err("usage: index <build|info|update|recover> ...".into()),
     }
+}
+
+/// `index recover`: runs the startup recovery protocol over a snapshot
+/// and (optionally) its delta log, reporting what was repaired. Exit
+/// codes type the outcome for scripts:
+///
+/// * `0` — clean: nothing needed repair;
+/// * `3` — recovered: a torn log tail was truncated and resealed (the
+///   legal prefix survives);
+/// * `4` — quarantined: the log was archived (`.corrupt` / `.stale`) and
+///   the snapshot alone carries the state;
+/// * `1` — fatal: the snapshot itself is unreadable or corrupt.
+fn cmd_index_recover(args: &[String]) -> Result<ExitCode, String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: index recover <g.ctci> [--log g.ctcd]")?;
+    let log_path = flag_value(args, "--log").map(std::path::Path::new);
+    let (snap, _, report) = ctc::truss::recover(path, log_path).map_err(|e| {
+        format!("recovering {path}: {e} (snapshot unusable — restore from backup or rebuild)")
+    })?;
+    for line in report.describe() {
+        println!("{line}");
+    }
+    println!(
+        "recovered: {} vertices, {} edges, max trussness {}, {} replayed updates",
+        snap.graph.num_vertices(),
+        snap.graph.num_edges(),
+        snap.index.max_truss(),
+        report.replayed,
+    );
+    Ok(if report.log.was_quarantined() {
+        ExitCode::from(4)
+    } else if report.log.was_repaired() {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_index_build(args: &[String]) -> Result<(), String> {
@@ -370,11 +421,12 @@ fn cmd_index_update(args: &[String]) -> Result<(), String> {
                     index,
                     labels: snap.labels.clone(),
                 };
-                let tmp = format!("{path}.tmp");
+                // Snapshot::save is durable end to end: temp file, fsync,
+                // rename, directory fsync — a crash leaves old or new,
+                // never torn, and the rename survives power loss.
                 new_snap
-                    .save(&tmp)
-                    .map_err(|e| format!("writing {tmp}: {e}"))?;
-                std::fs::rename(&tmp, path).map_err(|e| format!("replacing {path}: {e}"))?;
+                    .save(path)
+                    .map_err(|e| format!("writing {path}: {e}"))?;
                 println!(
                     "rewrote {path}: {} vertices, {} edges, max trussness {}",
                     new_snap.graph.num_vertices(),
@@ -498,43 +550,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad --cache-cap {raw:?}"))?,
     };
-    let bytes = std::fs::read(path).map_err(|e| format!("loading {path}: {e}"))?;
-    let snap = Snapshot::from_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
-    let mut engine = CommunityEngine::from_snapshot(snap);
-    // Replay a write-ahead delta log over the snapshot before binding, so
-    // a server restarted after online updates serves the maintained
-    // state without waiting for a compaction.
-    if let Some(lp) = flag_value(args, "--log") {
-        use ctc::truss::DeltaLogFile;
-        let lf = DeltaLogFile::open(lp, ctc_graph::io::fnv1a64(&bytes))
-            .map_err(|e| format!("opening {lp}: {e}"))?;
-        let updates: Vec<ctc::core::EngineUpdate> = lf
-            .log()
-            .records()
-            .iter()
-            .map(|r| {
-                let (u, v) = (VertexId(r.u), VertexId(r.v));
-                match r.op {
-                    ctc::truss::DeltaOp::Insert => ctc::core::EngineUpdate::insert(u, v),
-                    ctc::truss::DeltaOp::Delete => ctc::core::EngineUpdate::delete(u, v),
-                }
-            })
-            .collect();
-        if !updates.is_empty() {
-            let report = engine
-                .apply_batch(&updates)
-                .map_err(|e| format!("replaying {lp}: {e}"))?;
-            if report.rejected > 0 {
-                return Err(format!(
-                    "replaying {lp}: {} of {} logged updates rejected — \
-                     the log does not belong to this snapshot",
-                    report.rejected,
-                    updates.len()
-                ));
+    // With --log, start through the recovery protocol: sweep strays,
+    // truncate a torn log tail, quarantine interior corruption (serving
+    // falls back to the snapshot), replay the surviving records, and
+    // keep the log handle so applied /update batches journal through it.
+    let (engine, logfile) = match flag_value(args, "--log") {
+        Some(lp) => {
+            let (engine, logfile, report) =
+                CommunityEngine::recover(path, Some(std::path::Path::new(lp)))
+                    .map_err(|e| format!("recovering {path}: {e}"))?;
+            for line in report.describe() {
+                println!("recovery: {line}");
             }
-            println!("replayed {} logged updates from {lp}", report.applied);
+            if report.replayed > 0 {
+                println!("replayed {} logged updates from {lp}", report.replayed);
+            }
+            (engine, logfile)
         }
-    }
+        None => {
+            let snap = Snapshot::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+            (CommunityEngine::from_snapshot(snap), None)
+        }
+    };
     let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
         match flag_value(args, name) {
             None => Ok(default),
@@ -553,6 +590,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     let stats = engine.stats();
     let state = std::sync::Arc::new(AppState::new(engine, &cfg));
+    // Journal applied /update batches into the recovered log, so a crash
+    // (kill -9 included) loses at most the in-flight record.
+    if let Some(lf) = logfile {
+        state.attach_default_wal(lf);
+    }
     // Additional named tenants (`--tenant NAME=PATH`, repeatable): lazily
     // loaded snapshots served at /t/NAME/search|update|stats, evicted
     // LRU-by-bytes when --mem-budget is exceeded.
